@@ -1,0 +1,10 @@
+"""Benchmark configuration: make the src layout importable without install."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 5 (stencil throughput across Table 3).
+
+Each panel prints GCells/s for SSAM and the baseline implementations at the
+paper's domain sizes (8192^2 / 512^3).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_series
+from repro.experiments import figure5
+
+#: subset used by the timed benchmark (full suite via ``ssam-repro -e figure5``)
+BENCH_BENCHMARKS = ("2d5pt", "2d9pt", "2d25pt", "2d81pt", "2d121pt", "3d7pt", "poisson")
+
+
+@pytest.mark.parametrize("architecture, precision", [
+    ("p100", "float32"), ("v100", "float32"), ("p100", "float64"), ("v100", "float64"),
+])
+def test_bench_figure5_panel(benchmark, architecture, precision):
+    panel = benchmark(figure5.run, architecture, precision, BENCH_BENCHMARKS)
+    print("\n" + format_series(
+        f"Figure 5 ({architecture.upper()}, {precision}) — stencil throughput",
+        "benchmark", panel["benchmarks"], panel["gcells_per_second"], unit="GCells/s"))
+    print(f"SSAM fastest or tied on {panel['ssam_wins']}/{panel['total']} benchmarks")
+    assert panel["ssam_wins"] >= panel["total"] - 3
+
+
+def test_bench_figure5_functional_small_grid(benchmark):
+    """Times the simulated SSAM 2-D stencil kernel on a small grid."""
+    import numpy as np
+
+    from repro.kernels.stencil2d_ssam import ssam_stencil2d
+    from repro.stencils.catalog import get_stencil
+    from repro.workloads import random_image
+
+    spec = get_stencil("2d5pt")
+    grid = random_image(256, 128, seed=2)
+    result = benchmark(ssam_stencil2d, grid, spec, 1, "v100")
+    np.testing.assert_allclose(result.output, spec.reference(grid), rtol=2e-5, atol=2e-5)

@@ -1,0 +1,29 @@
+"""Benchmarks regenerating Table 1, Table 2 and Table 3 of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark times the
+regeneration harness and prints the rows the paper reports so that the
+output can be compared side by side with the original tables.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.experiments import table1, table2, table3
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1.run)
+    assert all(row["matches_paper"] for row in rows)
+    print("\n" + table1.report())
+
+
+def test_bench_table2(benchmark):
+    rows = benchmark(table2.run)
+    assert all(row["matches_paper"] for row in rows)
+    print("\n" + table2.report())
+
+
+def test_bench_table3(benchmark):
+    rows = benchmark(table3.run)
+    assert all(row["matches_paper"] for row in rows)
+    print("\n" + table3.report())

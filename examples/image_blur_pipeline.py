@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Image-processing pipeline: compare SSAM against the library baselines.
+
+Applies a sharpening filter and a large Gaussian blur to an image and
+compares the SSAM kernel with the NPP-like, ArrayFire-like and cuFFT-like
+baselines — the Figure 4 experiment at a workstation-friendly size, with
+functional outputs cross-checked against each other.
+"""
+
+import numpy as np
+
+from repro import ConvolutionSpec
+from repro.baselines import (
+    arrayfire_like_convolve2d,
+    cufft_like_convolve2d,
+    npp_like_convolve2d,
+)
+from repro.kernels.conv2d_ssam import ssam_convolve2d
+from repro.workloads import gradient_image
+
+
+def run_filter(name: str, spec: ConvolutionSpec, image: np.ndarray) -> None:
+    print(f"\n--- {name} ({spec.filter_width}x{spec.filter_height}) ---")
+    reference = spec.reference(image)
+    implementations = {
+        "ssam": ssam_convolve2d(image, spec, "p100"),
+        "npp_like": npp_like_convolve2d(image, spec, "p100"),
+        "arrayfire_like": arrayfire_like_convolve2d(image, spec, "p100"),
+        "cufft_like": cufft_like_convolve2d(image, spec, "p100"),
+    }
+    for label, result in implementations.items():
+        error = float(np.max(np.abs(result.output - reference))) if result.output is not None else float("nan")
+        interior_note = " (interior only)" if label == "cufft_like" else ""
+        print(f"{label:15s} estimated {result.milliseconds:8.3f} ms   "
+              f"max|err|={error:.2e}{interior_note}")
+
+
+def main() -> None:
+    image = gradient_image(384, 256) + 0.05 * np.random.default_rng(0).standard_normal((256, 384)).astype(np.float32)
+    run_filter("sharpen", ConvolutionSpec.sharpen(), image)
+    run_filter("gaussian blur", ConvolutionSpec.gaussian(9), image)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""The Kogge–Stone scan expressed in SSAM (the Section 3.6 motivating example).
+
+Shows the J = (O, D, X, Y) formulation explicitly — the dependency graph, the
+shuffle schedule and its critical-path latency on both GPUs — and then runs
+the warp-level scan kernel on real data.
+"""
+
+import numpy as np
+
+from repro.core.model import SystolicProgram
+from repro.kernels.scan_ssam import reference_scan, ssam_scan
+from repro.workloads import sequence
+
+
+def main() -> None:
+    program = SystolicProgram.kogge_stone_scan()
+    print("J = (O, D, X, Y) for the warp-level Kogge-Stone scan:")
+    for key, value in program.describe().items():
+        print(f"  {key:20s}: {value}")
+    for arch in ("p100", "v100"):
+        print(f"  critical path on {arch}: {program.critical_path_cycles(arch):.0f} cycles")
+
+    data = sequence(10_000, seed=42)
+    result = ssam_scan(data, architecture="v100")
+    expected = reference_scan(data)
+    print(f"\nscanned {data.size} elements; max |error| = "
+          f"{np.max(np.abs(result.output - expected)):.2e}")
+    print(f"warp shuffles issued: {result.launch.counters.shfl:.0f}")
+    print(f"estimated kernel time: {result.milliseconds:.4f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Survey the Table 3 stencil suite: SSAM vs baselines at paper scale.
+
+Regenerates a compact version of Figure 5 (P100, single precision) and
+prints the Section 5 latency-model prediction next to the measured speedup
+so the two can be compared — the experiment behind EXPERIMENTS.md.
+"""
+
+from repro.analysis.tables import format_series, format_table
+from repro.core.performance_model import compare_latencies
+from repro.experiments import figure5
+from repro.stencils.catalog import CATALOG
+
+BENCHMARKS = ("2d5pt", "2d9pt", "2d25pt", "2d81pt", "3d7pt", "poisson")
+
+
+def main() -> None:
+    panel = figure5.run("p100", "float32", benchmarks=BENCHMARKS)
+    print(format_series("Figure 5 subset — Tesla P100, float32", "benchmark",
+                        panel["benchmarks"], panel["gcells_per_second"], unit="GCells/s"))
+    print(f"\nSSAM fastest or tied on {panel['ssam_wins']}/{panel['total']} benchmarks\n")
+
+    rows = []
+    for name in BENCHMARKS:
+        spec = CATALOG[name].spec
+        comparison = compare_latencies("p100", spec.footprint_width, spec.footprint_height)
+        ssam = panel["gcells_per_second"]["ssam"][list(BENCHMARKS).index(name)]
+        smem = panel["gcells_per_second"]["ppcg"][list(BENCHMARKS).index(name)]
+        rows.append({
+            "benchmark": name,
+            "latency_model_speedup": round(comparison.speedup, 2),
+            "measured_speedup_vs_ppcg": round(ssam / smem, 2),
+        })
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in fully offline environments whose
+pip/setuptools cannot build PEP 660 editable wheels (no ``wheel`` package);
+all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro — a full Python reproduction of the SSAM execution model (SC '19).
+
+The package implements, on a simulated GPU substrate, the Software Systolic
+Array execution Model of Chen et al. — register-cache + warp-shuffle kernels
+for 2-D convolution, 2-D/3-D stencils and scans — together with the
+shared-memory, naive, FFT and temporal-blocking baselines the paper compares
+against, the Section 5 performance model, and harnesses that regenerate
+every table and figure of the evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import ssam_convolve2d, ConvolutionSpec
+
+    image = np.random.rand(256, 256).astype(np.float32)
+    spec = ConvolutionSpec.gaussian(5)
+    result = ssam_convolve2d(image, spec, architecture="v100")
+    print(result.milliseconds, result.output)
+"""
+
+from .convolution.spec import ConvolutionSpec
+from .core.plan import SSAMPlan, plan_convolution, plan_stencil
+from .dtypes import FLOAT32, FLOAT64, Precision, resolve_precision
+from .errors import (
+    ConfigurationError,
+    DependencyError,
+    LaunchError,
+    ReproError,
+    ResourceExhaustedError,
+    SimulationError,
+    SpecificationError,
+)
+from .gpu.architecture import (
+    ARCHITECTURES,
+    TESLA_K40,
+    TESLA_M40,
+    TESLA_P100,
+    TESLA_V100,
+    get_architecture,
+)
+from .stencils.catalog import CATALOG as STENCIL_CATALOG
+from .stencils.catalog import get_benchmark, get_stencil
+from .stencils.spec import StencilPoint, StencilSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvolutionSpec",
+    "SSAMPlan",
+    "plan_convolution",
+    "plan_stencil",
+    "FLOAT32",
+    "FLOAT64",
+    "Precision",
+    "resolve_precision",
+    "ConfigurationError",
+    "DependencyError",
+    "LaunchError",
+    "ReproError",
+    "ResourceExhaustedError",
+    "SimulationError",
+    "SpecificationError",
+    "ARCHITECTURES",
+    "TESLA_K40",
+    "TESLA_M40",
+    "TESLA_P100",
+    "TESLA_V100",
+    "get_architecture",
+    "STENCIL_CATALOG",
+    "get_benchmark",
+    "get_stencil",
+    "StencilPoint",
+    "StencilSpec",
+    "ssam_convolve2d",
+    "ssam_stencil2d",
+    "ssam_stencil3d",
+    "ssam_scan",
+    "__version__",
+]
+
+
+def __getattr__(name):  # lazy imports keep heavy kernel modules off the import path
+    if name == "ssam_convolve2d":
+        from .kernels.conv2d_ssam import ssam_convolve2d
+
+        return ssam_convolve2d
+    if name == "ssam_stencil2d":
+        from .kernels.stencil2d_ssam import ssam_stencil2d
+
+        return ssam_stencil2d
+    if name == "ssam_stencil3d":
+        from .kernels.stencil3d_ssam import ssam_stencil3d
+
+        return ssam_stencil3d
+    if name == "ssam_scan":
+        from .kernels.scan_ssam import ssam_scan
+
+        return ssam_scan
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

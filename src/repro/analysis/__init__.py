@@ -1,0 +1,22 @@
+"""Metrics, comparisons and report formatting."""
+
+from .metrics import (
+    crossover_points,
+    gcells_per_second,
+    geometric_mean,
+    gflops,
+    speedup,
+    winner,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "crossover_points",
+    "gcells_per_second",
+    "geometric_mean",
+    "gflops",
+    "speedup",
+    "winner",
+    "format_series",
+    "format_table",
+]

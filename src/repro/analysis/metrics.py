@@ -1,0 +1,63 @@
+"""Performance metrics used by the evaluation (GCells/s, GFLOP/s, speedups)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def gcells_per_second(cells: int, iterations: int, seconds: float) -> float:
+    """Giga cell-updates per second — the Figure 5/6 metric."""
+    if seconds <= 0:
+        raise ConfigurationError("seconds must be positive")
+    return cells * iterations / seconds / 1e9
+
+
+def gflops(cells: int, iterations: int, flops_per_cell: float, seconds: float) -> float:
+    """GFLOP/s given the FLOP-per-point factor of Table 3."""
+    if seconds <= 0:
+        raise ConfigurationError("seconds must be positive")
+    return cells * iterations * flops_per_cell / seconds / 1e9
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """How many times faster the improved implementation is."""
+    if improved_seconds <= 0:
+        raise ConfigurationError("improved time must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's "on average 2.5x" style aggregation)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        raise ConfigurationError("geometric mean needs at least one positive value")
+    product = 1.0
+    for value in cleaned:
+        product *= value
+    return product ** (1.0 / len(cleaned))
+
+
+def winner(times_by_name: Mapping[str, float]) -> str:
+    """Name of the fastest implementation (smallest time)."""
+    if not times_by_name:
+        raise ConfigurationError("no implementations to compare")
+    return min(times_by_name, key=lambda name: times_by_name[name])
+
+
+def crossover_points(x_values: Sequence[float], series_a: Sequence[float],
+                     series_b: Sequence[float]) -> List[float]:
+    """x positions where series A and B swap order (linear interpolation)."""
+    if len(x_values) != len(series_a) or len(x_values) != len(series_b):
+        raise ConfigurationError("series must have the same length")
+    crossings: List[float] = []
+    for i in range(1, len(x_values)):
+        d0 = series_a[i - 1] - series_b[i - 1]
+        d1 = series_a[i] - series_b[i]
+        if d0 == 0:
+            crossings.append(float(x_values[i - 1]))
+        elif d0 * d1 < 0:
+            t = abs(d0) / (abs(d0) + abs(d1))
+            crossings.append(float(x_values[i - 1]) + t * (x_values[i] - x_values[i - 1]))
+    return crossings

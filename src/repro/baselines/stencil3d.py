@@ -1,0 +1,167 @@
+"""3-D stencil baselines ("original" and shared-memory tiling) for Figure 5.
+
+The naive kernel assigns one output point per thread with no staging
+(functional + analytic); the shared-memory variant models the classic
+2.5-D tiling in which each block stages a z-slab tile and streams through z
+(analytic — its traffic/scratchpad profile is what matters for the figure).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+from ..gpu.architecture import get_architecture
+from ..gpu.block import BlockContext
+from ..gpu.counters import KernelCounters
+from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
+from ..gpu.memory import DeviceBuffer, GlobalMemory
+from ..kernels.common import KernelRunResult, check_grid3d, clamp
+from ..stencils.spec import StencilSpec
+
+
+def _analytic_result(name, counters, config, architecture, parameters) -> KernelRunResult:
+    launch = LaunchResult(kernel_name=name, config=config, architecture=architecture,
+                          counters=counters, blocks_executed=0, sampled=True,
+                          sample_fraction=0.0)
+    return KernelRunResult(name=name, output=None, launch=launch, parameters=parameters)
+
+
+def _naive3d_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
+                   points: Tuple[Tuple[int, int, int, float], ...],
+                   width: int, height: int, depth: int) -> None:
+    gx = ctx.block_idx_x * ctx.block_threads + ctx.thread_idx_x
+    gy = ctx.block_idx_y
+    gz = ctx.block_idx_z
+    mask = gx < width
+    plane = width * height
+    total = ctx.zeros()
+    for dx, dy, dz, coefficient in points:
+        row = clamp(np.full(ctx.block_threads, gy + dy, dtype=np.int64), 0, height - 1)
+        slab = clamp(np.full(ctx.block_threads, gz + dz, dtype=np.int64), 0, depth - 1)
+        col = clamp(gx + dx, 0, width - 1)
+        value = ctx.load_global(src, slab * plane + row * width + col, mask=mask)
+        ctx.overhead(1.0)
+        total = ctx.mad(value, ctx.full(coefficient), total)
+    ctx.store_global(dst, gz * plane + gy * width + clamp(gx, 0, width - 1), total, mask=mask)
+
+
+NAIVE_STENCIL3D_KERNEL = Kernel(_naive3d_block, name="original_stencil3d")
+
+
+def original_stencil3d(grid: Optional[np.ndarray], spec: StencilSpec, iterations: int = 1,
+                       architecture: object = "p100", precision: object = "float32",
+                       block_threads: int = 128, functional: bool = True,
+                       width: Optional[int] = None, height: Optional[int] = None,
+                       depth: Optional[int] = None,
+                       max_blocks: Optional[int] = None) -> KernelRunResult:
+    """Naive one-output-per-thread 3-D stencil baseline."""
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    if spec.dims != 3:
+        raise ConfigurationError("original_stencil3d expects a 3-D stencil")
+    if functional:
+        grid = check_grid3d(grid)
+        depth, height, width = grid.shape
+    if width is None or height is None or depth is None:
+        raise ConfigurationError("width/height/depth are required when functional=False")
+    launch_grid = (math.ceil(width / block_threads), height, depth)
+    config = LaunchConfig(grid_dim=launch_grid, block_threads=block_threads,
+                         registers_per_thread=32 + spec.num_points // 4,
+                         shared_bytes_per_block=0, precision=prec, memory_parallelism=3.0)
+    parameters = {"stencil": spec.name, "iterations": iterations,
+                  "architecture": arch.name, "precision": prec.name}
+    points = tuple((p.dx, p.dy, p.dz, float(p.coefficient)) for p in spec.points)
+    if functional:
+        memory = GlobalMemory()
+        buffers = [memory.to_device(grid.astype(prec.numpy_dtype, copy=True), name="a"),
+                   memory.allocate(grid.shape, prec, name="b")]
+        merged = None
+        for step in range(iterations):
+            src, dst = buffers[step % 2], buffers[(step + 1) % 2]
+            launch = NAIVE_STENCIL3D_KERNEL.launch(
+                config, args=(src, dst, points, width, height, depth), architecture=arch,
+                max_blocks=max_blocks)
+            merged = launch if merged is None else merged.merged_with(launch)
+        output = None if max_blocks is not None else buffers[iterations % 2].to_host()
+        return KernelRunResult(name="original", output=output, launch=merged,
+                               parameters=parameters)
+    blocks = launch_grid[0] * launch_grid[1] * launch_grid[2]
+    warps_per_block = block_threads // arch.warp_size
+    total_warps = blocks * warps_per_block
+    taps = spec.num_points
+    sectors = math.ceil(32 * prec.itemsize / 128)
+    counters = KernelCounters(
+        fma=taps * total_warps * iterations,
+        misc=taps * total_warps * iterations,
+        gmem_load=taps * total_warps * iterations,
+        gmem_load_transactions=taps * total_warps * (sectors + 1) * iterations,
+        gmem_store=total_warps * iterations,
+        gmem_store_transactions=total_warps * sectors * iterations,
+        dram_read_bytes=float(blocks * spec.footprint_depth * spec.footprint_height
+                              * (block_threads + spec.footprint_width - 1)
+                              * prec.itemsize * iterations),
+        dram_write_bytes=float(width * height * depth * prec.itemsize * iterations),
+        blocks_executed=blocks * iterations,
+        warps_executed=total_warps * iterations,
+    )
+    parameters["analytic"] = True
+    return _analytic_result("original", counters, config, arch, parameters)
+
+
+def shared_stencil3d(spec: StencilSpec, width: int, height: int, depth: int,
+                     iterations: int = 1, architecture: object = "p100",
+                     precision: object = "float32", tile_rows: int = 8) -> KernelRunResult:
+    """2.5-D shared-memory tiling cost model (each block streams through z).
+
+    The block keeps ``footprint_depth`` slices of a ``32 x tile_rows`` tile
+    (+halo) staged in the scratchpad; every tap is an smem read.
+    """
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    if spec.dims != 3:
+        raise ConfigurationError("shared_stencil3d expects a 3-D stencil")
+    x_min, x_max = spec.x_range
+    y_min, y_max = spec.y_range
+    halo_x, halo_y = x_max - x_min, y_max - y_min
+    block_threads = 32 * tile_rows
+    staged_per_slice = (tile_rows + halo_y) * (32 + halo_x)
+    slices_staged = spec.footprint_depth
+    smem_bytes = staged_per_slice * slices_staged * prec.itemsize
+    launch_grid = (math.ceil(width / 32), math.ceil(height / tile_rows), 1)
+    blocks = launch_grid[0] * launch_grid[1]
+    warps_per_block = block_threads // arch.warp_size
+    total_warps = blocks * warps_per_block * depth  # one pass of the z stream per slice
+    taps = spec.num_points
+    staging_iters = math.ceil(staged_per_slice / block_threads)
+    sectors = math.ceil(32 * prec.itemsize / 128)
+    config = LaunchConfig(grid_dim=launch_grid, block_threads=block_threads,
+                         registers_per_thread=40,
+                         shared_bytes_per_block=min(smem_bytes, arch.shared_memory_per_block),
+                         precision=prec, memory_parallelism=3.0)
+    # ppcg's default (non-streaming) schedule re-stages the full
+    # footprint_depth-slice tile for every output plane, so the z halo is
+    # re-read rather than kept resident
+    counters = KernelCounters(
+        fma=taps * total_warps * iterations,
+        smem_load=taps * total_warps * iterations,
+        smem_store=staging_iters * slices_staged * blocks * warps_per_block * depth * iterations,
+        gmem_load=staging_iters * slices_staged * blocks * warps_per_block * depth * iterations,
+        gmem_load_transactions=staging_iters * slices_staged * blocks * warps_per_block * depth
+        * (sectors + 1) * iterations,
+        gmem_store=total_warps * iterations,
+        gmem_store_transactions=total_warps * sectors * iterations,
+        sync=2.0 * blocks * warps_per_block * depth * iterations,
+        dram_read_bytes=float(blocks * staged_per_slice * slices_staged * depth
+                              * prec.itemsize * iterations),
+        dram_write_bytes=float(width * height * depth * prec.itemsize * iterations),
+        blocks_executed=blocks * iterations,
+        warps_executed=total_warps * iterations,
+    )
+    parameters = {"stencil": spec.name, "iterations": iterations, "tile_rows": tile_rows,
+                  "architecture": arch.name, "precision": prec.name, "analytic": True}
+    return _analytic_result("ppcg", counters, config, arch, parameters)

@@ -1,0 +1,5 @@
+"""Convolution problem specifications and filter constructors."""
+
+from .spec import BOUNDARY_MODES, ConvolutionSpec
+
+__all__ = ["BOUNDARY_MODES", "ConvolutionSpec"]

@@ -1,0 +1,70 @@
+"""The SSAM core: formulation, register cache, blocking and performance model."""
+
+from .blocking import OverlappedBlocking, SharedMemoryBlocking
+from .dependency import (
+    compare_dependencies,
+    convolution_dependency,
+    critical_path_cycles,
+    horizontal_transfer_fraction,
+    scan_dependency,
+    shuffle_count,
+    shuffle_schedule,
+    stencil_dependency,
+    validate_dependency,
+)
+from .model import Operation, RegisterBinding, SystolicProgram
+from .performance_model import (
+    LatencyComparison,
+    advantage_table,
+    average_advantage,
+    compare_latencies,
+    halo_ratio,
+    halo_ratio_upper_bound,
+    latency_advantage,
+    predicted_speedup,
+    register_cache_latency,
+    shared_memory_latency,
+)
+from .plan import (
+    DEFAULT_BLOCK_THREADS,
+    DEFAULT_OUTPUTS_PER_THREAD,
+    SSAMPlan,
+    plan_convolution,
+    plan_stencil,
+)
+from .register_cache import RegisterCachePlan, choose_plan, max_outputs_per_thread
+
+__all__ = [
+    "OverlappedBlocking",
+    "SharedMemoryBlocking",
+    "compare_dependencies",
+    "convolution_dependency",
+    "critical_path_cycles",
+    "horizontal_transfer_fraction",
+    "scan_dependency",
+    "shuffle_count",
+    "shuffle_schedule",
+    "stencil_dependency",
+    "validate_dependency",
+    "Operation",
+    "RegisterBinding",
+    "SystolicProgram",
+    "LatencyComparison",
+    "advantage_table",
+    "average_advantage",
+    "compare_latencies",
+    "halo_ratio",
+    "halo_ratio_upper_bound",
+    "latency_advantage",
+    "predicted_speedup",
+    "register_cache_latency",
+    "shared_memory_latency",
+    "DEFAULT_BLOCK_THREADS",
+    "DEFAULT_OUTPUTS_PER_THREAD",
+    "SSAMPlan",
+    "plan_convolution",
+    "plan_stencil",
+    "RegisterCachePlan",
+    "choose_plan",
+    "max_outputs_per_thread",
+]

@@ -1,0 +1,194 @@
+"""The analytical performance model of Section 5.
+
+Two questions are answered exactly as in the paper:
+
+* **Section 5.2** — per-output latency of the register-cache (SSAM) scheme
+  vs. the conventional shared-memory scheme, using the measured latencies of
+  Table 2.  The headline result is Equation 5:
+  ``Dif_smem_reg = M*N*T_smem_read - (M-1)*T_shfl  >>  0`` for M, N >= 2.
+* **Section 5.3** — the overhead of the halo layers introduced by the
+  overlapped blocking scheme, showing that ``AvgDif >> 0``: even after
+  paying for redundant halo loads, the register-cache method wins.
+
+All functions take an architecture (name or object) so both Table 2 columns
+can be evaluated, and an optional precision because double-precision halves
+the useful register count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+from ..gpu.architecture import GPUArchitecture, get_architecture
+from .blocking import OverlappedBlocking
+
+
+@dataclass(frozen=True)
+class LatencyComparison:
+    """Per-output-element latency of the two caching schemes (cycles)."""
+
+    filter_width: int
+    filter_height: int
+    shared_memory_cycles: float
+    register_cache_cycles: float
+
+    @property
+    def advantage_cycles(self) -> float:
+        """Dif_smem_reg = L_smem - L_reg (Equation 5)."""
+        return self.shared_memory_cycles - self.register_cache_cycles
+
+    @property
+    def speedup(self) -> float:
+        """Predicted latency ratio L_smem / L_reg."""
+        if self.register_cache_cycles == 0:
+            return float("inf")
+        return self.shared_memory_cycles / self.register_cache_cycles
+
+
+def shared_memory_latency(architecture: object, filter_width: int,
+                          filter_height: int) -> float:
+    """L_smem = M*N*(T_mad + 2*T_smem_read + 2*T_reg)  (Section 5.2)."""
+    arch = get_architecture(architecture)
+    lat = arch.latencies
+    m, n = _check_filter(filter_width, filter_height)
+    return m * n * (lat.fma + 2.0 * lat.smem_load + 2.0 * lat.register)
+
+
+def register_cache_latency(architecture: object, filter_width: int,
+                           filter_height: int) -> float:
+    """L_reg = M*N*(T_mad + T_smem_read + 2*T_reg) + (M-1)*T_shfl  (Equation 4)."""
+    arch = get_architecture(architecture)
+    lat = arch.latencies
+    m, n = _check_filter(filter_width, filter_height)
+    return m * n * (lat.fma + lat.smem_load + 2.0 * lat.register) + (m - 1) * lat.shfl
+
+
+def latency_advantage(architecture: object, filter_width: int,
+                      filter_height: int) -> float:
+    """Dif_smem_reg = M*N*T_smem_read - (M-1)*T_shfl (Equation 5)."""
+    arch = get_architecture(architecture)
+    lat = arch.latencies
+    m, n = _check_filter(filter_width, filter_height)
+    return m * n * lat.smem_load - (m - 1) * lat.shfl
+
+
+def compare_latencies(architecture: object, filter_width: int,
+                      filter_height: int) -> LatencyComparison:
+    """Both per-output latencies plus the derived advantage."""
+    return LatencyComparison(
+        filter_width=filter_width,
+        filter_height=filter_height,
+        shared_memory_cycles=shared_memory_latency(architecture, filter_width, filter_height),
+        register_cache_cycles=register_cache_latency(architecture, filter_width, filter_height),
+    )
+
+
+def halo_ratio(filter_width: int, filter_height: int, outputs_per_thread: int,
+               warp_size: int = 32) -> float:
+    """HR_rc of Section 5.3 for the overlapped register-cache blocking."""
+    blocking = OverlappedBlocking(
+        filter_width=filter_width,
+        filter_height=filter_height,
+        outputs_per_thread=outputs_per_thread,
+        block_threads=warp_size,
+        warp_size=warp_size,
+    )
+    return blocking.halo_ratio
+
+
+def halo_ratio_upper_bound(filter_width: int, filter_height: int,
+                           outputs_per_thread: int, warp_size: int = 32) -> float:
+    """The bound HR_rc < N/(N+P-1) + M/WarpSize used in Section 5.3."""
+    m, n = _check_filter(filter_width, filter_height)
+    p = outputs_per_thread
+    return n / (n + p - 1) + m / warp_size
+
+
+def average_advantage(architecture: object, filter_width: int, filter_height: int,
+                      outputs_per_thread: int, warp_size: int = 32) -> float:
+    """AvgDif of Section 5.3: per-loaded-element advantage including halo cost.
+
+    ``AvgDif > T_smem_read - T_gmem_read*(N/(N+P-1) + M/32)
+               + P*M*N*T_smem_read/(N+P-1) - (M-1)*T_shfl``
+
+    A strongly positive value means the halo overhead of the register-cache
+    scheme is marginal compared to what it saves in scratchpad accesses.
+    """
+    arch = get_architecture(architecture)
+    lat = arch.latencies
+    m, n = _check_filter(filter_width, filter_height)
+    p = outputs_per_thread
+    c = n + p - 1
+    bound = (
+        lat.smem_load
+        - lat.gmem_load * (n / c + m / warp_size)
+        + p * m * n * lat.smem_load / c
+        - (m - 1) * lat.shfl
+    )
+    return bound
+
+
+def predicted_speedup(architecture: object, filter_width: int, filter_height: int,
+                      outputs_per_thread: int = 4, warp_size: int = 32) -> float:
+    """Latency-model speedup of SSAM over the shared-memory scheme.
+
+    Combines the per-output latency ratio of Section 5.2 with the halo load
+    amplification of Section 5.3, giving the "how much faster should SSAM
+    be" number that Figure 4 is compared against.
+    """
+    comparison = compare_latencies(architecture, filter_width, filter_height)
+    blocking = OverlappedBlocking(
+        filter_width=filter_width,
+        filter_height=filter_height,
+        outputs_per_thread=outputs_per_thread,
+        block_threads=warp_size,
+        warp_size=warp_size,
+    )
+    arch = get_architecture(architecture)
+    lat = arch.latencies
+    # charge the halo amplification on the global load path of each scheme
+    reg_cost = comparison.register_cache_cycles + blocking.load_redundancy * lat.gmem_load / (
+        blocking.valid_outputs_per_warp / blocking.warp_size
+    )
+    smem_tile = _default_shared_tile(filter_width, filter_height)
+    smem_cost = comparison.shared_memory_cycles + smem_tile * lat.gmem_load / warp_size
+    if reg_cost <= 0:
+        return float("inf")
+    return smem_cost / reg_cost
+
+
+def advantage_table(architecture: object, filter_sizes: Iterable[int],
+                    outputs_per_thread: int = 4) -> List[Dict[str, float]]:
+    """Sweep square filter sizes and tabulate the Section 5 quantities."""
+    rows: List[Dict[str, float]] = []
+    for size in filter_sizes:
+        comparison = compare_latencies(architecture, size, size)
+        rows.append(
+            {
+                "filter": size,
+                "l_smem_cycles": comparison.shared_memory_cycles,
+                "l_reg_cycles": comparison.register_cache_cycles,
+                "dif_cycles": comparison.advantage_cycles,
+                "latency_speedup": comparison.speedup,
+                "halo_ratio": halo_ratio(size, size, outputs_per_thread),
+                "avg_dif_cycles": average_advantage(architecture, size, size, outputs_per_thread),
+            }
+        )
+    return rows
+
+
+def _check_filter(filter_width: int, filter_height: int) -> Tuple[int, int]:
+    if filter_width < 1 or filter_height < 1:
+        raise ConfigurationError("filter extents must be >= 1")
+    return filter_width, filter_height
+
+
+def _default_shared_tile(filter_width: int, filter_height: int,
+                         tile: int = 32) -> float:
+    """Load amplification of a conventional 32x32 shared-memory tile."""
+    halo_x = filter_width - 1
+    halo_y = filter_height - 1
+    return (tile + halo_x) * (tile + halo_y) / float(tile * tile)

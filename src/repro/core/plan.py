@@ -1,0 +1,137 @@
+"""End-to-end SSAM execution plans.
+
+An :class:`SSAMPlan` bundles everything needed to run (or cost) an SSAM
+kernel for a given problem on a given architecture: the register-cache plan,
+the overlapped blocking geometry, the systolic program J = (O, D, X, Y) and
+the resulting CUDA launch configuration.  Experiments use plans so that the
+functional kernels, the analytic traffic profiles and the performance model
+are always parameterised identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..convolution.spec import ConvolutionSpec
+from ..dtypes import Precision, resolve_precision
+from ..errors import ConfigurationError
+from ..gpu.architecture import GPUArchitecture, get_architecture
+from ..gpu.kernel import LaunchConfig
+from ..gpu.occupancy import OccupancyResult, compute_occupancy
+from ..stencils.spec import StencilSpec
+from .blocking import OverlappedBlocking
+from .model import SystolicProgram
+from .register_cache import RegisterCachePlan, choose_plan
+
+#: the block size used throughout the paper's evaluation (Section 6.2)
+DEFAULT_BLOCK_THREADS = 128
+#: the sliding-window depth used throughout the paper's evaluation
+DEFAULT_OUTPUTS_PER_THREAD = 4
+
+
+@dataclass(frozen=True)
+class SSAMPlan:
+    """A fully resolved SSAM configuration for one problem instance."""
+
+    problem: Union[ConvolutionSpec, StencilSpec]
+    architecture: GPUArchitecture
+    register_cache: RegisterCachePlan
+    blocking: OverlappedBlocking
+    program: SystolicProgram
+    precision: Precision
+    block_threads: int
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def filter_width(self) -> int:
+        """M — footprint width (warp-lane direction)."""
+        return self.blocking.filter_width
+
+    @property
+    def filter_height(self) -> int:
+        """N — footprint height (register-cache direction)."""
+        return self.blocking.filter_height
+
+    @property
+    def outputs_per_thread(self) -> int:
+        """P — sliding-window depth."""
+        return self.register_cache.outputs_per_thread
+
+    @property
+    def shared_bytes_per_block(self) -> int:
+        """Shared memory used per block (filter weights for convolutions)."""
+        if isinstance(self.problem, ConvolutionSpec):
+            return self.problem.taps * self.precision.itemsize
+        return 0
+
+    def launch_config(self, width: int, height: int) -> LaunchConfig:
+        """CUDA launch configuration for a ``width x height`` domain."""
+        grid = self.blocking.grid_dim(width, height)
+        return LaunchConfig(
+            grid_dim=grid,
+            block_threads=self.block_threads,
+            registers_per_thread=self.register_cache.registers_per_thread,
+            shared_bytes_per_block=self.shared_bytes_per_block,
+            precision=self.precision,
+            memory_parallelism=float(self.register_cache.cache_values),
+        )
+
+    def occupancy(self) -> OccupancyResult:
+        """Occupancy of this plan on its architecture."""
+        return compute_occupancy(
+            self.architecture,
+            self.block_threads,
+            self.register_cache.registers_per_thread,
+            self.shared_bytes_per_block,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by examples and the experiment reports."""
+        occupancy = self.occupancy()
+        return {
+            "problem": getattr(self.problem, "name", "problem"),
+            "architecture": self.architecture.name,
+            "precision": self.precision.name,
+            "M": self.filter_width,
+            "N": self.filter_height,
+            "P": self.outputs_per_thread,
+            "C": self.register_cache.cache_values,
+            "registers_per_thread": self.register_cache.registers_per_thread,
+            "block_threads": self.block_threads,
+            "valid_outputs_per_warp": self.blocking.valid_outputs_per_warp,
+            "halo_ratio": round(self.blocking.halo_ratio, 4),
+            "occupancy": round(occupancy.occupancy, 3),
+            "shuffles_per_pass": self.program.shuffles_per_pass,
+        }
+
+
+def plan_convolution(spec: ConvolutionSpec, architecture: object = "p100",
+                     precision: object = "float32",
+                     outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
+                     block_threads: int = DEFAULT_BLOCK_THREADS) -> SSAMPlan:
+    """Build an SSAM plan for a 2-D convolution (Listing 1 configuration)."""
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    cache = choose_plan(spec.filter_height, arch, prec, requested_outputs=outputs_per_thread)
+    blocking = OverlappedBlocking.from_plan(cache, spec.filter_width, block_threads)
+    program = SystolicProgram.from_convolution(spec, cache)
+    return SSAMPlan(problem=spec, architecture=arch, register_cache=cache,
+                    blocking=blocking, program=program, precision=prec,
+                    block_threads=block_threads)
+
+
+def plan_stencil(spec: StencilSpec, architecture: object = "p100",
+                 precision: object = "float32",
+                 outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
+                 block_threads: int = DEFAULT_BLOCK_THREADS) -> SSAMPlan:
+    """Build an SSAM plan for the in-plane part of a 2-D/3-D stencil."""
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    cache = choose_plan(spec.footprint_height, arch, prec,
+                        requested_outputs=outputs_per_thread)
+    blocking = OverlappedBlocking.from_plan(cache, spec.footprint_width, block_threads)
+    program = SystolicProgram.from_stencil(spec, cache)
+    return SSAMPlan(problem=spec, architecture=arch, register_cache=cache,
+                    blocking=blocking, program=program, precision=prec,
+                    block_threads=block_threads)

@@ -1,0 +1,138 @@
+"""Register-cache planning (Section 4.2, Equation 3).
+
+Each thread of a warp caches ``C = N + P - 1`` input elements in registers
+and produces ``P`` outputs with a sliding window, so that the data loaded
+for output ``p`` is reused for output ``p+1``.  The plan object below
+captures that arithmetic, checks the register budget of the target
+architecture and exposes the derived quantities the kernels, the blocking
+scheme and the performance model all need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dtypes import Precision, resolve_precision
+from ..errors import ConfigurationError, ResourceExhaustedError
+from ..gpu.architecture import GPUArchitecture, get_architecture
+from ..gpu.register_file import (
+    BASE_REGISTER_OVERHEAD,
+    RegisterAllocation,
+    allocate_registers,
+    registers_for_cache,
+    warp_register_matrix_bytes,
+)
+
+
+@dataclass(frozen=True)
+class RegisterCachePlan:
+    """How one thread's register cache is laid out for an SSAM kernel.
+
+    Attributes
+    ----------
+    filter_height:
+        N — the footprint height of the filter/stencil (the number of
+        consecutive rows each output needs).
+    outputs_per_thread:
+        P — outputs computed per thread by the sliding window.
+    accumulators:
+        Live partial sums held simultaneously (defaults to P).
+    """
+
+    filter_height: int
+    outputs_per_thread: int
+    precision: Precision = field(default_factory=lambda: resolve_precision("float32"))
+    accumulators: Optional[int] = None
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.filter_height < 1:
+            raise ConfigurationError("filter height N must be >= 1")
+        if self.outputs_per_thread < 1:
+            raise ConfigurationError("outputs per thread P must be >= 1")
+        if self.accumulators is None:
+            object.__setattr__(self, "accumulators", self.outputs_per_thread)
+        object.__setattr__(self, "precision", resolve_precision(self.precision))
+
+    # -- Equation 3 -----------------------------------------------------------
+    @property
+    def cache_values(self) -> int:
+        """C = N + P - 1 cached elements per thread (Equation 3)."""
+        return self.filter_height + self.outputs_per_thread - 1
+
+    @property
+    def registers_per_thread(self) -> int:
+        """32-bit registers required per thread, including compiler overhead."""
+        return registers_for_cache(self.cache_values, self.accumulators, self.precision)
+
+    @property
+    def warp_cache_bytes(self) -> int:
+        """Size of the WarpSize x C register matrix of Figure 2a."""
+        return warp_register_matrix_bytes(self.cache_values, self.precision, self.warp_size)
+
+    @property
+    def reuse_factor(self) -> float:
+        """How many outputs each cached element contributes to on average.
+
+        Equals ``P * N / C``; approaches N for large P, 1 when P == 1.
+        """
+        return self.outputs_per_thread * self.filter_height / self.cache_values
+
+    # -- validation ----------------------------------------------------------
+    def allocation(self, architecture: object = "p100",
+                   allow_spill: bool = True) -> RegisterAllocation:
+        """Register allocation on the target architecture."""
+        arch = get_architecture(architecture)
+        return allocate_registers(arch, self.registers_per_thread, allow_spill=allow_spill)
+
+    def validate(self, architecture: object = "p100") -> "RegisterCachePlan":
+        """Raise if the plan would spill registers on the architecture."""
+        allocation = self.allocation(architecture, allow_spill=True)
+        if allocation.spills:
+            raise ResourceExhaustedError(
+                f"register cache of C={self.cache_values} values at {self.precision} "
+                f"needs {self.registers_per_thread} registers/thread and would spill "
+                f"{allocation.spilled_per_thread} of them"
+            )
+        return self
+
+    def fits(self, architecture: object = "p100") -> bool:
+        """True when the plan does not spill on the architecture."""
+        return not self.allocation(architecture).spills
+
+
+def max_outputs_per_thread(filter_height: int, architecture: object = "p100",
+                           precision: object = "float32",
+                           overhead: int = BASE_REGISTER_OVERHEAD,
+                           warp_size: int = 32) -> int:
+    """Largest P for which the register cache does not spill.
+
+    Solves ``(C + P) * regs_per_value + overhead <= cap`` with
+    ``C = N + P - 1``.
+    """
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    cap = arch.max_registers_per_thread
+    per_value = prec.registers_per_value
+    budget = cap - overhead
+    # (N + 2P - 1) * per_value <= budget
+    numerator = budget // per_value - filter_height + 1
+    best = numerator // 2
+    return max(1, best)
+
+
+def choose_plan(filter_height: int, architecture: object = "p100",
+                precision: object = "float32",
+                requested_outputs: int = 4, warp_size: int = 32) -> RegisterCachePlan:
+    """Pick a non-spilling register-cache plan, preferring ``requested_outputs``.
+
+    The paper uses P=4 for the convolution evaluation; deep filters at
+    double precision may force a smaller P, which this helper handles.
+    """
+    limit = max_outputs_per_thread(filter_height, architecture, precision,
+                                   warp_size=warp_size)
+    outputs = max(1, min(requested_outputs, limit))
+    plan = RegisterCachePlan(filter_height=filter_height, outputs_per_thread=outputs,
+                             precision=resolve_precision(precision), warp_size=warp_size)
+    return plan.validate(architecture)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from simulation
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the SSAM reproduction library."""
+
+
+class ConfigurationError(ReproError):
+    """A kernel/launch/architecture configuration is invalid.
+
+    Raised, for example, when a block size is not a multiple of the warp
+    size, when a register-cache plan would exceed the per-thread register
+    budget, or when a filter does not fit the requested plan.
+    """
+
+
+class ResourceExhaustedError(ConfigurationError):
+    """A plan requires more of a hardware resource than the architecture has.
+
+    Examples: more registers per thread than ``max_registers_per_thread``,
+    more shared memory per block than ``shared_memory_per_block``.
+    """
+
+
+class LaunchError(ReproError):
+    """A kernel launch failed (bad grid, missing buffers, runtime fault)."""
+
+
+class SimulationError(ReproError):
+    """The functional simulation detected an inconsistency.
+
+    This signals a bug in a kernel (e.g. out-of-bounds shared-memory access,
+    shuffle on an inactive lane) rather than a user configuration problem.
+    """
+
+
+class SpecificationError(ConfigurationError):
+    """A stencil/convolution specification is malformed."""
+
+
+class DependencyError(ReproError):
+    """The systolic dependency graph D is invalid (cyclic, non-warp-local...)."""

@@ -1,0 +1,15 @@
+"""Experiment harnesses that regenerate every table and figure of the paper."""
+
+from . import figure4, figure5, figure6, model_validation, table1, table2, table3
+from .runner import run_experiment
+
+__all__ = [
+    "figure4",
+    "figure5",
+    "figure6",
+    "model_validation",
+    "table1",
+    "table2",
+    "table3",
+    "run_experiment",
+]

@@ -1,0 +1,112 @@
+"""Figure 4: 2-D convolution runtime vs. filter size on P100 and V100.
+
+The paper sweeps square filters from 2x2 to 20x20 over an 8192^2 single
+precision image (P=4, B=128) and compares SSAM against ArrayFire, NPP,
+cuFFT, Halide and cuDNN.  This module regenerates both panels from the
+kernels' cost profiles on the simulated architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.metrics import geometric_mean, speedup, winner
+from ..analysis.tables import format_series
+from ..baselines.conv2d import (
+    ARRAYFIRE_MAX_FILTER,
+    arrayfire_like_convolve2d,
+    cudnn_like_convolve2d,
+    cufft_like_convolve2d,
+    halide_like_convolve2d,
+    npp_like_convolve2d,
+)
+from ..convolution.spec import ConvolutionSpec
+from ..kernels.conv2d_ssam import analytic_launch as ssam_analytic_launch
+
+#: evaluation parameters from Section 6.2
+IMAGE_WIDTH = 8192
+IMAGE_HEIGHT = 8192
+FILTER_SIZES = tuple(range(2, 21))
+IMPLEMENTATIONS = ("ssam", "arrayfire", "npp", "halide", "cudnn", "cufft")
+
+
+def run(architecture: str = "p100", precision: str = "float32",
+        filter_sizes: Sequence[int] = FILTER_SIZES,
+        width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> Dict[str, object]:
+    """One Figure 4 panel: runtime (ms) per implementation per filter size."""
+    series: Dict[str, List[Optional[float]]] = {name: [] for name in IMPLEMENTATIONS}
+    for size in filter_sizes:
+        spec = ConvolutionSpec.gaussian(size)
+        series["ssam"].append(
+            ssam_analytic_launch(spec, width, height, architecture, precision).milliseconds)
+        if size <= ARRAYFIRE_MAX_FILTER:
+            series["arrayfire"].append(
+                arrayfire_like_convolve2d(None, spec, architecture, precision,
+                                          functional=False, width=width,
+                                          height=height).milliseconds)
+        else:
+            series["arrayfire"].append(None)
+        series["npp"].append(
+            npp_like_convolve2d(None, spec, architecture, precision, functional=False,
+                                width=width, height=height).milliseconds)
+        series["halide"].append(
+            halide_like_convolve2d(None, spec, architecture, precision, functional=False,
+                                   width=width, height=height).milliseconds)
+        series["cudnn"].append(
+            cudnn_like_convolve2d(None, spec, architecture, precision, functional=False,
+                                  width=width, height=height).milliseconds)
+        series["cufft"].append(
+            cufft_like_convolve2d(None, spec, architecture, precision, functional=False,
+                                  width=width, height=height).milliseconds)
+    return {
+        "architecture": architecture,
+        "precision": precision,
+        "filter_sizes": list(filter_sizes),
+        "milliseconds": series,
+        "summary": summarize(series),
+    }
+
+
+def summarize(series: Dict[str, List[Optional[float]]]) -> Dict[str, object]:
+    """Headline comparisons: SSAM speedup over NPP/ArrayFire, win counts."""
+    ssam = series["ssam"]
+    npp_speedups = [speedup(n, s) for n, s in zip(series["npp"], ssam) if n and s]
+    af_speedups = [speedup(a, s) for a, s in zip(series["arrayfire"], ssam) if a and s]
+    wins = 0
+    total = 0
+    for i, value in enumerate(ssam):
+        competitors = {name: series[name][i] for name in series
+                       if name != "ssam" and series[name][i] is not None}
+        if not competitors:
+            continue
+        total += 1
+        if value <= min(competitors.values()):
+            wins += 1
+    return {
+        "ssam_vs_npp_geomean_speedup": geometric_mean(npp_speedups) if npp_speedups else None,
+        "ssam_vs_arrayfire_geomean_speedup": geometric_mean(af_speedups) if af_speedups else None,
+        "ssam_fastest_fraction": wins / total if total else None,
+    }
+
+
+def run_both(filter_sizes: Sequence[int] = FILTER_SIZES,
+             width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> Dict[str, object]:
+    """Both panels (Figure 4a on P100, Figure 4b on V100)."""
+    return {
+        "figure4a": run("p100", "float32", filter_sizes, width, height),
+        "figure4b": run("v100", "float32", filter_sizes, width, height),
+    }
+
+
+def report(filter_sizes: Sequence[int] = FILTER_SIZES,
+           width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> str:
+    """Formatted two-panel Figure 4 report."""
+    chunks = []
+    for key, panel in run_both(filter_sizes, width, height).items():
+        labels = [f"{s}x{s}" for s in panel["filter_sizes"]]
+        chunks.append(format_series(
+            f"Figure {key[-2:]} — 2D convolution runtime, {panel['architecture'].upper()} "
+            f"({panel['precision']}, {width}x{height})",
+            "filter", labels, panel["milliseconds"], unit="ms"))
+        chunks.append(f"summary: {panel['summary']}")
+    return "\n\n".join(chunks)

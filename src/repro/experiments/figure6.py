@@ -1,0 +1,80 @@
+"""Figure 6: comparison with temporal/spatial blocking libraries.
+
+Four panels ({P100, V100} x {single, double}) over the benchmarks 2d5pt,
+2d9pt, 3d7pt, 3d13pt and poisson, comparing SSAM (register temporal
+blocking) with StencilGen-style shared-memory temporal blocking and the
+published Diffusion / Bricks numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.tables import format_series
+from ..baselines.temporal import (
+    published_reference,
+    ssam_temporal_stencil,
+    stencilgen_like_stencil,
+)
+from ..stencils.catalog import CATALOG, FIGURE6_BENCHMARKS
+
+IMPLEMENTATIONS = ("stencilgen", "ssam", "diffusion", "bricks")
+#: number of fused/total time steps used for the throughput evaluation
+TIME_STEPS = 64
+
+
+def run(architecture: str = "p100", precision: str = "float32",
+        benchmarks: Sequence[str] = FIGURE6_BENCHMARKS,
+        time_steps: int = TIME_STEPS) -> Dict[str, object]:
+    """One Figure 6 panel (GCells/s per implementation per benchmark)."""
+    series: Dict[str, List[Optional[float]]] = {name: [] for name in IMPLEMENTATIONS}
+    for name in benchmarks:
+        benchmark = CATALOG[name]
+        spec = benchmark.spec
+        if spec.dims == 2:
+            width, height = benchmark.domain
+            depth = 1
+        else:
+            width, height, depth = benchmark.domain
+        cells = benchmark.cells
+        sg = stencilgen_like_stencil(spec, width, height, depth, time_steps=time_steps,
+                                     architecture=architecture, precision=precision)
+        ss = ssam_temporal_stencil(spec, width, height, depth, time_steps=time_steps,
+                                   architecture=architecture, precision=precision)
+        series["stencilgen"].append(sg.gcells_per_second(cells, time_steps))
+        series["ssam"].append(ss.gcells_per_second(cells, time_steps))
+        series["diffusion"].append(
+            published_reference("diffusion", architecture, precision) if name == "3d7pt" else None)
+        series["bricks"].append(
+            published_reference("bricks", architecture, precision) if name == "3d7pt" else None)
+    return {
+        "architecture": architecture,
+        "precision": precision,
+        "benchmarks": list(benchmarks),
+        "gcells_per_second": series,
+        "time_steps": time_steps,
+    }
+
+
+def run_all(benchmarks: Sequence[str] = FIGURE6_BENCHMARKS,
+            time_steps: int = TIME_STEPS) -> Dict[str, object]:
+    """All four panels of Figure 6."""
+    return {
+        "figure6a": run("p100", "float32", benchmarks, time_steps),
+        "figure6b": run("p100", "float64", benchmarks, time_steps),
+        "figure6c": run("v100", "float32", benchmarks, time_steps),
+        "figure6d": run("v100", "float64", benchmarks, time_steps),
+    }
+
+
+def report(benchmarks: Sequence[str] = FIGURE6_BENCHMARKS,
+           time_steps: int = TIME_STEPS) -> str:
+    """Formatted four-panel Figure 6 report."""
+    chunks = []
+    for key, panel in run_all(benchmarks, time_steps).items():
+        chunks.append(format_series(
+            f"Figure {key[-2:]} — temporal blocking, {panel['architecture'].upper()} "
+            f"{panel['precision']}",
+            "benchmark", panel["benchmarks"], panel["gcells_per_second"],
+            unit="GCells/s"))
+    return "\n\n".join(chunks)

@@ -1,0 +1,62 @@
+"""Validation of the Section 5 analytical performance model.
+
+Checks the two paper claims (Sections 5.2 and 5.3):
+
+* ``Dif_smem_reg = M*N*T_smem_read - (M-1)*T_shfl >> 0`` for M, N >= 2 on
+  both architectures (the register-cache scheme always saves latency per
+  output element);
+* the halo-overhead-adjusted advantage ``AvgDif`` grows with the filter size
+  and is positive for all practically relevant filters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis.tables import format_table
+from ..core.performance_model import (
+    advantage_table,
+    average_advantage,
+    latency_advantage,
+)
+
+FILTER_SIZES = (2, 3, 5, 7, 9, 11, 15, 20)
+
+
+def run(architectures: Sequence[str] = ("p100", "v100"),
+        filter_sizes: Sequence[int] = FILTER_SIZES,
+        outputs_per_thread: int = 4) -> List[Dict[str, object]]:
+    """Evaluate the Section 5 quantities over a sweep of filter sizes."""
+    rows: List[Dict[str, object]] = []
+    for arch in architectures:
+        for row in advantage_table(arch, filter_sizes, outputs_per_thread):
+            rows.append({"architecture": arch, **row,
+                         "eq5_positive": row["dif_cycles"] > 0})
+    return rows
+
+
+def claims(architectures: Sequence[str] = ("p100", "v100")) -> Dict[str, bool]:
+    """The boolean claims the paper makes about the model."""
+    eq5 = all(
+        latency_advantage(arch, m, n) > 0
+        for arch in architectures for m in range(2, 21) for n in range(2, 21)
+    )
+    growth = all(
+        average_advantage(arch, size + 1, size + 1, 4) > average_advantage(arch, size, size, 4)
+        for arch in architectures for size in range(2, 20)
+    )
+    large_filters_positive = all(
+        average_advantage(arch, size, size, 4) > 0
+        for arch in architectures for size in range(5, 21)
+    )
+    return {
+        "eq5_advantage_positive_for_all_M_N_ge_2": eq5,
+        "halo_adjusted_advantage_grows_with_filter": growth,
+        "halo_adjusted_advantage_positive_for_M_ge_5": large_filters_positive,
+    }
+
+
+def report() -> str:
+    """Formatted model-validation report."""
+    return ("Section 5 performance-model validation\n"
+            + format_table(run()) + "\n\nclaims: " + str(claims()))

@@ -1,0 +1,71 @@
+"""Command-line entry point that regenerates every table and figure.
+
+Installed as the ``ssam-repro`` console script::
+
+    ssam-repro --experiment table1
+    ssam-repro --experiment figure4
+    ssam-repro --experiment all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from . import figure4, figure5, figure6, model_validation, table1, table2, table3
+
+#: benchmark subset used by --quick runs
+QUICK_FIGURE5 = ("2d5pt", "2d9pt", "2d25pt", "3d7pt", "poisson")
+QUICK_FILTER_SIZES = (3, 5, 9, 13, 17, 20)
+
+
+def _figure4_report(quick: bool) -> str:
+    return figure4.report(QUICK_FILTER_SIZES if quick else figure4.FILTER_SIZES)
+
+
+def _figure5_report(quick: bool) -> str:
+    return figure5.report(QUICK_FIGURE5 if quick else figure5.FIGURE5_BENCHMARKS)
+
+
+def _figure6_report(quick: bool) -> str:
+    return figure6.report()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "table1": lambda quick: table1.report(),
+    "table2": lambda quick: table2.report(),
+    "table3": lambda quick: table3.report(),
+    "figure4": _figure4_report,
+    "figure5": _figure5_report,
+    "figure6": _figure6_report,
+    "model": lambda quick: model_validation.report(),
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> str:
+    """Run one named experiment and return its formatted report."""
+    if name == "all":
+        return "\n\n".join(EXPERIMENTS[key](quick) for key in EXPERIMENTS)
+    if name not in EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {name!r}; choose from "
+                         f"{sorted(EXPERIMENTS) + ['all']}")
+    return EXPERIMENTS[name](quick)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the SSAM paper's tables and figures on the simulated GPUs")
+    parser.add_argument("--experiment", "-e", default="all",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced sweeps for a fast smoke run")
+    args = parser.parse_args(argv)
+    print(run_experiment(args.experiment, quick=args.quick))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

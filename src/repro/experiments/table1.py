@@ -1,0 +1,30 @@
+"""Table 1: shared memory and register files on the evaluated GPUs."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import format_table
+from ..gpu.architecture import table1_rows
+
+#: the values printed in the paper's Table 1, for comparison
+PAPER_TABLE1 = {
+    "Tesla K40": {"shared_memory_per_sm_kib": 48, "registers_per_sm": 65536, "sm_count": 15},
+    "Tesla M40": {"shared_memory_per_sm_kib": 96, "registers_per_sm": 65536, "sm_count": 24},
+    "Tesla P100": {"shared_memory_per_sm_kib": 64, "registers_per_sm": 65536, "sm_count": 56},
+    "Tesla V100": {"shared_memory_per_sm_kib": 96, "registers_per_sm": 65536, "sm_count": 80},
+}
+
+
+def run() -> List[Dict[str, object]]:
+    """Regenerate Table 1 from the architecture presets."""
+    rows = []
+    for row in table1_rows():
+        paper = PAPER_TABLE1[row["gpu"]]
+        rows.append({**row, "matches_paper": all(row[k] == v for k, v in paper.items())})
+    return rows
+
+
+def report() -> str:
+    """Formatted Table 1 report."""
+    return "Table 1 — Shared memory and register files on GPUs\n" + format_table(run())

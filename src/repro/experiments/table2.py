@@ -1,0 +1,34 @@
+"""Table 2: measured operation latencies (cycles/warp) on P100 and V100."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import format_table
+from ..gpu.microbench import run_table2
+
+#: the paper's measured values, cycles per warp
+PAPER_TABLE2 = {
+    ("Tesla P100", "shfl_up_sync"): 33.0,
+    ("Tesla P100", "add, sub, mad"): 6.0,
+    ("Tesla P100", "smem_read"): 33.0,
+    ("Tesla V100", "shfl_up_sync"): 22.0,
+    ("Tesla V100", "add, sub, mad"): 4.0,
+    ("Tesla V100", "smem_read"): 27.0,
+}
+
+
+def run(chain_length: int = 512) -> List[Dict[str, object]]:
+    """Regenerate Table 2 with the dependent-chain micro-benchmarks."""
+    rows = []
+    for row in run_table2(chain_length=chain_length):
+        paper = PAPER_TABLE2[(row["gpu"], row["operation"])]
+        rows.append({**row, "paper_cycles": paper,
+                     "matches_paper": abs(row["latency_cycles"] - paper) < 1e-6})
+    return rows
+
+
+def report() -> str:
+    """Formatted Table 2 report."""
+    return ("Table 2 — Latency of operations (cycles/warp), micro-benchmarked\n"
+            + format_table(run()))

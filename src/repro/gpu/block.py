@@ -1,0 +1,294 @@
+"""The SIMT programming surface kernels are written against.
+
+A :class:`BlockContext` represents one CUDA thread block during execution.
+Kernels are ordinary Python functions ``kernel(ctx, *args)`` in which every
+"per-thread" value is a NumPy array with one element per thread of the block
+(structure-of-arrays).  The context provides
+
+* thread/block/lane indices,
+* counted global-memory loads and stores (with per-warp coalescing and
+  per-block unique-line DRAM accounting),
+* counted shared-memory allocation and access (with bank conflicts),
+* warp shuffles restricted to 32-lane groups, and
+* counted arithmetic intrinsics (``mad``, ``add``, ``mul``) so the timing
+  model sees the same instruction mix the GPU would execute.
+
+Using the intrinsics is what makes a kernel's cost observable; plain NumPy
+arithmetic still computes correctly but is invisible to the profiler, so the
+library's kernels always go through the intrinsics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import Precision, resolve_precision
+from ..errors import SimulationError
+from .architecture import GPUArchitecture
+from .counters import KernelCounters
+from .memory import BlockTrafficTracker, DeviceBuffer, coalesced_transactions
+from .shared_memory import SharedArray, SharedMemory
+from . import warp as warp_ops
+from .simt import active_warp_count, divergent_warp_count
+
+
+class BlockContext:
+    """Execution context of a single thread block on the simulated GPU."""
+
+    def __init__(
+        self,
+        block_idx: Tuple[int, int, int],
+        grid_dim: Tuple[int, int, int],
+        block_threads: int,
+        architecture: GPUArchitecture,
+        counters: KernelCounters,
+        precision: Precision,
+        count_traffic: bool = True,
+    ) -> None:
+        self.block_idx = block_idx
+        self.grid_dim = grid_dim
+        self.block_threads = int(block_threads)
+        self.architecture = architecture
+        self.counters = counters
+        self.precision = precision
+        self.warp_size = architecture.warp_size
+        if self.block_threads % self.warp_size != 0:
+            raise SimulationError(
+                f"block size {self.block_threads} must be a multiple of the warp size"
+            )
+        self.num_warps = self.block_threads // self.warp_size
+        self.shared = SharedMemory(architecture.shared_memory_per_block,
+                                   architecture.shared_memory_banks,
+                                   architecture.shared_memory_bank_bytes)
+        self._traffic = BlockTrafficTracker(architecture.cache_line_bytes) if count_traffic else None
+        self._thread_idx = np.arange(self.block_threads, dtype=np.int64)
+        counters.blocks_executed += 1
+        counters.warps_executed += self.num_warps
+
+    # ------------------------------------------------------------------ ids
+    @property
+    def thread_idx_x(self) -> np.ndarray:
+        """``threadIdx.x`` of every thread in the block (shape ``(B,)``)."""
+        return self._thread_idx
+
+    @property
+    def lane_id(self) -> np.ndarray:
+        """Lane index of every thread within its warp."""
+        return self._thread_idx % self.warp_size
+
+    @property
+    def warp_id(self) -> np.ndarray:
+        """Warp index of every thread within the block."""
+        return self._thread_idx // self.warp_size
+
+    @property
+    def block_idx_x(self) -> int:
+        return self.block_idx[0]
+
+    @property
+    def block_idx_y(self) -> int:
+        return self.block_idx[1]
+
+    @property
+    def block_idx_z(self) -> int:
+        return self.block_idx[2]
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Element dtype of the kernel's working precision."""
+        return self.precision.numpy_dtype
+
+    def zeros(self) -> np.ndarray:
+        """A zero-filled per-thread register vector."""
+        return np.zeros(self.block_threads, dtype=self.numpy_dtype)
+
+    def full(self, value: float) -> np.ndarray:
+        """A constant per-thread register vector."""
+        return np.full(self.block_threads, value, dtype=self.numpy_dtype)
+
+    # ------------------------------------------------------- warp bookkeeping
+    def _active_warps(self, mask: Optional[np.ndarray]) -> int:
+        if mask is None:
+            return self.num_warps
+        active = active_warp_count(mask, self.warp_size)
+        self.counters.divergent_branches += divergent_warp_count(mask, self.warp_size)
+        return active
+
+    # ----------------------------------------------------------- global mem
+    def load_global(self, buffer: DeviceBuffer, flat_indices: np.ndarray,
+                    mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather ``buffer[flat_indices]`` with full traffic accounting.
+
+        ``flat_indices`` is a per-thread array of flattened element indices;
+        masked-off lanes return 0 and generate no traffic.
+        """
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        if flat_indices.shape != (self.block_threads,):
+            raise SimulationError("load_global expects one index per thread")
+        if np.any(flat_indices < 0) or np.any(flat_indices >= buffer.size):
+            raise SimulationError(
+                f"out-of-bounds global load on {buffer.name!r}"
+            )
+        if mask is None:
+            active_indices = flat_indices
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            active_indices = flat_indices[mask]
+        warps = self._active_warps(mask)
+        self.counters.gmem_load += warps
+        itemsize = buffer.itemsize
+        # per-warp coalescing: count sectors per warp over active lanes
+        transactions = 0
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else mask
+        grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
+        grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
+        for w in range(self.num_warps):
+            active = grouped_idx[w][grouped_mask[w]]
+            transactions += coalesced_transactions(active, itemsize,
+                                                   self.architecture.cache_line_bytes)
+        self.counters.gmem_load_transactions += transactions
+        self.counters.cache_read_bytes += float(active_indices.size * itemsize)
+        if self._traffic is not None and active_indices.size:
+            self._traffic.record_read(buffer, active_indices)
+        values = np.zeros(self.block_threads, dtype=buffer.dtype)
+        if mask is None:
+            values[:] = buffer.flat[flat_indices]
+        else:
+            values[mask] = buffer.flat[flat_indices[mask]]
+        return values.astype(self.numpy_dtype, copy=False)
+
+    def store_global(self, buffer: DeviceBuffer, flat_indices: np.ndarray,
+                     values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
+        """Scatter ``values`` into ``buffer`` with traffic accounting."""
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        values = np.asarray(values)
+        if flat_indices.shape != (self.block_threads,):
+            raise SimulationError("store_global expects one index per thread")
+        if np.any(flat_indices < 0) or np.any(flat_indices >= buffer.size):
+            raise SimulationError(f"out-of-bounds global store on {buffer.name!r}")
+        warps = self._active_warps(mask)
+        self.counters.gmem_store += warps
+        itemsize = buffer.itemsize
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
+        grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
+        transactions = 0
+        for w in range(self.num_warps):
+            active = grouped_idx[w][grouped_mask[w]]
+            transactions += coalesced_transactions(active, itemsize,
+                                                   self.architecture.cache_line_bytes)
+        self.counters.gmem_store_transactions += transactions
+        active_indices = flat_indices[lane_mask]
+        self.counters.dram_write_bytes += float(active_indices.size * itemsize)
+        if self._traffic is not None and active_indices.size:
+            self._traffic.record_write(buffer, active_indices)
+        buffer.flat[flat_indices[lane_mask]] = values[lane_mask].astype(buffer.dtype, copy=False)
+
+    # ----------------------------------------------------------- shared mem
+    def alloc_shared(self, name: str, shape: Tuple[int, ...],
+                     precision: Optional[object] = None) -> SharedArray:
+        """Allocate a named shared-memory array for this block."""
+        prec = self.precision if precision is None else resolve_precision(precision)
+        return self.shared.allocate(name, shape, prec)
+
+    def load_shared(self, shared: SharedArray, flat_indices: np.ndarray,
+                    mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Counted shared-memory gather (bank conflicts and broadcasts)."""
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        if flat_indices.shape != (self.block_threads,):
+            raise SimulationError("load_shared expects one index per thread")
+        size = shared.array.size
+        if np.any(flat_indices < 0) or np.any(flat_indices >= size):
+            raise SimulationError(f"out-of-bounds shared load on {shared.name!r}")
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
+        grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
+        for w in range(self.num_warps):
+            active = grouped_idx[w][grouped_mask[w]]
+            if active.size == 0:
+                continue
+            degree, broadcast = self.shared.record_load(shared, active)
+            if broadcast:
+                self.counters.smem_broadcast += 1
+            else:
+                self.counters.smem_load += degree
+                self.counters.smem_bank_conflicts += max(0, degree - 1)
+        self.counters.smem_read_bytes += float(lane_mask.sum() * shared.array.itemsize)
+        values = np.zeros(self.block_threads, dtype=self.numpy_dtype)
+        values[lane_mask] = shared.flat[flat_indices[lane_mask]].astype(self.numpy_dtype, copy=False)
+        return values
+
+    def store_shared(self, shared: SharedArray, flat_indices: np.ndarray,
+                     values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
+        """Counted shared-memory scatter."""
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        values = np.asarray(values)
+        if flat_indices.shape != (self.block_threads,):
+            raise SimulationError("store_shared expects one index per thread")
+        size = shared.array.size
+        if np.any(flat_indices < 0) or np.any(flat_indices >= size):
+            raise SimulationError(f"out-of-bounds shared store on {shared.name!r}")
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
+        grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
+        for w in range(self.num_warps):
+            active = grouped_idx[w][grouped_mask[w]]
+            if active.size == 0:
+                continue
+            degree = self.shared.record_store(shared, active)
+            self.counters.smem_store += degree
+            self.counters.smem_bank_conflicts += max(0, degree - 1)
+        self.counters.smem_write_bytes += float(lane_mask.sum() * shared.array.itemsize)
+        shared.flat[flat_indices[lane_mask]] = values[lane_mask].astype(shared.array.dtype, copy=False)
+
+    def syncthreads(self) -> None:
+        """``__syncthreads()`` — counted barrier, no functional effect here."""
+        self.counters.sync += self.num_warps
+
+    # --------------------------------------------------------------- shuffles
+    def shfl_up(self, values: np.ndarray, delta: int = 1) -> np.ndarray:
+        """``__shfl_up_sync`` across each warp of the block (counted)."""
+        values = np.asarray(values)
+        self.counters.shfl += self.num_warps
+        return warp_ops.shfl_up(values, delta, self.warp_size)
+
+    def shfl_down(self, values: np.ndarray, delta: int = 1) -> np.ndarray:
+        """``__shfl_down_sync`` across each warp of the block (counted)."""
+        values = np.asarray(values)
+        self.counters.shfl += self.num_warps
+        return warp_ops.shfl_down(values, delta, self.warp_size)
+
+    def shfl_idx(self, values: np.ndarray, source_lane: int) -> np.ndarray:
+        """``__shfl_sync`` broadcast from ``source_lane`` (counted)."""
+        values = np.asarray(values)
+        self.counters.shfl += self.num_warps
+        return warp_ops.shfl_idx(values, source_lane, self.warp_size)
+
+    # -------------------------------------------------------------- arithmetic
+    def mad(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
+        """Fused multiply-add ``a * b + acc`` (one FMA warp instruction)."""
+        self.counters.fma += self.num_warps
+        return np.asarray(a, dtype=self.numpy_dtype) * np.asarray(b, dtype=self.numpy_dtype) + acc
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Counted addition."""
+        self.counters.add += self.num_warps
+        return np.asarray(a, dtype=self.numpy_dtype) + np.asarray(b, dtype=self.numpy_dtype)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Counted multiplication."""
+        self.counters.mul += self.num_warps
+        return np.asarray(a, dtype=self.numpy_dtype) * np.asarray(b, dtype=self.numpy_dtype)
+
+    def overhead(self, instructions: float = 1.0) -> None:
+        """Account for integer/addressing instructions not modelled explicitly."""
+        self.counters.misc += instructions * self.num_warps
+
+    # ------------------------------------------------------------- finalize
+    def finalize(self) -> None:
+        """Fold the block's unique-line DRAM reads into the launch counters."""
+        if self._traffic is not None:
+            read_bytes, _ = self._traffic.finalize()
+            self.counters.dram_read_bytes += read_bytes

@@ -1,0 +1,207 @@
+"""Instruction latency and throughput tables for the simulated GPUs.
+
+The latencies mirror Table 2 of the paper (measured with the authors'
+micro-benchmarks, in cycles per warp):
+
+==============  =====  =====
+operation        P100   V100
+==============  =====  =====
+shfl_up_sync       33     22
+add / sub / mad     6      4
+shared-mem read    33     27
+==============  =====  =====
+
+plus the CUDA programming-guide figure of 200--400 cycles for a coalesced
+global-memory read used in Section 5.3.
+
+Throughputs are expressed in *warp instructions per cycle per SM* and follow
+the published core counts (64 FP32 cores per SM on both P100 and V100, a
+1:2 FP64 ratio, 32-lane shuffle unit, 128 B/cycle shared-memory banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from ..errors import ConfigurationError
+
+#: instruction classes understood by the latency/throughput model.
+INSTRUCTION_CLASSES = (
+    "fma",
+    "add",
+    "mul",
+    "shfl",
+    "smem_load",
+    "smem_store",
+    "smem_broadcast",
+    "gmem_load",
+    "gmem_store",
+    "l1_load",
+    "l2_load",
+    "sync",
+    "misc",
+)
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Per-operation dependent-issue latency, in cycles per warp.
+
+    The entries named in the paper's Table 2 (``shfl``, ``fma``/``add``,
+    ``smem_load``) are the measured values; the rest use public
+    micro-architecture figures.
+    """
+
+    shfl: float
+    fma: float
+    add: float
+    mul: float
+    smem_load: float
+    smem_store: float
+    smem_broadcast: float
+    gmem_load: float
+    gmem_store: float
+    l1_load: float
+    l2_load: float
+    sync: float
+    misc: float = 4.0
+    register: float = 1.0
+
+    def for_class(self, instruction_class: str) -> float:
+        """Latency in cycles for an instruction class name."""
+        try:
+            return float(getattr(self, instruction_class))
+        except AttributeError as exc:
+            raise ConfigurationError(
+                f"unknown instruction class {instruction_class!r}"
+            ) from exc
+
+    def as_dict(self) -> Dict[str, float]:
+        """All latencies keyed by instruction class."""
+        return {name: self.for_class(name) for name in INSTRUCTION_CLASSES}
+
+
+@dataclass(frozen=True)
+class ThroughputTable:
+    """Peak issue rates, in warp instructions per cycle per SM.
+
+    ``fma32`` corresponds to 64 FP32 cores per SM (two warps' worth of lanes
+    per cycle); ``fma64`` to the 1:2 double-precision ratio of the Tesla
+    parts.  ``smem`` reflects the 32-bank x 4 B/cycle scratchpad;
+    ``smem_wide`` is the same bandwidth expressed for 8-byte accesses.
+    ``smem_broadcast`` models warp-uniform (single address, broadcast) reads
+    such as filter-weight loads, which are served by the broadcast path and
+    do not consume the full 128-byte bank bandwidth of a divergent access.
+    """
+
+    fma32: float = 2.0
+    fma64: float = 1.0
+    add32: float = 2.0
+    add64: float = 1.0
+    mul32: float = 2.0
+    mul64: float = 1.0
+    shfl: float = 1.0
+    smem: float = 1.0
+    smem_wide: float = 0.5
+    smem_broadcast: float = 4.0
+    l1: float = 1.0
+    l2: float = 0.25
+    gmem_issue: float = 0.5
+    issue_width: float = 4.0
+    sync: float = 1.0
+    misc: float = 4.0
+
+    def arithmetic(self, instruction_class: str, itemsize: int) -> float:
+        """Arithmetic throughput for ``fma``/``add``/``mul`` at a given width."""
+        if instruction_class not in ("fma", "add", "mul"):
+            raise ConfigurationError(
+                f"{instruction_class!r} is not an arithmetic instruction class"
+            )
+        suffix = "64" if itemsize == 8 else "32"
+        return float(getattr(self, instruction_class + suffix))
+
+    def shared(self, itemsize: int) -> float:
+        """Divergent shared-memory throughput for the given element width."""
+        return self.smem_wide if itemsize == 8 else self.smem
+
+
+# ---------------------------------------------------------------------------
+# Published / measured tables for the evaluated GPUs
+# ---------------------------------------------------------------------------
+
+#: Table 2 of the paper, P100 column (+ CUDA-guide global-memory latency).
+PASCAL_LATENCIES = LatencyTable(
+    shfl=33.0,
+    fma=6.0,
+    add=6.0,
+    mul=6.0,
+    smem_load=33.0,
+    smem_store=24.0,
+    smem_broadcast=33.0,
+    gmem_load=350.0,
+    gmem_store=350.0,
+    l1_load=82.0,
+    l2_load=234.0,
+    sync=30.0,
+)
+
+#: Table 2 of the paper, V100 column (+ Jia et al. cache latencies).
+VOLTA_LATENCIES = LatencyTable(
+    shfl=22.0,
+    fma=4.0,
+    add=4.0,
+    mul=4.0,
+    smem_load=27.0,
+    smem_store=19.0,
+    smem_broadcast=27.0,
+    gmem_load=300.0,
+    gmem_store=300.0,
+    l1_load=28.0,
+    l2_load=193.0,
+    sync=22.0,
+)
+
+#: Kepler/Maxwell use the Pascal-style values scaled by their lower clocks;
+#: only the capacities in Table 1 matter for those parts, but complete tables
+#: keep the architecture presets self-consistent.
+KEPLER_LATENCIES = replace(PASCAL_LATENCIES, shfl=36.0, fma=9.0, add=9.0, mul=9.0,
+                           smem_load=38.0, l1_load=90.0, l2_load=260.0)
+MAXWELL_LATENCIES = replace(PASCAL_LATENCIES, shfl=34.0, fma=6.0, add=6.0, mul=6.0,
+                            smem_load=34.0, l1_load=86.0, l2_load=245.0)
+
+# Pascal's unified L1/texture path sustains roughly half the per-SM rate of
+# its shared memory; Volta's redesigned 128 KB L1 reaches parity (the
+# Section 7.1 discussion of why the SSAM advantage narrows on V100).
+PASCAL_THROUGHPUT = ThroughputTable(l1=0.5)
+VOLTA_THROUGHPUT = ThroughputTable(l1=1.0, l2=0.35)
+KEPLER_THROUGHPUT = ThroughputTable(fma32=6.0, fma64=2.0, add32=6.0, mul32=6.0)
+MAXWELL_THROUGHPUT = ThroughputTable(fma32=4.0, fma64=0.125, add32=4.0, mul32=4.0)
+
+
+def latency_for_generation(generation: str) -> LatencyTable:
+    """Return the latency table for an architecture generation name."""
+    tables: Mapping[str, LatencyTable] = {
+        "kepler": KEPLER_LATENCIES,
+        "maxwell": MAXWELL_LATENCIES,
+        "pascal": PASCAL_LATENCIES,
+        "volta": VOLTA_LATENCIES,
+    }
+    try:
+        return tables[generation.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown GPU generation {generation!r}") from exc
+
+
+def throughput_for_generation(generation: str) -> ThroughputTable:
+    """Return the throughput table for an architecture generation name."""
+    tables: Mapping[str, ThroughputTable] = {
+        "kepler": KEPLER_THROUGHPUT,
+        "maxwell": MAXWELL_THROUGHPUT,
+        "pascal": PASCAL_THROUGHPUT,
+        "volta": VOLTA_THROUGHPUT,
+    }
+    try:
+        return tables[generation.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown GPU generation {generation!r}") from exc

@@ -1,0 +1,197 @@
+"""Global-memory buffers and traffic accounting for the simulated GPU.
+
+Data movement policy
+--------------------
+The timing model charges DRAM for the *unique* cache lines touched by each
+thread block (perfect intra-block reuse through L1/L2) and assumes no reuse
+between blocks.  This is exactly the halo/redundancy analysis of Section 5.3
+of the paper: a blocked kernel pays for its tile plus its halo once per
+block, regardless of how the accesses are scheduled inside the block.
+Per-warp coalescing is still tracked (number of 128-byte sectors per warp
+load/store) because uncoalesced access patterns increase the number of
+transactions the load/store units must issue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import Precision, resolve_precision
+from ..errors import LaunchError, SimulationError
+
+_buffer_ids = itertools.count(1)
+
+
+@dataclass
+class DeviceBuffer:
+    """A linear global-memory allocation backed by a NumPy array.
+
+    The array may be multi-dimensional for convenience; all traffic
+    accounting happens on the flattened view.  ``cached=True`` marks small
+    constant-like buffers (filter weights, coefficients) whose reads are
+    assumed to hit in L2/constant cache and therefore generate no DRAM
+    traffic after the first block.
+    """
+
+    array: np.ndarray
+    name: str = ""
+    cached: bool = False
+    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.array, np.ndarray):
+            raise LaunchError("DeviceBuffer requires a NumPy array")
+        if not self.name:
+            self.name = f"buffer{self.buffer_id}"
+
+    # -- host/device movement ------------------------------------------------
+    def to_host(self) -> np.ndarray:
+        """Copy the buffer contents back to the host."""
+        return np.array(self.array, copy=True)
+
+    def fill(self, value: float) -> None:
+        """Fill the buffer with a constant (device-side memset)."""
+        self.array.fill(value)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.array.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.array.itemsize)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def flat(self) -> np.ndarray:
+        """Flat (1-D) view used for index-based access."""
+        return self.array.reshape(-1)
+
+
+class GlobalMemory:
+    """Device global-memory manager.
+
+    Allocates :class:`DeviceBuffer` objects, moves data to/from the host and
+    tracks the total footprint so experiments can check they fit in the 16 GB
+    of the evaluated Tesla parts.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._buffers: Dict[int, DeviceBuffer] = {}
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes currently allocated on the simulated device."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def allocate(self, shape: Tuple[int, ...], precision: object = "float32",
+                 name: str = "", fill: Optional[float] = None) -> DeviceBuffer:
+        """Allocate a zero-initialised device buffer."""
+        prec = resolve_precision(precision)
+        array = np.zeros(shape, dtype=prec.numpy_dtype)
+        if fill is not None:
+            array.fill(fill)
+        return self._register(DeviceBuffer(array=array, name=name))
+
+    def to_device(self, host_array: np.ndarray, name: str = "",
+                  cached: bool = False) -> DeviceBuffer:
+        """Copy a host array into a new device buffer."""
+        array = np.array(host_array, copy=True)
+        return self._register(DeviceBuffer(array=array, name=name, cached=cached))
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        """Release a device buffer."""
+        self._buffers.pop(buffer.buffer_id, None)
+
+    def _register(self, buffer: DeviceBuffer) -> DeviceBuffer:
+        new_total = self.allocated_bytes + buffer.nbytes
+        if self.capacity_bytes is not None and new_total > self.capacity_bytes:
+            raise LaunchError(
+                f"device out of memory: need {new_total} bytes, "
+                f"capacity {self.capacity_bytes} bytes"
+            )
+        self._buffers[buffer.buffer_id] = buffer
+        return buffer
+
+
+def coalesced_transactions(flat_indices: np.ndarray, itemsize: int,
+                           line_bytes: int = 128) -> int:
+    """Number of memory sectors touched by one warp-level access.
+
+    A fully coalesced access of 32 contiguous 4-byte words touches a single
+    128-byte sector; strided or scattered accesses touch more.  Inactive
+    lanes must be filtered out by the caller.
+    """
+    if flat_indices.size == 0:
+        return 0
+    lines = (flat_indices.astype(np.int64) * itemsize) // line_bytes
+    return int(np.unique(lines).size)
+
+
+class BlockTrafficTracker:
+    """Tracks the unique global-memory lines touched by one thread block.
+
+    ``finalize`` converts the touched-line sets into DRAM bytes according to
+    the perfect-intra-block-reuse policy described in the module docstring.
+    """
+
+    def __init__(self, line_bytes: int = 128) -> None:
+        self.line_bytes = line_bytes
+        self._read_lines: Dict[int, List[np.ndarray]] = {}
+        self._written_lines: Dict[int, List[np.ndarray]] = {}
+
+    def record_read(self, buffer: DeviceBuffer, flat_indices: np.ndarray) -> None:
+        if buffer.cached:
+            return
+        lines = (flat_indices.astype(np.int64) * buffer.itemsize) // self.line_bytes
+        self._read_lines.setdefault(buffer.buffer_id, []).append(lines)
+
+    def record_write(self, buffer: DeviceBuffer, flat_indices: np.ndarray) -> None:
+        lines = (flat_indices.astype(np.int64) * buffer.itemsize) // self.line_bytes
+        self._written_lines.setdefault(buffer.buffer_id, []).append(lines)
+
+    def _unique_bytes(self, per_buffer: Dict[int, List[np.ndarray]]) -> float:
+        total = 0
+        for chunks in per_buffer.values():
+            if not chunks:
+                continue
+            lines = np.concatenate(chunks)
+            total += int(np.unique(lines).size) * self.line_bytes
+        return float(total)
+
+    def finalize(self) -> Tuple[float, float]:
+        """Return ``(dram_read_bytes, dram_write_bytes)`` for the block."""
+        return self._unique_bytes(self._read_lines), self._unique_bytes(self._written_lines)
+
+
+def clamp_indices(indices: np.ndarray, lower: int, upper: int) -> np.ndarray:
+    """Clamp indices to ``[lower, upper]`` (replicate / 'nearest' boundary)."""
+    return np.clip(indices, lower, upper)
+
+
+def linear_index_2d(row: np.ndarray, col: np.ndarray, width: int) -> np.ndarray:
+    """Row-major flattened index for 2-D coordinates."""
+    return row.astype(np.int64) * int(width) + col.astype(np.int64)
+
+
+def linear_index_3d(z: np.ndarray, y: np.ndarray, x: np.ndarray,
+                    height: int, width: int) -> np.ndarray:
+    """Row-major flattened index for 3-D coordinates (z-major)."""
+    return (z.astype(np.int64) * int(height) + y.astype(np.int64)) * int(width) + x.astype(np.int64)

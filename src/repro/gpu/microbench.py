@@ -1,0 +1,146 @@
+"""Micro-benchmarks that regenerate Table 2 of the paper.
+
+The original work measures dependent-issue latencies with pointer-chase
+style kernels (an adaptation of ``cudabmk``).  Here the same experiment is
+expressed against the simulator: a :class:`DependentChain` issues ``n``
+instructions where each consumes the previous result, so its cost is
+``n x latency``; an :class:`IndependentStream` issues ``n`` independent
+instructions, so its cost is ``n / throughput``.  Dividing the measured
+cycles by ``n`` recovers the per-operation latency exactly as the real
+micro-benchmark does on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+from .architecture import GPUArchitecture, get_architecture
+from .latency import INSTRUCTION_CLASSES
+from .warp import Warp, shfl_up
+
+
+@dataclass(frozen=True)
+class ChainMeasurement:
+    """Result of timing one instruction chain."""
+
+    operation: str
+    instructions: int
+    cycles: float
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        """Measured cost of one operation in cycles/warp."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class DependentChain:
+    """A chain of ``length`` instructions, each depending on the previous one."""
+
+    def __init__(self, operation: str, length: int = 256) -> None:
+        if operation not in INSTRUCTION_CLASSES:
+            raise ConfigurationError(f"unknown operation {operation!r}")
+        if length <= 0:
+            raise ConfigurationError("chain length must be positive")
+        self.operation = operation
+        self.length = length
+
+    def run(self, architecture: object) -> ChainMeasurement:
+        """Execute the chain on one warp and report total cycles.
+
+        The functional side really runs (on a 32-lane warp) so the machinery
+        is exercised end to end; the cycle count follows the dependent-issue
+        rule ``cycles = length x latency``.
+        """
+        arch = get_architecture(architecture)
+        latency = arch.latencies.for_class(self.operation)
+        warp = Warp(width=arch.warp_size)
+        values = np.arange(arch.warp_size, dtype=np.float32)
+        warp.set_register("acc", values)
+        for _ in range(min(self.length, 64)):  # functional part, bounded for speed
+            if self.operation == "shfl":
+                values = shfl_up(values, 1, arch.warp_size)
+            elif self.operation in ("fma", "add", "mul", "misc"):
+                values = values * np.float32(1.000001) + np.float32(1.0)
+            else:
+                values = values + np.float32(1.0)
+        warp.set_register("acc", values)
+        cycles = float(self.length) * latency
+        return ChainMeasurement(self.operation, self.length, cycles)
+
+
+class IndependentStream:
+    """``length`` mutually independent instructions (throughput-limited)."""
+
+    def __init__(self, operation: str, length: int = 256) -> None:
+        if length <= 0:
+            raise ConfigurationError("stream length must be positive")
+        self.operation = operation
+        self.length = length
+
+    def run(self, architecture: object, itemsize: int = 4) -> ChainMeasurement:
+        """Cycles for the stream on one SM: ``length / throughput``."""
+        arch = get_architecture(architecture)
+        tput = arch.throughput
+        if self.operation in ("fma", "add", "mul"):
+            rate = tput.arithmetic(self.operation, itemsize)
+        elif self.operation == "shfl":
+            rate = tput.shfl
+        elif self.operation in ("smem_load", "smem_store"):
+            rate = tput.shared(itemsize)
+        elif self.operation == "smem_broadcast":
+            rate = tput.smem_broadcast
+        else:
+            rate = tput.l1
+        cycles = self.length / rate
+        return ChainMeasurement(self.operation, self.length, cycles)
+
+
+#: the rows of Table 2 and the instruction class each one measures
+TABLE2_OPERATIONS: Tuple[Tuple[str, str], ...] = (
+    ("shfl_up_sync", "shfl"),
+    ("add, sub, mad", "fma"),
+    ("smem_read", "smem_load"),
+)
+
+
+def measure_latency(architecture: object, operation: str, chain_length: int = 512) -> float:
+    """Measured dependent-issue latency of ``operation`` in cycles/warp."""
+    chain = DependentChain(operation, chain_length)
+    return chain.run(architecture).cycles_per_instruction
+
+
+def run_table2(architectures: Sequence[object] = ("p100", "v100"),
+               chain_length: int = 512) -> List[Dict[str, object]]:
+    """Regenerate Table 2: one row per (GPU, operation) with measured latency."""
+    rows: List[Dict[str, object]] = []
+    for arch_name in architectures:
+        arch = get_architecture(arch_name)
+        for label, op in TABLE2_OPERATIONS:
+            rows.append(
+                {
+                    "gpu": arch.name,
+                    "operation": label,
+                    "latency_cycles": measure_latency(arch, op, chain_length),
+                }
+            )
+    return rows
+
+
+def latency_throughput_gap(architecture: object, operation: str,
+                           length: int = 512) -> float:
+    """Ratio dependent-chain time / independent-stream time for one op.
+
+    A large ratio means the operation pipelines well (the key property the
+    SSAM model exploits: many independent partial sums hide the shuffle and
+    FMA latencies).
+    """
+    dependent = DependentChain(operation, length).run(architecture)
+    independent = IndependentStream(operation, length).run(architecture)
+    if independent.cycles == 0:
+        return float("inf")
+    return dependent.cycles / independent.cycles

@@ -1,0 +1,108 @@
+"""CUDA occupancy calculator for the simulated architectures.
+
+Occupancy (resident warps per SM relative to the hardware maximum) controls
+how much latency the SM can hide.  Register-cache kernels trade registers
+per thread for fewer memory round-trips, so being able to compute the
+occupancy impact of a register budget is an essential part of reproducing
+the paper's design space (Sections 2 and 7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .architecture import GPUArchitecture
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident blocks/warps per SM for one kernel configuration."""
+
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    active_threads_per_sm: int
+    occupancy: float
+    limiting_factor: str
+    limits: Dict[str, int]
+
+    @property
+    def is_register_limited(self) -> bool:
+        """True when registers are the binding constraint."""
+        return self.limiting_factor == "registers"
+
+    @property
+    def is_shared_memory_limited(self) -> bool:
+        """True when shared memory is the binding constraint."""
+        return self.limiting_factor == "shared_memory"
+
+
+def _round_up(value: int, granularity: int) -> int:
+    if granularity <= 0:
+        return value
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+def compute_occupancy(architecture: GPUArchitecture, block_threads: int,
+                      registers_per_thread: int,
+                      shared_bytes_per_block: int) -> OccupancyResult:
+    """Compute resident blocks/warps per SM for a kernel configuration.
+
+    Follows the standard CUDA occupancy calculation: the number of resident
+    blocks is the minimum over the limits imposed by warp slots, thread
+    slots, block slots, the register file and the shared-memory carve-out.
+    """
+    if block_threads <= 0:
+        raise ConfigurationError("block size must be positive")
+    if block_threads > architecture.max_threads_per_block:
+        raise ConfigurationError(
+            f"block of {block_threads} threads exceeds the architecture limit of "
+            f"{architecture.max_threads_per_block}"
+        )
+    warp_size = architecture.warp_size
+    warps_per_block = math.ceil(block_threads / warp_size)
+    warps_per_block = _round_up(warps_per_block, architecture.warp_allocation_granularity)
+
+    limits: Dict[str, int] = {}
+    limits["blocks"] = architecture.max_blocks_per_sm
+    limits["warps"] = architecture.max_warps_per_sm // warps_per_block
+    limits["threads"] = architecture.max_threads_per_sm // block_threads
+
+    if registers_per_thread > 0:
+        regs_per_warp = _round_up(registers_per_thread * warp_size,
+                                  architecture.register_allocation_granularity)
+        regs_per_block = regs_per_warp * warps_per_block
+        limits["registers"] = (
+            architecture.registers_per_sm // regs_per_block if regs_per_block else 10**9
+        )
+    else:
+        limits["registers"] = architecture.max_blocks_per_sm
+
+    if shared_bytes_per_block > 0:
+        smem = _round_up(shared_bytes_per_block, architecture.shared_allocation_granularity)
+        if smem > architecture.shared_memory_per_block:
+            raise ConfigurationError(
+                f"block uses {smem} bytes of shared memory, per-block limit is "
+                f"{architecture.shared_memory_per_block}"
+            )
+        limits["shared_memory"] = architecture.shared_memory_per_sm // smem
+    else:
+        limits["shared_memory"] = architecture.max_blocks_per_sm
+
+    active_blocks = max(0, min(limits.values()))
+    limiting_factor = min(limits, key=lambda key: limits[key])
+    active_warps = active_blocks * warps_per_block
+    active_warps = min(active_warps, architecture.max_warps_per_sm)
+    active_threads = min(active_blocks * block_threads, architecture.max_threads_per_sm)
+    occupancy = active_warps / architecture.max_warps_per_sm
+
+    return OccupancyResult(
+        active_blocks_per_sm=active_blocks,
+        active_warps_per_sm=active_warps,
+        active_threads_per_sm=active_threads,
+        occupancy=occupancy,
+        limiting_factor=limiting_factor,
+        limits=dict(limits),
+    )

@@ -1,0 +1,187 @@
+"""Analytical timing model that converts counted work into kernel time.
+
+The model is a bandwidth/throughput ("roofline-with-pipes") model extended
+with an occupancy-based latency-attainment term:
+
+* **DRAM** — unique bytes moved divided by the sustainable bandwidth, scaled
+  by how well the resident warps can keep enough requests in flight
+  (Little's law: ``active_warps x MLP x sector / latency``).
+* **FMA/ALU pipe** — warp arithmetic instructions over the core throughput
+  (halved for double precision, matching the 1:2 Tesla ratio).
+* **Shared-memory pipe** — divergent accesses at one warp access per cycle
+  (half rate for 8-byte words), bank conflicts serialised, warp-uniform
+  broadcasts at the cheaper broadcast rate.
+* **Shuffle pipe** — one warp shuffle per cycle per SM.
+* **L1/texture pipe** — global load/store instructions that hit in cache.
+* **Issue width** — total instructions over the scheduler issue rate.
+
+The kernel time estimate is the maximum of the pipe times plus a fixed
+launch overhead.  This is deliberately simple — the paper's conclusions are
+about *which* of these terms dominates for each implementation scheme, and
+that is exactly what the maximum exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..dtypes import Precision, resolve_precision
+from .architecture import GPUArchitecture
+from .counters import KernelCounters
+from .occupancy import OccupancyResult
+
+#: fixed kernel launch overhead (driver + dispatch), seconds
+LAUNCH_OVERHEAD_SECONDS = 4.0e-6
+
+#: cycles the memory system needs to service one 128-byte sector
+SECTOR_SERVICE_CYCLES = 4.0
+
+#: sustained-bandwidth penalty for kernels that round-trip their main data
+#: stream through the scratchpad (global -> register -> shared -> barrier ->
+#: shared -> register): the barrier between staging and compute drains the
+#: block's outstanding memory requests, so staging of the next tile cannot
+#: overlap the tail of the previous compute phase.  Register-streaming
+#: kernels such as SSAM keep the memory pipeline full and take no penalty.
+BARRIER_DRAIN_FACTOR = 0.85
+
+#: a kernel is considered scratchpad-staged when its shared-memory store
+#: instruction count is a significant fraction of its global-load count
+STAGING_STORE_THRESHOLD = 0.3
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-resource time estimates for one kernel launch (seconds)."""
+
+    dram_seconds: float
+    arithmetic_seconds: float
+    smem_seconds: float
+    shfl_seconds: float
+    l1_seconds: float
+    issue_seconds: float
+    sync_seconds: float
+    launch_overhead_seconds: float
+    bandwidth_attainment: float
+    total_seconds: float
+    bottleneck: str
+
+    def as_dict(self) -> Dict[str, float]:
+        """All components keyed by name (bottleneck excluded)."""
+        return {
+            "dram": self.dram_seconds,
+            "arithmetic": self.arithmetic_seconds,
+            "smem": self.smem_seconds,
+            "shfl": self.shfl_seconds,
+            "l1": self.l1_seconds,
+            "issue": self.issue_seconds,
+            "sync": self.sync_seconds,
+        }
+
+
+def bandwidth_attainment(architecture: GPUArchitecture, occupancy: OccupancyResult,
+                         memory_parallelism: float) -> float:
+    """Fraction of peak DRAM bandwidth sustainable at this occupancy.
+
+    Little's law: the device sustains full bandwidth only if the resident
+    warps collectively keep ``latency / sector_service`` sectors in flight.
+    """
+    latency = architecture.latencies.gmem_load
+    sectors_needed = latency / SECTOR_SERVICE_CYCLES
+    sectors_in_flight = occupancy.active_warps_per_sm * max(memory_parallelism, 1.0)
+    if sectors_needed <= 0:
+        return 1.0
+    return float(min(1.0, sectors_in_flight / sectors_needed))
+
+
+def estimate_time(
+    counters: KernelCounters,
+    architecture: GPUArchitecture,
+    precision: object = "float32",
+    occupancy: Optional[OccupancyResult] = None,
+    memory_parallelism: float = 4.0,
+    launch_overhead: float = LAUNCH_OVERHEAD_SECONDS,
+) -> TimingBreakdown:
+    """Convert counters into a :class:`TimingBreakdown` on an architecture."""
+    prec = resolve_precision(precision)
+    clock = architecture.core_clock_hz
+    sms = architecture.sm_count
+    tput = architecture.throughput
+    per_sm_rate = clock * sms  # cycles/s across the whole device (per pipe unit)
+
+    # --- DRAM ---------------------------------------------------------------
+    attainment = 1.0
+    if occupancy is not None:
+        attainment = bandwidth_attainment(architecture, occupancy, memory_parallelism)
+    staged_through_scratchpad = (
+        counters.sync > 0
+        and counters.smem_store > STAGING_STORE_THRESHOLD * max(counters.gmem_load, 1.0)
+    )
+    if staged_through_scratchpad:
+        attainment *= BARRIER_DRAIN_FACTOR
+    effective_bw = architecture.effective_bandwidth_bytes * attainment
+    dram_seconds = counters.dram_bytes / effective_bw if effective_bw > 0 else 0.0
+
+    # --- arithmetic pipe ------------------------------------------------------
+    arith_cycles = (
+        counters.fma / tput.arithmetic("fma", prec.itemsize)
+        + counters.add / tput.arithmetic("add", prec.itemsize)
+        + counters.mul / tput.arithmetic("mul", prec.itemsize)
+        + counters.misc / tput.misc
+    )
+    arithmetic_seconds = arith_cycles / per_sm_rate
+
+    # --- shared-memory pipe ---------------------------------------------------
+    smem_rate = tput.shared(prec.itemsize)
+    smem_cycles = (
+        (counters.smem_load + counters.smem_store + counters.smem_bank_conflicts) / smem_rate
+        + counters.smem_broadcast / tput.smem_broadcast
+    )
+    smem_seconds = smem_cycles / per_sm_rate
+
+    # --- shuffle pipe ----------------------------------------------------------
+    shfl_seconds = (counters.shfl / tput.shfl) / per_sm_rate
+
+    # --- L1 / texture pipe ------------------------------------------------------
+    l1_cycles = (counters.gmem_load + counters.gmem_store) / tput.l1
+    # uncoalesced accesses replay sectors through the LSU
+    extra_sectors = max(
+        0.0,
+        counters.gmem_load_transactions + counters.gmem_store_transactions
+        - (counters.gmem_load + counters.gmem_store),
+    )
+    l1_cycles += extra_sectors / tput.l1
+    l1_seconds = l1_cycles / per_sm_rate
+
+    # --- issue width --------------------------------------------------------------
+    issue_seconds = (counters.total_instructions / tput.issue_width) / per_sm_rate
+
+    # --- synchronisation -----------------------------------------------------------
+    # barriers overlap across the resident blocks of an SM; what remains is
+    # the issue cost of the bar.sync instructions themselves
+    sync_seconds = (counters.sync / tput.sync) / per_sm_rate
+
+    components = {
+        "dram": dram_seconds,
+        "arithmetic": arithmetic_seconds,
+        "smem": smem_seconds,
+        "shfl": shfl_seconds,
+        "l1": l1_seconds,
+        "issue": issue_seconds,
+        "sync": sync_seconds,
+    }
+    bottleneck = max(components, key=lambda key: components[key])
+    total = max(components.values()) + launch_overhead
+    return TimingBreakdown(
+        dram_seconds=dram_seconds,
+        arithmetic_seconds=arithmetic_seconds,
+        smem_seconds=smem_seconds,
+        shfl_seconds=shfl_seconds,
+        l1_seconds=l1_seconds,
+        issue_seconds=issue_seconds,
+        sync_seconds=sync_seconds,
+        launch_overhead_seconds=launch_overhead,
+        bandwidth_attainment=attainment,
+        total_seconds=total,
+        bottleneck=bottleneck,
+    )

@@ -1,0 +1,139 @@
+"""Per-block scratchpad (CUDA shared memory) with bank-conflict accounting.
+
+Shared memory on every evaluated architecture has 32 banks of 4 bytes; a
+warp access that maps two or more *distinct* addresses to the same bank is
+serialised (its cost multiplies by the conflict degree), while all lanes
+reading the *same* address is a broadcast and costs a single access.
+The SSAM convolution kernel deliberately uses the broadcast pattern for
+filter weights (Section 4.6), which is why the distinction is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import resolve_precision
+from ..errors import ResourceExhaustedError, SimulationError
+
+
+@dataclass
+class SharedArray:
+    """A named allocation inside a block's shared memory."""
+
+    name: str
+    array: np.ndarray
+    offset_bytes: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def flat(self) -> np.ndarray:
+        return self.array.reshape(-1)
+
+
+def bank_conflict_degree(flat_indices: np.ndarray, itemsize: int,
+                         banks: int = 32, bank_bytes: int = 4) -> int:
+    """Worst-case serialisation factor of one warp shared-memory access.
+
+    Parameters
+    ----------
+    flat_indices:
+        Element indices accessed by the active lanes of one warp.
+    itemsize:
+        Element size in bytes (8-byte accesses occupy two banks each).
+
+    Returns
+    -------
+    int
+        1 for conflict-free or broadcast accesses, otherwise the maximum
+        number of distinct addresses that fall into one bank.
+    """
+    if flat_indices.size == 0:
+        return 0
+    addresses = flat_indices.astype(np.int64) * itemsize
+    unique_addresses = np.unique(addresses)
+    if unique_addresses.size == 1:
+        return 1  # broadcast
+    words = unique_addresses // bank_bytes
+    degree = 1
+    # 8-byte elements touch two consecutive banks; account for both words.
+    words_per_element = max(1, itemsize // bank_bytes)
+    for sub in range(words_per_element):
+        bank_ids = (words + sub) % banks
+        counts = np.bincount(bank_ids.astype(np.int64), minlength=banks)
+        degree = max(degree, int(counts.max()))
+    return degree
+
+
+class SharedMemory:
+    """Shared-memory arena for one thread block."""
+
+    def __init__(self, capacity_bytes: int, banks: int = 32, bank_bytes: int = 4) -> None:
+        self.capacity_bytes = int(capacity_bytes)
+        self.banks = banks
+        self.bank_bytes = bank_bytes
+        self._arrays: Dict[str, SharedArray] = {}
+        self._used_bytes = 0
+        #: cumulative conflict-weighted access count (for the profiler)
+        self.access_count = 0.0
+        self.broadcast_count = 0.0
+        self.conflict_extra = 0.0
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated in this block's scratchpad."""
+        return self._used_bytes
+
+    def allocate(self, name: str, shape: Tuple[int, ...],
+                 precision: object = "float32") -> SharedArray:
+        """Allocate a named shared array (like ``__shared__ T name[...]``)."""
+        if name in self._arrays:
+            raise SimulationError(f"shared array {name!r} already allocated")
+        prec = resolve_precision(precision)
+        array = np.zeros(shape, dtype=prec.numpy_dtype)
+        if self._used_bytes + array.nbytes > self.capacity_bytes:
+            raise ResourceExhaustedError(
+                f"shared memory exhausted: {self._used_bytes + array.nbytes} bytes "
+                f"requested, {self.capacity_bytes} available per block"
+            )
+        shared = SharedArray(name=name, array=array, offset_bytes=self._used_bytes)
+        self._arrays[name] = shared
+        self._used_bytes += int(array.nbytes)
+        return shared
+
+    def get(self, name: str) -> SharedArray:
+        """Look up a previously allocated shared array."""
+        try:
+            return self._arrays[name]
+        except KeyError as exc:
+            raise SimulationError(f"shared array {name!r} was never allocated") from exc
+
+    # -- access accounting -----------------------------------------------------
+    def record_load(self, shared: SharedArray, flat_indices: np.ndarray) -> Tuple[int, bool]:
+        """Account for one warp load; returns (conflict degree, is_broadcast)."""
+        degree = bank_conflict_degree(flat_indices, shared.array.itemsize,
+                                      self.banks, self.bank_bytes)
+        broadcast = bool(flat_indices.size > 0 and np.unique(flat_indices).size == 1)
+        if broadcast:
+            self.broadcast_count += 1
+        else:
+            self.access_count += degree
+            self.conflict_extra += max(0, degree - 1)
+        self.bytes_read += float(flat_indices.size * shared.array.itemsize)
+        return degree, broadcast
+
+    def record_store(self, shared: SharedArray, flat_indices: np.ndarray) -> int:
+        """Account for one warp store; returns the conflict degree."""
+        degree = bank_conflict_degree(flat_indices, shared.array.itemsize,
+                                      self.banks, self.bank_bytes)
+        self.access_count += degree
+        self.conflict_extra += max(0, degree - 1)
+        self.bytes_written += float(flat_indices.size * shared.array.itemsize)
+        return degree

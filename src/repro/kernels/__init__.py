@@ -1,0 +1,5 @@
+"""SSAM kernels: the paper's contribution, executable on the GPU substrate."""
+
+from .common import KernelRunResult
+
+__all__ = ["KernelRunResult"]

@@ -1,0 +1,243 @@
+"""SSAM 2-D convolution — the executable form of Listing 1.
+
+One warp caches a ``32 x C`` register matrix (C = N + P - 1 rows of the
+image, one column per lane), stages the ``M x N`` filter in shared memory,
+and then for each of the P sliding-window positions accumulates the M
+column inner products while shifting the partial sums one lane up between
+columns with ``shfl_up`` (Figure 2).  The overlapped blocking scheme of
+Section 4.5 gives every warp its own tile, so there is no intra-block
+communication and no divergent branch in the main loop.
+
+Two evaluation paths are provided:
+
+* :func:`ssam_convolve2d` — functional execution on the simulated GPU
+  (produces the output image and counted costs);
+* :func:`analytic_launch` — closed-form instruction/traffic profile for
+  paper-scale domains (8192^2), cross-checked against the counted execution
+  in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..convolution.spec import ConvolutionSpec
+from ..core.blocking import OverlappedBlocking
+from ..core.plan import (
+    DEFAULT_BLOCK_THREADS,
+    DEFAULT_OUTPUTS_PER_THREAD,
+    SSAMPlan,
+    plan_convolution,
+)
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+from ..gpu.architecture import get_architecture
+from ..gpu.block import BlockContext
+from ..gpu.counters import KernelCounters
+from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
+from ..gpu.memory import DeviceBuffer, GlobalMemory
+from .common import (
+    KernelRunResult,
+    broadcast_weight,
+    check_image,
+    clamp,
+    load_weights_to_shared,
+    make_device_pair,
+    require_edge_boundary,
+)
+
+
+def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
+                       weights: DeviceBuffer, width: int, height: int,
+                       filter_width: int, filter_height: int,
+                       outputs_per_thread: int, anchor_x: int, anchor_y: int) -> None:
+    """Listing 1, executed for one thread block."""
+    m_extent, n_extent, p_extent = filter_width, filter_height, outputs_per_thread
+    cache_rows = n_extent + p_extent - 1
+    warp_size = ctx.warp_size
+    valid_x = warp_size - m_extent + 1
+
+    # (i) stage the filter weights in shared memory (Listing 1, lines 7-12)
+    smem = load_weights_to_shared(ctx, weights, m_extent * n_extent)
+
+    lane = ctx.lane_id
+    warp = ctx.warp_id
+    warps_per_block = ctx.num_warps
+
+    # column cached by each thread and the rows of this block's tile
+    warp_out_base = (ctx.block_idx_x * warps_per_block + warp) * valid_x
+    column = warp_out_base + lane - anchor_x
+    column = clamp(column, 0, width - 1)
+    row_base = ctx.block_idx_y * p_extent - anchor_y
+
+    # (ii) fill the register cache, one coalesced row at a time (lines 13-14)
+    register_cache = []
+    for j in range(cache_rows):
+        row = clamp(np.full(ctx.block_threads, row_base + j, dtype=np.int64), 0, height - 1)
+        register_cache.append(ctx.load_global(src, row * width + column))
+
+    # (iii)-(v) sliding window over P output rows (lines 16-29)
+    out_x = warp_out_base + lane - (m_extent - 1)
+    x_mask = (lane >= (m_extent - 1)) & (out_x < width) & (out_x >= 0)
+    safe_x = clamp(out_x, 0, width - 1)
+    for i in range(p_extent):
+        partial = ctx.zeros()
+        for m in range(m_extent):
+            if m > 0:
+                partial = ctx.shfl_up(partial, 1)
+            for n in range(n_extent):
+                weight = broadcast_weight(ctx, smem, n * m_extent + m)
+                partial = ctx.mad(register_cache[i + n], weight, partial)
+        # (vi) write the valid results back to global memory (lines 30-31)
+        out_y = ctx.block_idx_y * p_extent + i
+        mask = x_mask & (out_y < height)
+        safe_y = min(out_y, height - 1)
+        ctx.store_global(dst, safe_y * width + safe_x, partial, mask=mask)
+
+
+#: the reusable kernel object wrapping the block function above
+CONV2D_SSAM_KERNEL = Kernel(_conv2d_ssam_block, name="ssam_conv2d")
+
+
+def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
+                    architecture: object = "p100", precision: object = "float32",
+                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
+                    block_threads: int = DEFAULT_BLOCK_THREADS,
+                    plan: Optional[SSAMPlan] = None,
+                    max_blocks: Optional[int] = None) -> KernelRunResult:
+    """Convolve ``image`` with ``spec`` using the SSAM kernel.
+
+    Parameters mirror the paper's evaluation defaults (P=4, B=128).  Pass
+    ``max_blocks`` to sample the grid when only cost estimates are needed.
+    """
+    image = check_image(image)
+    require_edge_boundary(spec.boundary, "the SSAM convolution kernel")
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    if plan is None:
+        plan = plan_convolution(spec, arch, prec, outputs_per_thread, block_threads)
+    height, width = image.shape
+    memory, src, dst = make_device_pair(image, prec)
+    weights = memory.to_device(spec.weights.astype(prec.numpy_dtype), name="weights",
+                               cached=True)
+    config = plan.launch_config(width, height)
+    anchor_x, anchor_y = spec.anchor
+    launch = CONV2D_SSAM_KERNEL.launch(
+        config,
+        args=(src, dst, weights, width, height, spec.filter_width, spec.filter_height,
+              plan.outputs_per_thread, anchor_x, anchor_y),
+        architecture=arch,
+        max_blocks=max_blocks,
+    )
+    output = None if max_blocks is not None else dst.to_host()
+    return KernelRunResult(
+        name="ssam",
+        output=output,
+        launch=launch,
+        parameters={
+            "M": spec.filter_width,
+            "N": spec.filter_height,
+            "P": plan.outputs_per_thread,
+            "B": plan.block_threads,
+            "C": plan.register_cache.cache_values,
+            "architecture": arch.name,
+            "precision": prec.name,
+        },
+    )
+
+
+def analytic_counters(spec: ConvolutionSpec, width: int, height: int,
+                      plan: SSAMPlan) -> KernelCounters:
+    """Closed-form warp-instruction / traffic profile of the SSAM kernel.
+
+    The profile mirrors :func:`_conv2d_ssam_block` instruction by
+    instruction; ``tests/test_kernels/test_analytic_profiles.py`` checks it
+    against the counted execution on small domains.
+    """
+    blocking = plan.blocking
+    prec = plan.precision
+    m_extent, n_extent = spec.filter_width, spec.filter_height
+    p_extent = plan.outputs_per_thread
+    cache_rows = blocking.cache_values
+    grid_x, grid_y, _ = blocking.grid_dim(width, height)
+    blocks = grid_x * grid_y
+    warps_per_block = blocking.warps_per_block
+    total_warps = blocks * warps_per_block
+    block_threads = plan.block_threads
+
+    counters = KernelCounters()
+    counters.blocks_executed = blocks
+    counters.warps_executed = total_warps
+
+    # weight staging: each participating warp issues one load + one store
+    # per 32 staged weights, then the block synchronises once
+    staging_warp_ops = math.ceil(m_extent * n_extent / 32)
+    counters.gmem_load += staging_warp_ops * blocks
+    counters.smem_store += staging_warp_ops * blocks
+    counters.sync += warps_per_block * blocks
+
+    # register-cache fill: C coalesced row loads per warp
+    counters.gmem_load += cache_rows * total_warps
+    sectors_per_row = math.ceil(32 * prec.itemsize / 128)
+    counters.gmem_load_transactions += (cache_rows * total_warps) * sectors_per_row
+    counters.gmem_load_transactions += staging_warp_ops * blocks
+
+    # main loop: P x M x N FMAs + broadcast weight reads, P x (M-1) shuffles
+    inner = p_extent * m_extent * n_extent
+    counters.fma += inner * total_warps
+    counters.smem_broadcast += inner * total_warps
+    counters.shfl += p_extent * (m_extent - 1) * total_warps
+
+    # stores: P per warp (partial warps near the right edge still issue)
+    counters.gmem_store += p_extent * total_warps
+    counters.gmem_store_transactions += p_extent * total_warps * sectors_per_row
+
+    # DRAM traffic: tile + halo per block (perfect intra-block reuse)
+    unique_columns = warps_per_block * blocking.valid_outputs_x + (m_extent - 1)
+    read_bytes_per_block = cache_rows * unique_columns * prec.itemsize
+    counters.dram_read_bytes += read_bytes_per_block * blocks
+    counters.dram_write_bytes += width * height * prec.itemsize
+    counters.cache_read_bytes += (cache_rows * 32 * total_warps) * prec.itemsize
+    counters.smem_read_bytes += inner * total_warps * 32 * prec.itemsize
+    counters.smem_write_bytes += m_extent * n_extent * blocks * prec.itemsize
+    return counters
+
+
+def analytic_launch(spec: ConvolutionSpec, width: int, height: int,
+                    architecture: object = "p100", precision: object = "float32",
+                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
+                    block_threads: int = DEFAULT_BLOCK_THREADS) -> KernelRunResult:
+    """Paper-scale cost estimate of the SSAM convolution without execution."""
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    plan = plan_convolution(spec, arch, prec, outputs_per_thread, block_threads)
+    counters = analytic_counters(spec, width, height, plan)
+    config = plan.launch_config(width, height)
+    launch = LaunchResult(
+        kernel_name="ssam_conv2d_analytic",
+        config=config,
+        architecture=arch,
+        counters=counters,
+        blocks_executed=0,
+        sampled=True,
+        sample_fraction=0.0,
+    )
+    return KernelRunResult(
+        name="ssam",
+        output=None,
+        launch=launch,
+        parameters={
+            "M": spec.filter_width,
+            "N": spec.filter_height,
+            "P": plan.outputs_per_thread,
+            "B": plan.block_threads,
+            "width": width,
+            "height": height,
+            "architecture": arch.name,
+            "precision": prec.name,
+            "analytic": True,
+        },
+    )

@@ -1,0 +1,114 @@
+"""SSAM Kogge–Stone scan (the motivating example of Section 3.6, Figure 1e).
+
+Each warp holds one element per lane and performs ``log2(WarpSize)``
+shuffle+add stages, exactly the dependency graph produced by
+:func:`repro.core.dependency.scan_dependency`.  Block-level and grid-level
+results are combined with the standard scan-of-partial-sums scheme so the
+public API scans sequences of arbitrary length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+from ..gpu.architecture import get_architecture
+from ..gpu.block import BlockContext
+from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult, grid_1d
+from ..gpu.memory import DeviceBuffer, GlobalMemory
+from .common import KernelRunResult
+
+
+def _scan_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
+                block_sums: DeviceBuffer, length: int) -> None:
+    """Warp-level Kogge–Stone scan + shared-memory combine across warps."""
+    warp_size = ctx.warp_size
+    tid = ctx.thread_idx_x
+    lane = ctx.lane_id
+    warp = ctx.warp_id
+    global_index = ctx.block_idx_x * ctx.block_threads + tid
+    mask = global_index < length
+    safe = np.minimum(global_index, length - 1)
+
+    values = ctx.load_global(src, safe, mask=mask)
+    values = np.where(mask, values, 0.0).astype(ctx.numpy_dtype)
+
+    # Kogge-Stone within each warp (Figure 1e)
+    stages = int(math.log2(warp_size))
+    for stage in range(stages):
+        delta = 1 << stage
+        shifted = ctx.shfl_up(values, delta)
+        contribution = np.where(lane >= delta, shifted, 0.0).astype(ctx.numpy_dtype)
+        values = ctx.add(values, contribution)
+
+    # warp totals -> shared memory -> exclusive offsets per warp
+    warp_totals = ctx.alloc_shared("warp_totals", (ctx.num_warps,))
+    last_lane = lane == (warp_size - 1)
+    ctx.store_shared(warp_totals, warp.astype(np.int64), values, mask=last_lane)
+    ctx.syncthreads()
+
+    offsets = ctx.zeros()
+    for w in range(ctx.num_warps):
+        total = ctx.load_shared(warp_totals, np.full(ctx.block_threads, w, dtype=np.int64))
+        contribution = np.where(warp > w, total, 0.0).astype(ctx.numpy_dtype)
+        offsets = ctx.add(offsets, contribution)
+    values = ctx.add(values, offsets)
+
+    ctx.store_global(dst, safe, values, mask=mask)
+    # record the block total so the host pass can make the scan global
+    block_last = tid == (ctx.block_threads - 1)
+    ctx.store_global(block_sums, np.full(ctx.block_threads, ctx.block_idx_x, dtype=np.int64),
+                     values, mask=block_last)
+
+
+SCAN_SSAM_KERNEL = Kernel(_scan_block, name="ssam_scan")
+
+
+def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
+              precision: object = "float32", block_threads: int = 128) -> KernelRunResult:
+    """Inclusive prefix sum of a 1-D sequence using the SSAM scan kernel."""
+    sequence = np.asarray(sequence)
+    if sequence.ndim != 1 or sequence.size == 0:
+        raise ConfigurationError("ssam_scan expects a non-empty 1-D sequence")
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    length = int(sequence.size)
+    memory = GlobalMemory()
+    src = memory.to_device(sequence.astype(prec.numpy_dtype), name="sequence")
+    dst = memory.allocate((length,), prec, name="scanned")
+    grid = grid_1d(length, block_threads)
+    block_sums = memory.allocate((grid[0],), prec, name="block_sums")
+    config = LaunchConfig(
+        grid_dim=grid,
+        block_threads=block_threads,
+        registers_per_thread=24,
+        shared_bytes_per_block=(block_threads // arch.warp_size) * prec.itemsize,
+        precision=prec,
+        memory_parallelism=2.0,
+    )
+    launch = SCAN_SSAM_KERNEL.launch(config, args=(src, dst, block_sums, length),
+                                     architecture=arch)
+    # host-side carry propagation across blocks (the "scan of block sums" pass)
+    partial = dst.to_host()
+    carries = np.cumsum(block_sums.to_host(), dtype=np.float64)
+    output = partial.astype(np.float64)
+    for block in range(1, grid[0]):
+        start = block * block_threads
+        stop = min(length, start + block_threads)
+        output[start:stop] += carries[block - 1]
+    return KernelRunResult(
+        name="ssam",
+        output=output.astype(prec.numpy_dtype),
+        launch=launch,
+        parameters={"length": length, "B": block_threads, "architecture": arch.name,
+                    "precision": prec.name},
+    )
+
+
+def reference_scan(sequence: np.ndarray) -> np.ndarray:
+    """Ground-truth inclusive scan."""
+    return np.cumsum(np.asarray(sequence, dtype=np.float64)).astype(np.asarray(sequence).dtype)

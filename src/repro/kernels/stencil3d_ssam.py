@@ -1,0 +1,305 @@
+"""SSAM 3-D stencil kernel (Section 4.9).
+
+The 3-D grid is divided into overlapped sub-grids; every warp of a block
+processes one X-Y slice with the 2-D systolic scheme (register cache +
+partial-sum shuffles), and the out-of-plane contributions are combined
+through shared memory: each warp publishes the slice values its neighbours
+need, so intra-warp communication uses shuffles and inter-warp communication
+uses the scratchpad — exactly the hybrid the paper describes.
+
+Out-of-plane taps that are not on the z axis (they appear only in the dense
+box stencils ``3d27pt``/``3d125pt``) are read directly from global memory
+with coalesced, clamped accesses; the axial taps — the common case, and all
+of the Figure 6 benchmarks — use the shared-memory exchange.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+from ..gpu.architecture import get_architecture
+from ..gpu.block import BlockContext
+from ..gpu.counters import KernelCounters
+from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
+from ..gpu.memory import DeviceBuffer, GlobalMemory
+from ..gpu.register_file import registers_for_cache
+from ..stencils.spec import StencilSpec
+from .common import KernelRunResult, check_grid3d, clamp
+from .stencil2d_ssam import ColumnGroups
+
+#: default sliding-window depth for the 3-D kernel (registers are tighter
+#: because a slice's cache and the partial sums coexist with z bookkeeping)
+DEFAULT_OUTPUTS_PER_THREAD_3D = 4
+
+
+def _build_inplane_columns(spec: StencilSpec) -> ColumnGroups:
+    """Group the dz == 0 taps by x offset (same schedule as the 2-D kernel)."""
+    y_lo, _ = spec.y_range
+    groups: List[Tuple[int, Tuple[Tuple[int, float], ...]]] = []
+    for dx, points in spec.columns().items():
+        rows = tuple((p.dy - y_lo, float(p.coefficient)) for p in points)
+        groups.append((dx, rows))
+    return tuple(groups)
+
+
+def _split_out_of_plane(spec: StencilSpec):
+    """Separate out-of-plane taps into axial (smem path) and general (global path)."""
+    axial = []
+    general = []
+    for point in spec.out_of_plane_points():
+        if point.dx == 0 and point.dy == 0:
+            axial.append((point.dz, float(point.coefficient)))
+        else:
+            general.append((point.dx, point.dy, point.dz, float(point.coefficient)))
+    return tuple(axial), tuple(general)
+
+
+def _stencil3d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
+                          width: int, height: int, depth: int,
+                          columns: ColumnGroups, axial, general,
+                          footprint_width: int, footprint_height: int,
+                          outputs_per_thread: int, x_min: int, x_max: int,
+                          y_min: int) -> None:
+    """One thread block: warps_per_block consecutive slices of the sub-grid."""
+    m_extent = footprint_width
+    p_extent = outputs_per_thread
+    cache_rows = footprint_height + p_extent - 1
+    warp_size = ctx.warp_size
+    valid_x = warp_size - m_extent + 1
+
+    lane = ctx.lane_id
+    warp = ctx.warp_id
+    warps_per_block = ctx.num_warps
+
+    warp_out_base = ctx.block_idx_x * valid_x
+    column = clamp(warp_out_base + lane + x_min, 0, width - 1)
+    row_base = ctx.block_idx_y * p_extent + y_min
+    slice_index = ctx.block_idx_z * warps_per_block + warp
+    slice_clamped = np.minimum(slice_index, depth - 1)
+    plane = height * width
+
+    register_cache = []
+    for j in range(cache_rows):
+        row = clamp(np.full(ctx.block_threads, row_base + j, dtype=np.int64), 0, height - 1)
+        register_cache.append(ctx.load_global(src, slice_clamped * plane + row * width + column))
+
+    # publish the centre rows so neighbouring warps can read their z-neighbours
+    center = ctx.alloc_shared("slice_center", (warps_per_block, p_extent, warp_size))
+    for i in range(p_extent):
+        flat = (warp * p_extent + i) * warp_size + lane
+        ctx.store_shared(center, flat, register_cache[i - y_min])
+    ctx.syncthreads()
+
+    out_x = warp_out_base + lane - (x_max - x_min)
+    x_mask = (lane >= (m_extent - 1)) & (out_x < width) & (out_x >= 0)
+    safe_x = clamp(out_x, 0, width - 1)
+    # lane that caches the column of this lane's output point (x_o):
+    # column_s = base + s + x_min equals x_o = base + lane + x_min - x_max
+    # exactly when s = lane - x_max.
+    source_lane = clamp(lane - x_max, 0, warp_size - 1)
+
+    for i in range(p_extent):
+        # in-plane systolic accumulation (identical to the 2-D kernel)
+        partial = ctx.zeros()
+        previous_dx: Optional[int] = None
+        for dx, rows in columns:
+            if previous_dx is not None and dx != previous_dx:
+                partial = ctx.shfl_up(partial, dx - previous_dx)
+            previous_dx = dx
+            for row_index, coefficient in rows:
+                partial = ctx.mad(register_cache[i + row_index],
+                                  ctx.full(coefficient), partial)
+
+        out_y = ctx.block_idx_y * p_extent + i
+        safe_y = min(out_y, height - 1)
+
+        # axial out-of-plane taps: shared memory when the neighbour slice is
+        # resident in this block, coalesced global loads otherwise
+        for dz, coefficient in axial:
+            neighbor_warp = warp + dz
+            neighbor_slice = slice_index + dz
+            in_block = (neighbor_warp >= 0) & (neighbor_warp < warps_per_block) \
+                & (neighbor_slice >= 0) & (neighbor_slice < depth)
+            flat = (clamp(neighbor_warp, 0, warps_per_block - 1) * p_extent + i) * warp_size \
+                + source_lane
+            from_shared = ctx.load_shared(center, flat)
+            z_src = clamp(neighbor_slice, 0, depth - 1)
+            from_global = ctx.load_global(
+                src, z_src * plane + min(safe_y, height - 1) * width + safe_x)
+            neighbor_value = np.where(in_block, from_shared, from_global)
+            partial = ctx.mad(neighbor_value, ctx.full(coefficient), partial)
+
+        # general out-of-plane taps (box stencils): direct clamped global reads
+        for dx, dy, dz, coefficient in general:
+            z_src = clamp(slice_index + dz, 0, depth - 1)
+            y_src = clamp(np.full(ctx.block_threads, out_y + dy, dtype=np.int64), 0, height - 1)
+            x_src = clamp(out_x + dx, 0, width - 1)
+            value = ctx.load_global(src, z_src * plane + y_src * width + x_src)
+            partial = ctx.mad(value, ctx.full(coefficient), partial)
+
+        mask = x_mask & (out_y < height) & (slice_index < depth)
+        ctx.store_global(dst, slice_clamped * plane + safe_y * width + safe_x,
+                         partial, mask=mask)
+
+
+STENCIL3D_SSAM_KERNEL = Kernel(_stencil3d_ssam_block, name="ssam_stencil3d")
+
+
+def _grid_for(spec: StencilSpec, width: int, height: int, depth: int,
+              outputs_per_thread: int, warps_per_block: int,
+              warp_size: int = 32) -> Tuple[int, int, int]:
+    valid_x = warp_size - spec.footprint_width + 1
+    return (
+        math.ceil(width / valid_x),
+        math.ceil(height / outputs_per_thread),
+        math.ceil(depth / warps_per_block),
+    )
+
+
+def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
+                   architecture: object = "p100", precision: object = "float32",
+                   outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
+                   block_threads: int = 128,
+                   max_blocks: Optional[int] = None) -> KernelRunResult:
+    """Apply a 3-D stencil for ``iterations`` Jacobi steps with the SSAM kernel."""
+    grid = check_grid3d(grid)
+    if spec.dims != 3:
+        raise ConfigurationError(f"stencil {spec.name!r} is not 3-D")
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    depth, height, width = grid.shape
+    warps_per_block = block_threads // arch.warp_size
+    columns = _build_inplane_columns(spec)
+    axial, general = _split_out_of_plane(spec)
+    x_min, x_max = spec.x_range
+    y_min, _ = spec.y_range
+    cache_rows = spec.footprint_height + outputs_per_thread - 1
+    config = LaunchConfig(
+        grid_dim=_grid_for(spec, width, height, depth, outputs_per_thread,
+                           warps_per_block, arch.warp_size),
+        block_threads=block_threads,
+        registers_per_thread=registers_for_cache(cache_rows, outputs_per_thread, prec) + 8,
+        shared_bytes_per_block=warps_per_block * outputs_per_thread * arch.warp_size
+        * prec.itemsize,
+        precision=prec,
+        memory_parallelism=float(cache_rows),
+    )
+    memory = GlobalMemory()
+    buffers = [
+        memory.to_device(grid.astype(prec.numpy_dtype, copy=True), name="grid_a"),
+        memory.allocate(grid.shape, prec, name="grid_b"),
+    ]
+    merged: Optional[LaunchResult] = None
+    for step in range(iterations):
+        src, dst = buffers[step % 2], buffers[(step + 1) % 2]
+        launch = STENCIL3D_SSAM_KERNEL.launch(
+            config,
+            args=(src, dst, width, height, depth, columns, axial, general,
+                  spec.footprint_width, spec.footprint_height, outputs_per_thread,
+                  x_min, x_max, y_min),
+            architecture=arch,
+            max_blocks=max_blocks,
+        )
+        merged = launch if merged is None else merged.merged_with(launch)
+    final = buffers[iterations % 2]
+    output = None if max_blocks is not None else final.to_host()
+    return KernelRunResult(
+        name="ssam",
+        output=output,
+        launch=merged,
+        parameters={"stencil": spec.name, "iterations": iterations,
+                    "P": outputs_per_thread, "B": block_threads,
+                    "architecture": arch.name, "precision": prec.name},
+    )
+
+
+def analytic_counters(spec: StencilSpec, width: int, height: int, depth: int,
+                      architecture: object = "p100", precision: object = "float32",
+                      outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
+                      block_threads: int = 128, iterations: int = 1) -> KernelCounters:
+    """Closed-form instruction/traffic profile of the SSAM 3-D stencil."""
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    warps_per_block = block_threads // arch.warp_size
+    p_extent = outputs_per_thread
+    cache_rows = spec.footprint_height + p_extent - 1
+    valid_x = arch.warp_size - spec.footprint_width + 1
+    grid = _grid_for(spec, width, height, depth, p_extent, warps_per_block, arch.warp_size)
+    blocks = grid[0] * grid[1] * grid[2]
+    total_warps = blocks * warps_per_block
+    columns = spec.columns()
+    in_plane_taps = sum(len(points) for points in columns.values())
+    axial, general = _split_out_of_plane(spec)
+    r_z = max((abs(p.dz) for p in spec.points), default=0)
+
+    counters = KernelCounters()
+    counters.blocks_executed = blocks * iterations
+    counters.warps_executed = total_warps * iterations
+    sectors_per_row = math.ceil(32 * prec.itemsize / 128)
+
+    counters.gmem_load += cache_rows * total_warps * iterations
+    counters.gmem_load_transactions += cache_rows * total_warps * sectors_per_row * iterations
+    counters.smem_store += p_extent * total_warps * iterations
+    counters.sync += warps_per_block * blocks * iterations
+    counters.fma += p_extent * (in_plane_taps + len(axial) + len(general)) * total_warps * iterations
+    counters.shfl += p_extent * max(0, len(columns) - 1) * total_warps * iterations
+    counters.smem_load += p_extent * len(axial) * total_warps * iterations
+    counters.gmem_load += p_extent * (len(axial) + len(general)) * total_warps * iterations
+    counters.gmem_load_transactions += (
+        p_extent * (len(axial) + len(general)) * total_warps * sectors_per_row * iterations
+    )
+    counters.gmem_store += p_extent * total_warps * iterations
+    counters.gmem_store_transactions += p_extent * total_warps * sectors_per_row * iterations
+
+    slab = (warps_per_block + 2 * r_z) * cache_rows * 32 * prec.itemsize
+    counters.dram_read_bytes += slab * blocks * iterations
+    counters.dram_write_bytes += width * height * depth * prec.itemsize * iterations
+    return counters
+
+
+def analytic_launch(spec: StencilSpec, width: int, height: int, depth: int,
+                    iterations: int = 1, architecture: object = "p100",
+                    precision: object = "float32",
+                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
+                    block_threads: int = 128) -> KernelRunResult:
+    """Paper-scale cost estimate of the SSAM 3-D stencil without execution."""
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    warps_per_block = block_threads // arch.warp_size
+    cache_rows = spec.footprint_height + outputs_per_thread - 1
+    counters = analytic_counters(spec, width, height, depth, arch, prec,
+                                 outputs_per_thread, block_threads, iterations)
+    config = LaunchConfig(
+        grid_dim=_grid_for(spec, width, height, depth, outputs_per_thread,
+                           warps_per_block, arch.warp_size),
+        block_threads=block_threads,
+        registers_per_thread=registers_for_cache(cache_rows, outputs_per_thread, prec) + 8,
+        shared_bytes_per_block=warps_per_block * outputs_per_thread * arch.warp_size
+        * prec.itemsize,
+        precision=prec,
+        memory_parallelism=float(cache_rows),
+    )
+    launch = LaunchResult(
+        kernel_name="ssam_stencil3d_analytic",
+        config=config,
+        architecture=arch,
+        counters=counters,
+        blocks_executed=0,
+        sampled=True,
+        sample_fraction=0.0,
+    )
+    return KernelRunResult(
+        name="ssam",
+        output=None,
+        launch=launch,
+        parameters={"stencil": spec.name, "width": width, "height": height,
+                    "depth": depth, "iterations": iterations,
+                    "architecture": arch.name, "precision": prec.name, "analytic": True},
+    )

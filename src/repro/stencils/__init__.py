@@ -1,0 +1,47 @@
+"""Stencil specifications and the Table 3 benchmark catalog."""
+
+from .catalog import (
+    CATALOG,
+    DOMAIN_2D,
+    DOMAIN_3D,
+    FIGURE5_BENCHMARKS,
+    FIGURE6_BENCHMARKS,
+    StencilBenchmark,
+    benchmarks_2d,
+    benchmarks_3d,
+    get_benchmark,
+    get_stencil,
+    table3_rows,
+)
+from .spec import (
+    StencilPoint,
+    StencilSpec,
+    box2d,
+    box3d,
+    diffusion2d,
+    diffusion3d,
+    star2d,
+    star3d,
+)
+
+__all__ = [
+    "CATALOG",
+    "DOMAIN_2D",
+    "DOMAIN_3D",
+    "FIGURE5_BENCHMARKS",
+    "FIGURE6_BENCHMARKS",
+    "StencilBenchmark",
+    "benchmarks_2d",
+    "benchmarks_3d",
+    "get_benchmark",
+    "get_stencil",
+    "table3_rows",
+    "StencilPoint",
+    "StencilSpec",
+    "box2d",
+    "box3d",
+    "diffusion2d",
+    "diffusion3d",
+    "star2d",
+    "star3d",
+]

@@ -1,0 +1,154 @@
+"""The stencil benchmark suite of Table 3.
+
+Each entry records the stencil order ``k`` and the FLOP-per-point count
+(FPP) exactly as reported in Table 3, together with the domain sizes used in
+the evaluation (8192^2 for 2-D, 512^3 for 3-D).  The geometric shapes follow
+the benchmark suite of Rawat et al. referenced by the paper: the ``2dXXpt``
+entries up to ``2ds25pt`` are star stencils of growing radius, the remaining
+2-D entries are dense boxes, and the 3-D entries are the classic star/box
+shapes.
+
+The ``poisson`` benchmark's FPP (21) reflects the extra arithmetic of the
+original generated code rather than one FMA per tap; the FPP metadata is
+carried through to the GFLOP/s conversion so throughput is reported the way
+the paper reports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import SpecificationError
+from .spec import (
+    StencilPoint,
+    StencilSpec,
+    box2d,
+    box3d,
+    diffusion2d,
+    diffusion3d,
+    star2d,
+    star3d,
+)
+
+#: evaluation domain edge lengths from Table 3
+DOMAIN_2D = (8192, 8192)
+DOMAIN_3D = (512, 512, 512)
+
+
+@dataclass(frozen=True)
+class StencilBenchmark:
+    """One row of Table 3: a stencil spec plus its reported metadata."""
+
+    spec: StencilSpec
+    order: int
+    flops_per_point: int
+    domain: Tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def dims(self) -> int:
+        return self.spec.dims
+
+    @property
+    def cells(self) -> int:
+        """Number of grid cells in the evaluation domain."""
+        total = 1
+        for extent in self.domain:
+            total *= extent
+        return total
+
+    def as_row(self) -> Dict[str, object]:
+        """Row formatted like Table 3 (name, k, FPP)."""
+        return {"benchmark": self.name, "k": self.order, "fpp": self.flops_per_point}
+
+
+def _poisson3d() -> StencilSpec:
+    """3-D second-order Poisson operator (7-point with non-uniform weights)."""
+    points = (
+        StencilPoint(0, 0, 0, -6.0 / 26.0 + 1.0),
+        StencilPoint(-1, 0, 0, 1.0 / 26.0),
+        StencilPoint(1, 0, 0, 1.0 / 26.0),
+        StencilPoint(0, -1, 0, 2.0 / 26.0),
+        StencilPoint(0, 1, 0, 2.0 / 26.0),
+        StencilPoint(0, 0, -1, 3.0 / 26.0),
+        StencilPoint(0, 0, 1, 3.0 / 26.0),
+    )
+    return StencilSpec(name="poisson", points=points, dims=3, flops_per_point=21)
+
+
+def _build_catalog() -> Dict[str, StencilBenchmark]:
+    entries: List[Tuple[StencilSpec, int, int]] = [
+        (diffusion2d("2d5pt"), 1, 9),
+        (star2d(2, name="2d9pt", flops_per_point=17), 2, 17),
+        (star2d(3, name="2d13pt", flops_per_point=25), 3, 25),
+        (star2d(4, name="2d17pt", flops_per_point=33), 4, 33),
+        (star2d(5, name="2d21pt", flops_per_point=41), 5, 41),
+        (star2d(6, name="2ds25pt", flops_per_point=49), 6, 49),
+        (box2d(2, name="2d25pt", flops_per_point=33), 2, 33),
+        (box2d(4, name="2d64pt", flops_per_point=73, asymmetric=True), 4, 73),
+        (box2d(4, name="2d81pt", flops_per_point=95), 4, 95),
+        (box2d(5, name="2d121pt", flops_per_point=241), 5, 241),
+        (diffusion3d("3d7pt"), 1, 13),
+        (star3d(2, name="3d13pt", flops_per_point=25), 2, 25),
+        (box3d(1, name="3d27pt", flops_per_point=30), 1, 30),
+        (box3d(2, name="3d125pt", flops_per_point=130), 2, 130),
+        (_poisson3d(), 1, 21),
+    ]
+    catalog: Dict[str, StencilBenchmark] = {}
+    for spec, order, fpp in entries:
+        domain = DOMAIN_2D if spec.dims == 2 else DOMAIN_3D
+        catalog[spec.name] = StencilBenchmark(spec=spec, order=order,
+                                              flops_per_point=fpp, domain=domain)
+    return catalog
+
+
+#: every benchmark of Table 3 keyed by name, in paper order
+CATALOG: Dict[str, StencilBenchmark] = _build_catalog()
+
+#: the benchmark names in the order they appear in Figure 5
+FIGURE5_BENCHMARKS: Tuple[str, ...] = (
+    "2d5pt", "2d9pt", "2d13pt", "2d17pt", "2d21pt", "2ds25pt", "2d25pt",
+    "2d64pt", "2d81pt", "2d121pt", "3d7pt", "3d27pt", "3d125pt", "poisson",
+)
+
+#: the benchmark names used in the temporal-blocking comparison (Figure 6)
+FIGURE6_BENCHMARKS: Tuple[str, ...] = ("2d5pt", "2d9pt", "3d7pt", "3d13pt", "poisson")
+
+
+def get_benchmark(name: str) -> StencilBenchmark:
+    """Look up a Table 3 benchmark by name."""
+    try:
+        return CATALOG[name]
+    except KeyError as exc:
+        raise SpecificationError(
+            f"unknown stencil benchmark {name!r}; available: {sorted(CATALOG)}"
+        ) from exc
+
+
+def get_stencil(name: str) -> StencilSpec:
+    """Look up only the stencil spec of a Table 3 benchmark."""
+    return get_benchmark(name).spec
+
+
+def table3_rows() -> List[Dict[str, object]]:
+    """Rows of Table 3 in paper order (benchmark, k, FPP)."""
+    order = (
+        "2d5pt", "2d9pt", "2d13pt", "2d17pt", "2d21pt", "2ds25pt", "2d25pt",
+        "2d64pt", "2d81pt", "2d121pt", "3d7pt", "3d13pt", "3d27pt", "3d125pt",
+        "poisson",
+    )
+    return [CATALOG[name].as_row() for name in order]
+
+
+def benchmarks_2d() -> List[StencilBenchmark]:
+    """All 2-D benchmarks of the catalog."""
+    return [bench for bench in CATALOG.values() if bench.dims == 2]
+
+
+def benchmarks_3d() -> List[StencilBenchmark]:
+    """All 3-D benchmarks of the catalog."""
+    return [bench for bench in CATALOG.values() if bench.dims == 3]

@@ -1,0 +1,21 @@
+"""Workload (input data) generators."""
+
+from .generators import (
+    checkerboard_image,
+    gradient_image,
+    hotspot_grid,
+    impulse_image,
+    random_grid_3d,
+    random_image,
+    sequence,
+)
+
+__all__ = [
+    "checkerboard_image",
+    "gradient_image",
+    "hotspot_grid",
+    "impulse_image",
+    "random_grid_3d",
+    "random_image",
+    "sequence",
+]

@@ -1,0 +1,85 @@
+"""Reproducible input-data generators for tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import resolve_precision
+from ..errors import ConfigurationError
+
+
+def random_image(width: int, height: int, precision: object = "float32",
+                 seed: int = 0, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Uniform random 2-D image of shape ``(height, width)``."""
+    if width <= 0 or height <= 0:
+        raise ConfigurationError("image dimensions must be positive")
+    prec = resolve_precision(precision)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(height, width)).astype(prec.numpy_dtype)
+
+
+def random_grid_3d(width: int, height: int, depth: int, precision: object = "float32",
+                   seed: int = 0) -> np.ndarray:
+    """Uniform random 3-D grid of shape ``(depth, height, width)``."""
+    if min(width, height, depth) <= 0:
+        raise ConfigurationError("grid dimensions must be positive")
+    prec = resolve_precision(precision)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(depth, height, width)).astype(prec.numpy_dtype)
+
+
+def gradient_image(width: int, height: int, precision: object = "float32") -> np.ndarray:
+    """Smooth deterministic ramp image (useful for visual examples)."""
+    prec = resolve_precision(precision)
+    ys = np.linspace(0.0, 1.0, height, dtype=np.float64)[:, None]
+    xs = np.linspace(0.0, 1.0, width, dtype=np.float64)[None, :]
+    return (0.5 * ys + 0.5 * xs).astype(prec.numpy_dtype)
+
+
+def checkerboard_image(width: int, height: int, tile: int = 8,
+                       precision: object = "float32") -> np.ndarray:
+    """Checkerboard pattern (stresses boundary handling visibly)."""
+    if tile <= 0:
+        raise ConfigurationError("tile size must be positive")
+    prec = resolve_precision(precision)
+    ys = (np.arange(height) // tile)[:, None]
+    xs = (np.arange(width) // tile)[None, :]
+    return ((ys + xs) % 2).astype(prec.numpy_dtype)
+
+
+def hotspot_grid(width: int, height: int, depth: Optional[int] = None,
+                 precision: object = "float32", background: float = 0.0,
+                 peak: float = 100.0) -> np.ndarray:
+    """Grid with a hot square/cube in the centre (heat-diffusion examples)."""
+    prec = resolve_precision(precision)
+    if depth is None:
+        grid = np.full((height, width), background, dtype=prec.numpy_dtype)
+        y0, y1 = height // 3, 2 * height // 3
+        x0, x1 = width // 3, 2 * width // 3
+        grid[y0:y1, x0:x1] = peak
+        return grid
+    grid = np.full((depth, height, width), background, dtype=prec.numpy_dtype)
+    z0, z1 = depth // 3, 2 * depth // 3
+    y0, y1 = height // 3, 2 * height // 3
+    x0, x1 = width // 3, 2 * width // 3
+    grid[z0:z1, y0:y1, x0:x1] = peak
+    return grid
+
+
+def impulse_image(width: int, height: int, precision: object = "float32") -> np.ndarray:
+    """Single central impulse (convolution with it returns the filter)."""
+    prec = resolve_precision(precision)
+    grid = np.zeros((height, width), dtype=prec.numpy_dtype)
+    grid[height // 2, width // 2] = 1.0
+    return grid
+
+
+def sequence(length: int, precision: object = "float32", seed: int = 0) -> np.ndarray:
+    """Random 1-D sequence for scan / 1-D convolution workloads."""
+    if length <= 0:
+        raise ConfigurationError("sequence length must be positive")
+    prec = resolve_precision(precision)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=length).astype(prec.numpy_dtype)

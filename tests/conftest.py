@@ -1,0 +1,30 @@
+"""Test configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` cannot
+build an editable wheel), and provides shared fixtures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the test session."""
+    return np.random.default_rng(20190617)
+
+
+@pytest.fixture(params=["p100", "v100"], scope="session")
+def architecture_name(request) -> str:
+    """Run a test on both evaluated architectures."""
+    return request.param

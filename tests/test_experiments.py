@@ -1,0 +1,141 @@
+"""Integration tests for the table/figure experiment harnesses and the CLI."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_points,
+    format_series,
+    format_table,
+    gcells_per_second,
+    geometric_mean,
+    gflops,
+    speedup,
+    winner,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import figure4, figure5, figure6, model_validation, table1, table2, table3
+from repro.experiments.runner import main as runner_main
+from repro.experiments.runner import run_experiment
+
+
+# --- analysis helpers ----------------------------------------------------------------
+
+def test_metric_conversions():
+    assert gcells_per_second(1_000_000_000, 2, 1.0) == 2.0
+    assert gflops(1_000_000_000, 1, 9, 1.0) == 9.0
+    assert speedup(2.0, 1.0) == 2.0
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert winner({"a": 2.0, "b": 1.0}) == "b"
+    with pytest.raises(ConfigurationError):
+        gcells_per_second(1, 1, 0.0)
+    with pytest.raises(ConfigurationError):
+        geometric_mean([])
+
+
+def test_crossover_detection():
+    xs = [1, 2, 3, 4]
+    assert crossover_points(xs, [1, 2, 3, 4], [4, 3, 2, 1]) == [2.5]
+    assert crossover_points(xs, [1, 1, 1, 1], [2, 2, 2, 2]) == []
+    with pytest.raises(ConfigurationError):
+        crossover_points([1], [1, 2], [1, 2])
+
+
+def test_table_formatting():
+    text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+    assert "a" in text and "10" in text and "0.12" in text
+    assert format_table([]) == "(no data)"
+    series = format_series("demo", "x", [1, 2], {"s": [1.0, None]})
+    assert "demo" in series
+
+
+# --- tables ---------------------------------------------------------------------------
+
+def test_table1_matches_paper():
+    rows = table1.run()
+    assert len(rows) == 4
+    assert all(row["matches_paper"] for row in rows)
+    assert "Table 1" in table1.report()
+
+
+def test_table2_matches_paper():
+    rows = table2.run()
+    assert len(rows) == 6
+    assert all(row["matches_paper"] for row in rows)
+
+
+def test_table3_matches_paper():
+    rows = table3.run()
+    assert len(rows) == 15
+    assert all(row["matches_paper"] for row in rows)
+    assert "8192" in table3.report()
+
+
+# --- figures (reduced sweeps keep the tests fast) ----------------------------------------
+
+def test_figure4_panel_structure_and_claims():
+    panel = figure4.run("p100", "float32", filter_sizes=(3, 7, 11, 15), )
+    assert set(panel["milliseconds"]) == set(figure4.IMPLEMENTATIONS)
+    assert len(panel["milliseconds"]["ssam"]) == 4
+    summary = panel["summary"]
+    assert summary["ssam_vs_npp_geomean_speedup"] > 1.5
+    assert summary["ssam_fastest_fraction"] >= 0.75
+
+
+def test_figure4_arrayfire_series_has_gaps_above_16():
+    panel = figure4.run("v100", "float32", filter_sizes=(15, 16, 17, 20))
+    assert panel["milliseconds"]["arrayfire"][2] is None
+    assert panel["milliseconds"]["arrayfire"][0] is not None
+
+
+def test_figure5_ssam_wins_most_benchmarks():
+    panel = figure5.run("p100", "float32",
+                        benchmarks=("2d5pt", "2d9pt", "2d25pt", "3d7pt", "poisson"))
+    assert panel["ssam_wins"] >= 4
+    throughput = panel["gcells_per_second"]["ssam"][0]
+    assert 30.0 < throughput < 95.0   # paper: ~60 GCells/s for 2d5pt on P100
+
+
+def test_figure5_double_precision_roughly_halves_throughput():
+    single = figure5.run("p100", "float32", benchmarks=("2d5pt",))
+    double = figure5.run("p100", "float64", benchmarks=("2d5pt",))
+    ratio = single["gcells_per_second"]["ssam"][0] / double["gcells_per_second"]["ssam"][0]
+    assert 1.5 < ratio < 2.6
+
+
+def test_figure5_v100_faster_than_p100():
+    p100 = figure5.run("p100", "float32", benchmarks=("2d5pt",))
+    v100 = figure5.run("v100", "float32", benchmarks=("2d5pt",))
+    assert v100["gcells_per_second"]["ssam"][0] > p100["gcells_per_second"]["ssam"][0]
+
+
+def test_figure6_panel_contains_published_references():
+    panel = figure6.run("p100", "float32", benchmarks=("2d5pt", "3d7pt"), time_steps=32)
+    assert panel["gcells_per_second"]["diffusion"][1] == pytest.approx(92.7)
+    assert panel["gcells_per_second"]["bricks"][1] == pytest.approx(41.4)
+    assert panel["gcells_per_second"]["ssam"][0] > 0
+
+
+def test_model_validation_claims_hold():
+    claims = model_validation.claims()
+    assert claims["eq5_advantage_positive_for_all_M_N_ge_2"]
+    assert claims["halo_adjusted_advantage_grows_with_filter"]
+    assert claims["halo_adjusted_advantage_positive_for_M_ge_5"]
+    assert len(model_validation.run()) == 16
+
+
+# --- runner / CLI ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["table1", "table2", "table3", "model"])
+def test_run_experiment_by_name(name):
+    assert len(run_experiment(name)) > 50
+
+
+def test_run_experiment_unknown_name():
+    with pytest.raises(SystemExit):
+        run_experiment("table99")
+
+
+def test_cli_quick_figure(capsys):
+    assert runner_main(["--experiment", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out

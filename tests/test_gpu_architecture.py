@@ -1,0 +1,96 @@
+"""Tests for the GPU architecture presets and Table 1 data."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.architecture import (
+    ARCHITECTURES,
+    TESLA_K40,
+    TESLA_M40,
+    TESLA_P100,
+    TESLA_V100,
+    get_architecture,
+    table1_rows,
+)
+
+
+@pytest.mark.parametrize("name, sms", [("k40", 15), ("m40", 24), ("p100", 56), ("v100", 80)])
+def test_table1_sm_counts(name, sms):
+    assert get_architecture(name).sm_count == sms
+
+
+@pytest.mark.parametrize("name", list(ARCHITECTURES))
+def test_register_file_size_is_256kib(name):
+    arch = get_architecture(name)
+    assert arch.registers_per_sm == 65536
+    assert arch.registers_per_sm_bytes == 256 * 1024
+
+
+@pytest.mark.parametrize("arch, kib", [(TESLA_K40, 48), (TESLA_M40, 96), (TESLA_P100, 64),
+                                       (TESLA_V100, 96)])
+def test_table1_shared_memory(arch, kib):
+    assert arch.shared_memory_per_sm == kib * 1024
+
+
+def test_register_to_shared_ratio_exceeds_paper_claim():
+    # Section 2: register file is more than 2.7x larger than shared memory
+    assert TESLA_P100.register_to_shared_ratio > 2.7
+    assert TESLA_V100.register_to_shared_ratio > 2.6
+
+
+def test_get_architecture_accepts_aliases():
+    assert get_architecture("Tesla P100") is TESLA_P100
+    assert get_architecture("V100") is TESLA_V100
+    assert get_architecture(TESLA_P100) is TESLA_P100
+
+
+def test_get_architecture_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        get_architecture("a100")
+    with pytest.raises(ConfigurationError):
+        get_architecture(123)
+
+
+def test_table1_rows_complete():
+    rows = table1_rows()
+    assert [row["gpu"] for row in rows] == ["Tesla K40", "Tesla M40", "Tesla P100", "Tesla V100"]
+    assert all(row["registers_per_sm"] == 65536 for row in rows)
+
+
+def test_volta_has_two_register_banks_pascal_four():
+    # Section 7.1 (iii)
+    assert TESLA_V100.register_banks == 2
+    assert TESLA_P100.register_banks == 4
+    assert TESLA_K40.register_banks == 4
+
+
+def test_volta_caches_larger_than_pascal():
+    # Section 7.1 (i)-(ii)
+    assert TESLA_V100.l1_cache_bytes > 4 * TESLA_P100.l1_cache_bytes
+    assert TESLA_V100.l2_cache_bytes == TESLA_P100.l2_cache_bytes * 3 // 2
+
+
+def test_peak_flops_sane():
+    assert 9e12 < TESLA_P100.peak_fp32_flops < 11e12
+    assert 14e12 < TESLA_V100.peak_fp32_flops < 17e12
+    assert TESLA_P100.peak_fp64_flops == pytest.approx(TESLA_P100.peak_fp32_flops / 2)
+
+
+def test_cycles_seconds_roundtrip():
+    cycles = 1.0e6
+    assert TESLA_P100.seconds_to_cycles(TESLA_P100.cycles_to_seconds(cycles)) == pytest.approx(cycles)
+
+
+def test_shared_memory_carveout():
+    smaller = TESLA_V100.with_shared_memory_carveout(64 * 1024)
+    assert smaller.shared_memory_per_sm == 64 * 1024
+    assert smaller.shared_memory_per_block <= 64 * 1024
+    with pytest.raises(ConfigurationError):
+        TESLA_V100.with_shared_memory_carveout(0)
+
+
+def test_summary_keys():
+    summary = TESLA_P100.summary()
+    assert summary["name"] == "Tesla P100"
+    assert summary["sm_count"] == 56
+    assert summary["register_to_shared_ratio"] == pytest.approx(4.0, rel=0.01)

@@ -1,0 +1,133 @@
+"""Tests for global-memory traffic accounting and shared-memory bank conflicts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ResourceExhaustedError, SimulationError
+from repro.gpu.memory import (
+    BlockTrafficTracker,
+    DeviceBuffer,
+    GlobalMemory,
+    coalesced_transactions,
+    linear_index_2d,
+    linear_index_3d,
+)
+from repro.gpu.shared_memory import SharedMemory, bank_conflict_degree
+
+
+# --- coalescing -----------------------------------------------------------
+
+def test_contiguous_float32_access_is_one_transaction():
+    indices = np.arange(32)
+    assert coalesced_transactions(indices, 4) == 1
+
+
+def test_contiguous_float64_access_is_two_transactions():
+    indices = np.arange(32)
+    assert coalesced_transactions(indices, 8) == 2
+
+
+def test_strided_access_inflates_transactions():
+    indices = np.arange(32) * 32  # one element per cache line
+    assert coalesced_transactions(indices, 4) == 32
+
+
+def test_broadcast_access_is_one_transaction():
+    assert coalesced_transactions(np.zeros(32, dtype=np.int64), 4) == 1
+
+
+def test_empty_access_has_no_transactions():
+    assert coalesced_transactions(np.array([], dtype=np.int64), 4) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(start=st.integers(min_value=0, max_value=10_000))
+def test_aligned_warp_load_never_exceeds_two_sectors(start):
+    indices = np.arange(start, start + 32)
+    assert 1 <= coalesced_transactions(indices, 4) <= 2
+
+
+# --- global memory ---------------------------------------------------------
+
+def test_global_memory_allocation_and_capacity():
+    memory = GlobalMemory(capacity_bytes=1024)
+    buf = memory.allocate((16,), "float32", fill=2.0)
+    assert buf.nbytes == 64
+    assert np.all(buf.to_host() == 2.0)
+    with pytest.raises(Exception):
+        memory.allocate((1024,), "float64")
+
+
+def test_to_device_copies_data():
+    memory = GlobalMemory()
+    host = np.arange(10.0)
+    buf = memory.to_device(host)
+    host[0] = 99.0
+    assert buf.to_host()[0] == 0.0
+    memory.free(buf)
+
+
+def test_block_traffic_tracker_unique_lines():
+    buf = DeviceBuffer(array=np.zeros(1024, dtype=np.float32))
+    tracker = BlockTrafficTracker()
+    tracker.record_read(buf, np.arange(32))          # one 128 B line
+    tracker.record_read(buf, np.arange(32))          # same line again: free
+    tracker.record_read(buf, np.arange(32, 64))      # a second line
+    read, written = tracker.finalize()
+    assert read == 256.0
+    assert written == 0.0
+
+
+def test_cached_buffers_generate_no_dram_traffic():
+    buf = DeviceBuffer(array=np.zeros(1024, dtype=np.float32), cached=True)
+    tracker = BlockTrafficTracker()
+    tracker.record_read(buf, np.arange(64))
+    assert tracker.finalize() == (0.0, 0.0)
+
+
+def test_linear_index_helpers():
+    assert linear_index_2d(np.array([2]), np.array([3]), width=10)[0] == 23
+    assert linear_index_3d(np.array([1]), np.array([2]), np.array([3]), height=5, width=10)[0] == 73
+
+
+# --- shared memory ----------------------------------------------------------
+
+def test_bank_conflict_free_for_contiguous_access():
+    assert bank_conflict_degree(np.arange(32), 4) == 1
+
+
+def test_bank_conflict_degree_for_strided_access():
+    # stride 32 floats: every lane hits bank 0 -> 32-way conflict
+    assert bank_conflict_degree(np.arange(32) * 32, 4) == 32
+    # stride 2: 2-way conflict
+    assert bank_conflict_degree(np.arange(32) * 2, 4) == 2
+
+
+def test_broadcast_is_conflict_free():
+    assert bank_conflict_degree(np.full(32, 7), 4) == 1
+
+
+def test_shared_memory_allocation_and_limits():
+    smem = SharedMemory(capacity_bytes=256)
+    arr = smem.allocate("a", (32,), "float32")
+    assert arr.nbytes == 128
+    with pytest.raises(ResourceExhaustedError):
+        smem.allocate("b", (64,), "float32")
+    with pytest.raises(SimulationError):
+        smem.allocate("a", (4,), "float32")
+    with pytest.raises(SimulationError):
+        smem.get("missing")
+
+
+def test_shared_memory_access_accounting():
+    smem = SharedMemory(capacity_bytes=4096)
+    arr = smem.allocate("tile", (512,), "float32")
+    degree, broadcast = smem.record_load(arr, np.full(32, 3))
+    assert broadcast and degree == 1
+    degree, broadcast = smem.record_load(arr, np.arange(32) * 2)
+    assert not broadcast and degree == 2
+    assert smem.conflict_extra == 1
+    assert smem.record_store(arr, np.arange(32)) == 1
+    assert smem.bytes_written == 32 * 4
