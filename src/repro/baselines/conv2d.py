@@ -80,7 +80,7 @@ def _npp_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
     safe_x_out = clamp(gx, 0, width - 1)
     total = ctx.zeros()
     for n in range(filter_height):
-        row = clamp(np.full(ctx.block_threads, gy + n - anchor_y, dtype=np.int64), 0, height - 1)
+        row = clamp(gy + n - anchor_y, 0, height - 1)
         for m in range(filter_width):
             col = clamp(gx + m - anchor_x, 0, width - 1)
             value = ctx.load_global(src, row * width + col, mask=mask)
@@ -96,7 +96,8 @@ def npp_like_convolve2d(image: Optional[np.ndarray], spec: ConvolutionSpec,
                         architecture: object = "p100", precision: object = "float32",
                         block_threads: int = 128, functional: bool = True,
                         width: Optional[int] = None, height: Optional[int] = None,
-                        max_blocks: Optional[int] = None) -> KernelRunResult:
+                        max_blocks: Optional[int] = None,
+                        batch_size: object = "auto") -> KernelRunResult:
     """NPP-like 2-D convolution (no scratchpad, one output per thread)."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
@@ -120,7 +121,7 @@ def npp_like_convolve2d(image: Optional[np.ndarray], spec: ConvolutionSpec,
             config,
             args=(src, dst, tuple(spec.weights.reshape(-1).tolist()), width, height,
                   m_extent, n_extent, anchor_x, anchor_y),
-            architecture=arch, max_blocks=max_blocks)
+            architecture=arch, max_blocks=max_blocks, batch_size=batch_size)
         output = None if max_blocks is not None else dst.to_host()
         return KernelRunResult(name="npp_like", output=output, launch=launch,
                                parameters=parameters)
@@ -202,7 +203,8 @@ SHARED_KERNEL = Kernel(_shared_block, name="shared_conv2d")
 
 def _shared_like_convolve2d(label: str, image, spec, architecture, precision,
                             tile_rows, overhead_per_tap, functional, width, height,
-                            max_blocks, enforce_limit: bool):
+                            max_blocks, enforce_limit: bool,
+                            batch_size: object = "auto"):
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
     if enforce_limit and max(spec.filter_width, spec.filter_height) > ARRAYFIRE_MAX_FILTER:
@@ -234,7 +236,7 @@ def _shared_like_convolve2d(label: str, image, spec, architecture, precision,
             config,
             args=(src, dst, tuple(spec.weights.reshape(-1).tolist()), width, height,
                   m_extent, n_extent, anchor_x, anchor_y, tile_rows, overhead_per_tap),
-            architecture=arch, max_blocks=max_blocks)
+            architecture=arch, max_blocks=max_blocks, batch_size=batch_size)
         output = None if max_blocks is not None else dst.to_host()
         return KernelRunResult(name=label, output=output, launch=launch,
                                parameters=parameters)
@@ -268,22 +270,24 @@ def arrayfire_like_convolve2d(image: Optional[np.ndarray], spec: ConvolutionSpec
                               architecture: object = "p100", precision: object = "float32",
                               tile_rows: int = 8, functional: bool = True,
                               width: Optional[int] = None, height: Optional[int] = None,
-                              max_blocks: Optional[int] = None) -> KernelRunResult:
+                              max_blocks: Optional[int] = None,
+                              batch_size: object = "auto") -> KernelRunResult:
     """ArrayFire-like shared-memory tiled convolution (16x16 filter ceiling)."""
     return _shared_like_convolve2d("arrayfire_like", image, spec, architecture, precision,
                                    tile_rows, 0.0, functional, width, height, max_blocks,
-                                   enforce_limit=True)
+                                   enforce_limit=True, batch_size=batch_size)
 
 
 def halide_like_convolve2d(image: Optional[np.ndarray], spec: ConvolutionSpec,
                            architecture: object = "p100", precision: object = "float32",
                            tile_rows: int = 4, functional: bool = True,
                            width: Optional[int] = None, height: Optional[int] = None,
-                           max_blocks: Optional[int] = None) -> KernelRunResult:
+                           max_blocks: Optional[int] = None,
+                           batch_size: object = "auto") -> KernelRunResult:
     """Halide-auto-schedule-like tiled convolution (smaller tile, generic indexing)."""
     return _shared_like_convolve2d("halide_like", image, spec, architecture, precision,
                                    tile_rows, 2.0, functional, width, height, max_blocks,
-                                   enforce_limit=False)
+                                   enforce_limit=False, batch_size=batch_size)
 
 
 # ---------------------------------------------------------------------------

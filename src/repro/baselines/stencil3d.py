@@ -41,8 +41,8 @@ def _naive3d_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
     plane = width * height
     total = ctx.zeros()
     for dx, dy, dz, coefficient in points:
-        row = clamp(np.full(ctx.block_threads, gy + dy, dtype=np.int64), 0, height - 1)
-        slab = clamp(np.full(ctx.block_threads, gz + dz, dtype=np.int64), 0, depth - 1)
+        row = clamp(gy + dy, 0, height - 1)
+        slab = clamp(gz + dz, 0, depth - 1)
         col = clamp(gx + dx, 0, width - 1)
         value = ctx.load_global(src, slab * plane + row * width + col, mask=mask)
         ctx.overhead(1.0)
@@ -58,7 +58,8 @@ def original_stencil3d(grid: Optional[np.ndarray], spec: StencilSpec, iterations
                        block_threads: int = 128, functional: bool = True,
                        width: Optional[int] = None, height: Optional[int] = None,
                        depth: Optional[int] = None,
-                       max_blocks: Optional[int] = None) -> KernelRunResult:
+                       max_blocks: Optional[int] = None,
+                       batch_size: object = "auto") -> KernelRunResult:
     """Naive one-output-per-thread 3-D stencil baseline."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
@@ -85,7 +86,7 @@ def original_stencil3d(grid: Optional[np.ndarray], spec: StencilSpec, iterations
             src, dst = buffers[step % 2], buffers[(step + 1) % 2]
             launch = NAIVE_STENCIL3D_KERNEL.launch(
                 config, args=(src, dst, points, width, height, depth), architecture=arch,
-                max_blocks=max_blocks)
+                max_blocks=max_blocks, batch_size=batch_size)
             merged = launch if merged is None else merged.merged_with(launch)
         output = None if max_blocks is not None else buffers[iterations % 2].to_host()
         return KernelRunResult(name="original", output=output, launch=merged,

@@ -8,6 +8,7 @@ explicitly everywhere instead of being an afterthought.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -97,9 +98,15 @@ def resolve_precision(precision: object) -> Precision:
     elif isinstance(precision, type) and issubclass(precision, np.generic):
         key = np.dtype(precision)
     try:
-        canonical = _ALIASES[key]  # type: ignore[index]
+        return _resolve_cached(key)
     except (KeyError, TypeError) as exc:
         raise ConfigurationError(
             f"unsupported precision {precision!r}; expected float32 or float64"
         ) from exc
+
+
+@lru_cache(maxsize=None)
+def _resolve_cached(key: object) -> Precision:
+    """Alias lookup, memoised so hot launch paths skip re-validation."""
+    canonical = _ALIASES[key]  # type: ignore[index]
     return FLOAT32 if canonical == SINGLE else FLOAT64

@@ -19,11 +19,32 @@ from .architecture import (
     get_architecture,
     table1_rows,
 )
+from .batch import (
+    BatchedBlockContext,
+    BatchedSharedArray,
+    BatchedSharedMemory,
+    BatchedTrafficTracker,
+)
 from .block import BlockContext
 from .counters import KernelCounters, merge_counters
-from .kernel import Kernel, LaunchConfig, LaunchResult, grid_1d, grid_2d, kernel
+from .kernel import (
+    Kernel,
+    LaunchConfig,
+    LaunchResult,
+    auto_batch_size,
+    grid_1d,
+    grid_2d,
+    kernel,
+)
 from .latency import LatencyTable, ThroughputTable
-from .memory import DeviceBuffer, GlobalMemory, coalesced_transactions
+from .memory import (
+    DeviceBuffer,
+    GlobalMemory,
+    coalesced_transactions,
+    coalesced_transactions_matrix,
+    rowwise_unique_counts,
+    rowwise_unique_pad,
+)
 from .microbench import DependentChain, IndependentStream, measure_latency, run_table2
 from .occupancy import OccupancyResult, compute_occupancy
 from .profiler import TimingBreakdown, estimate_time
@@ -33,7 +54,7 @@ from .register_file import (
     register_cache_capacity,
     registers_for_cache,
 )
-from .shared_memory import SharedMemory, bank_conflict_degree
+from .shared_memory import SharedMemory, bank_conflict_degree, bank_conflict_profile
 from .warp import Warp, ballot, shfl_down, shfl_idx, shfl_up, shfl_xor
 
 __all__ = [
@@ -46,12 +67,17 @@ __all__ = [
     "TESLA_V100",
     "get_architecture",
     "table1_rows",
+    "BatchedBlockContext",
+    "BatchedSharedArray",
+    "BatchedSharedMemory",
+    "BatchedTrafficTracker",
     "BlockContext",
     "KernelCounters",
     "merge_counters",
     "Kernel",
     "LaunchConfig",
     "LaunchResult",
+    "auto_batch_size",
     "grid_1d",
     "grid_2d",
     "kernel",
@@ -60,6 +86,9 @@ __all__ = [
     "DeviceBuffer",
     "GlobalMemory",
     "coalesced_transactions",
+    "coalesced_transactions_matrix",
+    "rowwise_unique_counts",
+    "rowwise_unique_pad",
     "DependentChain",
     "IndependentStream",
     "measure_latency",
@@ -74,6 +103,7 @@ __all__ = [
     "registers_for_cache",
     "SharedMemory",
     "bank_conflict_degree",
+    "bank_conflict_profile",
     "Warp",
     "ballot",
     "shfl_down",

@@ -20,6 +20,7 @@ public whitepapers and the micro-benchmarking studies cited in Section 7.1
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from ..errors import ConfigurationError
@@ -290,6 +291,12 @@ def get_architecture(name: object) -> GPUArchitecture:
         return name
     if not isinstance(name, str):
         raise ConfigurationError(f"cannot interpret {name!r} as a GPU architecture")
+    return _lookup_architecture(name)
+
+
+@lru_cache(maxsize=None)
+def _lookup_architecture(name: str) -> GPUArchitecture:
+    """Name normalisation + preset lookup, memoised for hot launch paths."""
     key = name.lower().replace("tesla ", "").replace(" ", "")
     try:
         return ARCHITECTURES[key]

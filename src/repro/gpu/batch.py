@@ -1,0 +1,418 @@
+"""Batched grid execution: many thread blocks as one vectorized pass.
+
+The legacy engine in :mod:`repro.gpu.kernel` runs one
+:class:`~repro.gpu.block.BlockContext` per grid block in a Python loop; for
+paper-scale grids that is millions of interpreter iterations.  The
+:class:`BatchedBlockContext` defined here executes a *batch* of blocks
+simultaneously: every per-thread register vector has shape
+``(num_blocks, block_threads)`` instead of ``(block_threads,)`` and the
+block indices become ``(num_blocks, 1)`` column vectors, so kernel bodies
+written against the legacy context run unchanged — per-block scalars simply
+broadcast along the new leading axis.
+
+All accounting is vectorized to match, and is **exactly** equivalent to the
+per-block path (the differential tests assert bit-identical outputs and
+counters):
+
+* warp-coalescing sector counts: one sorted unique-count pass over a
+  ``(batch * warps, warp_size)`` line matrix
+  (:func:`repro.gpu.memory.rowwise_unique_counts`);
+* per-block unique-line DRAM accounting: a segmented unique over the batch
+  (:class:`BatchedTrafficTracker`);
+* shared-memory bank conflicts: one ``bincount`` over ``(warp, bank)``
+  pairs (:func:`repro.gpu.shared_memory.bank_conflict_profile`).
+
+Functional scatter semantics also match the sequential engine: batches are
+flattened in block order, so when two blocks store to the same location the
+higher block index wins, exactly as in the per-block loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import Precision, resolve_precision
+from ..errors import SimulationError
+from .architecture import GPUArchitecture
+from .block import _SIMTContextBase
+from .counters import KernelCounters
+from .memory import (
+    _SENTINEL,
+    DeviceBuffer,
+    coalesced_transactions_matrix,
+    rowwise_unique_counts,
+    rowwise_unique_pad,
+)
+from .shared_memory import SharedArray, SharedMemory, bank_conflict_profile
+from .simt import grouped_warp_counts
+
+
+@dataclass
+class BatchedSharedArray(SharedArray):
+    """A named shared-memory allocation replicated across a batch of blocks.
+
+    ``array`` has shape ``(num_blocks, *shape)``: every block of the batch
+    owns an independent copy, exactly as each block owns its own scratchpad
+    on hardware.
+    """
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.array.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of one block's copy (what counts against the capacity)."""
+        return int(self.array.nbytes // max(1, self.num_blocks))
+
+    @property
+    def flat(self) -> np.ndarray:
+        """Per-block flat view, shape ``(num_blocks, size)``."""
+        return self.array.reshape(self.array.shape[0], -1)
+
+
+class BatchedSharedMemory(SharedMemory):
+    """Shared-memory arenas for a whole batch of thread blocks.
+
+    Same capacity checks per block and cumulative statistics fields as
+    :class:`~repro.gpu.shared_memory.SharedMemory`, but each named array is
+    allocated once for the batch with a leading block axis.
+    """
+
+    def __init__(self, num_blocks: int, capacity_bytes: int,
+                 banks: int = 32, bank_bytes: int = 4) -> None:
+        super().__init__(capacity_bytes, banks, bank_bytes)
+        self.num_blocks = int(num_blocks)
+
+    def allocate(self, name: str, shape: Tuple[int, ...],
+                 precision: object = "float32") -> BatchedSharedArray:
+        """Allocate a named shared array in every block of the batch."""
+        # per-block capacity is validated before materializing the batch copies
+        prec, per_block = self._check_allocate(name, shape, precision)
+        array = np.zeros((self.num_blocks,) + tuple(shape), dtype=prec.numpy_dtype)
+        shared = BatchedSharedArray(name=name, array=array,
+                                    offset_bytes=self._used_bytes)
+        self._arrays[name] = shared
+        self._used_bytes += per_block
+        return shared
+
+
+class BatchedTrafficTracker:
+    """Per-block unique-line DRAM read accounting for a batch of blocks.
+
+    Records the ``(batch, lanes)`` cache-line matrices of every counted load
+    and computes each block's unique-line count with segmented sorts — the
+    vectorised equivalent of running one
+    :class:`~repro.gpu.memory.BlockTrafficTracker` per block.
+
+    Memory is bounded: whenever a buffer's pending matrices exceed
+    ``compact_columns`` columns they are folded into a sentinel-padded
+    per-block unique-line matrix (:func:`~repro.gpu.memory.rowwise_unique_pad`),
+    whose width is the per-block working set (tile + halo lines) rather than
+    the total number of recorded accesses.  Kernels with many counted loads
+    per block therefore hold O(batch * (compact_columns + unique_lines))
+    instead of O(batch * threads * loads).
+    """
+
+    #: pending columns per buffer before folding into the compact form
+    COMPACT_COLUMNS = 1024
+
+    def __init__(self, num_blocks: int, line_bytes: int = 128,
+                 compact_columns: Optional[int] = None) -> None:
+        self.num_blocks = int(num_blocks)
+        self.line_bytes = line_bytes
+        self.compact_columns = int(compact_columns or self.COMPACT_COLUMNS)
+        self._pending: Dict[int, List[np.ndarray]] = {}
+        self._pending_columns: Dict[int, int] = {}
+        self._compact: Dict[int, np.ndarray] = {}
+
+    def record_read(self, buffer: DeviceBuffer, lines: np.ndarray,
+                    mask: Optional[np.ndarray]) -> None:
+        """Record one load's line matrix (``mask`` marks the active lanes)."""
+        if buffer.cached:
+            return
+        chunk = np.where(mask, lines, _SENTINEL) if mask is not None \
+            else np.ascontiguousarray(lines)
+        key = buffer.buffer_id
+        self._pending.setdefault(key, []).append(chunk)
+        self._pending_columns[key] = self._pending_columns.get(key, 0) + chunk.shape[1]
+        if self._pending_columns[key] >= self.compact_columns:
+            self._fold(key)
+
+    def _fold(self, key: int) -> None:
+        chunks = self._pending.pop(key, [])
+        self._pending_columns[key] = 0
+        compact = self._compact.get(key)
+        if compact is not None:
+            chunks.append(compact)
+        if chunks:
+            self._compact[key] = rowwise_unique_pad(np.concatenate(chunks, axis=1))
+
+    def finalize(self) -> float:
+        """Total DRAM read bytes: unique lines per block, summed over blocks."""
+        total = 0
+        for key in set(self._pending) | set(self._compact):
+            self._fold(key)
+            compact = self._compact.get(key)
+            if compact is not None:
+                total += int((compact != _SENTINEL).sum()) * self.line_bytes
+        return float(total)
+
+
+class BatchedBlockContext(_SIMTContextBase):
+    """Execution context of a batch of thread blocks on the simulated GPU.
+
+    Drop-in replacement for :class:`~repro.gpu.block.BlockContext` with a
+    leading block axis: register vectors are ``(num_blocks, block_threads)``
+    arrays, ``block_idx_x/y/z`` are ``(num_blocks, 1)`` columns and every
+    index/mask argument may be anything broadcastable to the register shape.
+    The shared kernel surface (arithmetic, shuffles, coercion) lives in
+    :class:`~repro.gpu.block._SIMTContextBase`; only the memory paths and
+    their vectorized accounting are defined here.
+    """
+
+    def __init__(
+        self,
+        block_indices: np.ndarray,
+        grid_dim: Tuple[int, int, int],
+        block_threads: int,
+        architecture: GPUArchitecture,
+        counters: KernelCounters,
+        precision: Precision,
+        count_traffic: bool = True,
+    ) -> None:
+        block_indices = np.asarray(block_indices, dtype=np.int64)
+        if block_indices.ndim != 2 or block_indices.shape[1] != 3:
+            raise SimulationError("block_indices must have shape (num_blocks, 3)")
+        self.block_indices = block_indices
+        self.num_blocks = int(block_indices.shape[0])
+        self.grid_dim = grid_dim
+        self.block_threads = int(block_threads)
+        self.architecture = architecture
+        self.counters = counters
+        self.precision = precision
+        self.warp_size = architecture.warp_size
+        if self.block_threads % self.warp_size != 0:
+            raise SimulationError(
+                f"block size {self.block_threads} must be a multiple of the warp size"
+            )
+        self.num_warps = self.block_threads // self.warp_size
+        self.shared = BatchedSharedMemory(self.num_blocks,
+                                          architecture.shared_memory_per_block,
+                                          architecture.shared_memory_banks,
+                                          architecture.shared_memory_bank_bytes)
+        self._traffic = (BatchedTrafficTracker(self.num_blocks,
+                                               architecture.cache_line_bytes)
+                         if count_traffic else None)
+        self._thread_idx = np.arange(self.block_threads, dtype=np.int64)
+        self._register_shape = (self.num_blocks, self.block_threads)
+        self._issue_warps = self.num_blocks * self.num_warps
+        counters.blocks_executed += self.num_blocks
+        counters.warps_executed += self.num_blocks * self.num_warps
+
+    # ------------------------------------------------------------------ ids
+    @property
+    def register_shape(self) -> Tuple[int, int]:
+        """Shape of a per-thread register vector: ``(num_blocks, threads)``."""
+        return self._register_shape
+
+    @property
+    def thread_idx_x(self) -> np.ndarray:
+        """``threadIdx.x`` of every thread (shape ``(B,)``, same per block)."""
+        return self._thread_idx
+
+    @property
+    def lane_id(self) -> np.ndarray:
+        """Lane index of every thread within its warp."""
+        return self._thread_idx % self.warp_size
+
+    @property
+    def warp_id(self) -> np.ndarray:
+        """Warp index of every thread within its block."""
+        return self._thread_idx // self.warp_size
+
+    @property
+    def block_idx_x(self) -> np.ndarray:
+        """``blockIdx.x`` per batch entry, shape ``(num_blocks, 1)``."""
+        return self.block_indices[:, 0:1]
+
+    @property
+    def block_idx_y(self) -> np.ndarray:
+        return self.block_indices[:, 1:2]
+
+    @property
+    def block_idx_z(self) -> np.ndarray:
+        return self.block_indices[:, 2:3]
+
+    # ------------------------------------------------------- warp bookkeeping
+    def _active_warps(self, mask: Optional[np.ndarray]) -> int:
+        if mask is None:
+            return self.num_blocks * self.num_warps
+        active, divergent = grouped_warp_counts(mask, self.warp_size)
+        self.counters.divergent_branches += divergent
+        return active
+
+    def _warp_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Reshape a register-shaped array to ``(batch * warps, warp_size)``."""
+        return np.ascontiguousarray(values).reshape(-1, self.warp_size)
+
+    # ----------------------------------------------------------- global mem
+    def load_global(self, buffer: DeviceBuffer, flat_indices: np.ndarray,
+                    mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather ``buffer[flat_indices]`` for every block of the batch."""
+        flat_indices = self._as_indices(flat_indices, "load_global")
+        if np.any(flat_indices < 0) or np.any(flat_indices >= buffer.size):
+            raise SimulationError(f"out-of-bounds global load on {buffer.name!r}")
+        mask = self._as_mask(mask)
+        warps = self._active_warps(mask)
+        self.counters.gmem_load += warps
+        itemsize = buffer.itemsize
+        # one line matrix serves both the sector count and the traffic record
+        lines = (flat_indices * itemsize) // self.architecture.cache_line_bytes
+        self.counters.gmem_load_transactions += int(
+            rowwise_unique_counts(self._warp_matrix(lines),
+                                  None if mask is None else self._warp_matrix(mask)).sum())
+        active = flat_indices.size if mask is None else int(mask.sum())
+        self.counters.cache_read_bytes += float(active * itemsize)
+        if self._traffic is not None and active:
+            self._traffic.record_read(buffer, lines, mask)
+        values = np.zeros(self._register_shape, dtype=buffer.dtype)
+        if mask is None:
+            values[:] = buffer.flat[flat_indices]
+        else:
+            values[mask] = buffer.flat[flat_indices[mask]]
+        return values.astype(self.numpy_dtype, copy=False)
+
+    def store_global(self, buffer: DeviceBuffer, flat_indices: np.ndarray,
+                     values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
+        """Scatter ``values`` into ``buffer`` for every block of the batch.
+
+        Duplicate destinations resolve in block order (later block wins),
+        matching the sequential per-block engine.
+        """
+        flat_indices = self._as_indices(flat_indices, "store_global")
+        if np.any(flat_indices < 0) or np.any(flat_indices >= buffer.size):
+            raise SimulationError(f"out-of-bounds global store on {buffer.name!r}")
+        mask = self._as_mask(mask)
+        warps = self._active_warps(mask)
+        self.counters.gmem_store += warps
+        itemsize = buffer.itemsize
+        self.counters.gmem_store_transactions += coalesced_transactions_matrix(
+            self._warp_matrix(flat_indices), itemsize,
+            self.architecture.cache_line_bytes,
+            None if mask is None else self._warp_matrix(mask))
+        active = flat_indices.size if mask is None else int(mask.sum())
+        self.counters.dram_write_bytes += float(active * itemsize)
+        values = np.broadcast_to(np.asarray(values), self._register_shape)
+        if mask is None:
+            buffer.flat[flat_indices] = values.astype(buffer.dtype, copy=False)
+        else:
+            buffer.flat[flat_indices[mask]] = values[mask].astype(buffer.dtype,
+                                                                  copy=False)
+
+    # ----------------------------------------------------------- shared mem
+    def alloc_shared(self, name: str, shape: Tuple[int, ...],
+                     precision: Optional[object] = None) -> BatchedSharedArray:
+        """Allocate a named shared-memory array in every block of the batch."""
+        prec = self.precision if precision is None else resolve_precision(precision)
+        return self.shared.allocate(name, shape, prec)
+
+    def _smem_access(self, shared: BatchedSharedArray, flat_indices: object,
+                     mask: Optional[object], op: str):
+        raw = np.asarray(flat_indices)
+        # warp-uniform accesses (a scalar or per-block column index) are
+        # broadcasts by construction: all active lanes of every warp read
+        # one address, so the sort/bincount conflict analysis is skipped.
+        uniform = raw.ndim == 0 or raw.shape[-1] == 1
+        flat_indices = self._as_indices(flat_indices, op)
+        size = shared.flat.shape[1]
+        if np.any(flat_indices < 0) or np.any(flat_indices >= size):
+            raise SimulationError(
+                f"out-of-bounds shared {op.split('_')[0]} on {shared.name!r}")
+        lane_mask = self._as_mask(mask)
+        if uniform:
+            rows = self.num_blocks * self.num_warps
+            if lane_mask is None:
+                active_counts = np.full(rows, self.warp_size, dtype=np.int64)
+            else:
+                active_counts = self._warp_matrix(lane_mask).sum(axis=1)
+            broadcasts = active_counts > 0
+            degrees = broadcasts.astype(np.int64)
+        else:
+            degrees, broadcasts, active_counts = bank_conflict_profile(
+                self._warp_matrix(flat_indices), shared.array.itemsize,
+                self.shared.banks, self.shared.bank_bytes,
+                None if lane_mask is None else self._warp_matrix(lane_mask))
+        return flat_indices, lane_mask, degrees, broadcasts, active_counts, uniform
+
+    def load_shared(self, shared: BatchedSharedArray, flat_indices: np.ndarray,
+                    mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Counted shared-memory gather (bank conflicts and broadcasts).
+
+        Warp-uniform unmasked reads (the broadcast-weight pattern) gather
+        one element per block and broadcast it across the lanes, instead of
+        gathering one element per lane.
+        """
+        flat_indices, lane_mask, degrees, broadcasts, active_counts, uniform = \
+            self._smem_access(shared, flat_indices, mask, "load_shared")
+        itemsize = shared.array.itemsize
+        occupied = active_counts > 0
+        broadcast_warps = int((broadcasts & occupied).sum())
+        conflict_degrees = degrees[occupied & ~broadcasts]
+        accesses = int(conflict_degrees.sum())
+        conflicts = int((conflict_degrees - 1).sum())
+        self.counters.smem_broadcast += broadcast_warps
+        self.counters.smem_load += accesses
+        self.counters.smem_bank_conflicts += conflicts
+        self.shared.broadcast_count += broadcast_warps
+        self.shared.access_count += accesses
+        self.shared.conflict_extra += conflicts
+        active_total = int(active_counts.sum())
+        self.shared.bytes_read += float(active_total * itemsize)
+        self.counters.smem_read_bytes += float(active_total * itemsize)
+        if lane_mask is None and uniform:
+            per_block = shared.flat[np.arange(self.num_blocks), flat_indices[:, 0]]
+            values = np.empty(self._register_shape, dtype=self.numpy_dtype)
+            values[:] = per_block.astype(self.numpy_dtype, copy=False)[:, None]
+            return values
+        rows = np.broadcast_to(np.arange(self.num_blocks)[:, None], self._register_shape)
+        if lane_mask is None:
+            return shared.flat[rows, flat_indices].astype(self.numpy_dtype, copy=False)
+        values = np.zeros(self._register_shape, dtype=self.numpy_dtype)
+        values[lane_mask] = shared.flat[rows[lane_mask], flat_indices[lane_mask]] \
+            .astype(self.numpy_dtype, copy=False)
+        return values
+
+    def store_shared(self, shared: BatchedSharedArray, flat_indices: np.ndarray,
+                     values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
+        """Counted shared-memory scatter."""
+        flat_indices, lane_mask, degrees, broadcasts, active_counts, _ = \
+            self._smem_access(shared, flat_indices, mask, "store_shared")
+        itemsize = shared.array.itemsize
+        store_degrees = degrees[active_counts > 0]
+        accesses = int(store_degrees.sum())
+        conflicts = int((store_degrees - 1).sum())
+        self.counters.smem_store += accesses
+        self.counters.smem_bank_conflicts += conflicts
+        self.shared.access_count += accesses
+        self.shared.conflict_extra += conflicts
+        active_total = int(active_counts.sum())
+        self.shared.bytes_written += float(active_total * itemsize)
+        self.counters.smem_write_bytes += float(active_total * itemsize)
+        values = np.broadcast_to(np.asarray(values), self._register_shape)
+        rows = np.broadcast_to(np.arange(self.num_blocks)[:, None], self._register_shape)
+        if lane_mask is None:
+            shared.flat[rows, flat_indices] = values.astype(shared.array.dtype,
+                                                            copy=False)
+        else:
+            shared.flat[rows[lane_mask], flat_indices[lane_mask]] = \
+                values[lane_mask].astype(shared.array.dtype, copy=False)
+
+    # ------------------------------------------------------------- finalize
+    def finalize(self) -> None:
+        """Fold the batch's unique-line DRAM reads into the launch counters."""
+        if self._traffic is not None:
+            self.counters.dram_read_bytes += self._traffic.finalize()

@@ -34,7 +34,101 @@ from . import warp as warp_ops
 from .simt import active_warp_count, divergent_warp_count
 
 
-class BlockContext:
+class _SIMTContextBase:
+    """Operations shared by the legacy and batched execution contexts.
+
+    Both engines expose the same kernel programming surface; everything that
+    differs only by the shape of a register vector and the warp-instruction
+    multiplier lives here, so the two engines cannot drift apart.
+    Subclasses provide ``counters``, ``precision``, ``warp_size``,
+    ``_register_shape`` (shape of one per-thread register vector:
+    ``(threads,)`` legacy, ``(num_blocks, threads)`` batched) and
+    ``_issue_warps`` (warps per counted instruction: warps per block, times
+    the batch size on the batched engine).
+    """
+
+    counters: KernelCounters
+    precision: Precision
+    warp_size: int
+    _register_shape: Tuple[int, ...]
+    _issue_warps: int
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Element dtype of the kernel's working precision."""
+        return self.precision.numpy_dtype
+
+    def zeros(self) -> np.ndarray:
+        """A zero-filled per-thread register vector."""
+        return np.zeros(self._register_shape, dtype=self.numpy_dtype)
+
+    def full(self, value: float) -> np.ndarray:
+        """A constant per-thread register vector."""
+        return np.full(self._register_shape, value, dtype=self.numpy_dtype)
+
+    # ------------------------------------------------------------- coercion
+    def _as_indices(self, flat_indices: object, op: str) -> np.ndarray:
+        """Coerce indices to one ``int64`` entry per thread (broadcasting)."""
+        arr = np.asarray(flat_indices, dtype=np.int64)
+        try:
+            return np.broadcast_to(arr, self._register_shape)
+        except ValueError:
+            raise SimulationError(f"{op} expects one index per thread") from None
+
+    def _as_mask(self, mask: Optional[object]) -> Optional[np.ndarray]:
+        if mask is None:
+            return None
+        arr = np.asarray(mask, dtype=bool)
+        try:
+            return np.broadcast_to(arr, self._register_shape)
+        except ValueError:
+            raise SimulationError("mask must broadcast to one lane per thread") from None
+
+    def _as_register(self, values: object) -> np.ndarray:
+        return np.broadcast_to(np.asarray(values), self._register_shape)
+
+    # --------------------------------------------------------------- shuffles
+    def shfl_up(self, values: np.ndarray, delta: int = 1) -> np.ndarray:
+        """``__shfl_up_sync`` across each warp (counted)."""
+        self.counters.shfl += self._issue_warps
+        return warp_ops.shfl_up(self._as_register(values), delta, self.warp_size)
+
+    def shfl_down(self, values: np.ndarray, delta: int = 1) -> np.ndarray:
+        """``__shfl_down_sync`` across each warp (counted)."""
+        self.counters.shfl += self._issue_warps
+        return warp_ops.shfl_down(self._as_register(values), delta, self.warp_size)
+
+    def shfl_idx(self, values: np.ndarray, source_lane: int) -> np.ndarray:
+        """``__shfl_sync`` broadcast from ``source_lane`` (counted)."""
+        self.counters.shfl += self._issue_warps
+        return warp_ops.shfl_idx(self._as_register(values), source_lane, self.warp_size)
+
+    # -------------------------------------------------------------- arithmetic
+    def mad(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
+        """Fused multiply-add ``a * b + acc`` (one FMA warp instruction)."""
+        self.counters.fma += self._issue_warps
+        return np.asarray(a, dtype=self.numpy_dtype) * np.asarray(b, dtype=self.numpy_dtype) + acc
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Counted addition."""
+        self.counters.add += self._issue_warps
+        return np.asarray(a, dtype=self.numpy_dtype) + np.asarray(b, dtype=self.numpy_dtype)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Counted multiplication."""
+        self.counters.mul += self._issue_warps
+        return np.asarray(a, dtype=self.numpy_dtype) * np.asarray(b, dtype=self.numpy_dtype)
+
+    def overhead(self, instructions: float = 1.0) -> None:
+        """Account for integer/addressing instructions not modelled explicitly."""
+        self.counters.misc += instructions * self._issue_warps
+
+    def syncthreads(self) -> None:
+        """``__syncthreads()`` — counted barrier, no functional effect here."""
+        self.counters.sync += self._issue_warps
+
+
+class BlockContext(_SIMTContextBase):
     """Execution context of a single thread block on the simulated GPU."""
 
     def __init__(
@@ -64,6 +158,8 @@ class BlockContext:
                                    architecture.shared_memory_bank_bytes)
         self._traffic = BlockTrafficTracker(architecture.cache_line_bytes) if count_traffic else None
         self._thread_idx = np.arange(self.block_threads, dtype=np.int64)
+        self._register_shape = (self.block_threads,)
+        self._issue_warps = self.num_warps
         counters.blocks_executed += 1
         counters.warps_executed += self.num_warps
 
@@ -95,19 +191,6 @@ class BlockContext:
     def block_idx_z(self) -> int:
         return self.block_idx[2]
 
-    @property
-    def numpy_dtype(self) -> np.dtype:
-        """Element dtype of the kernel's working precision."""
-        return self.precision.numpy_dtype
-
-    def zeros(self) -> np.ndarray:
-        """A zero-filled per-thread register vector."""
-        return np.zeros(self.block_threads, dtype=self.numpy_dtype)
-
-    def full(self, value: float) -> np.ndarray:
-        """A constant per-thread register vector."""
-        return np.full(self.block_threads, value, dtype=self.numpy_dtype)
-
     # ------------------------------------------------------- warp bookkeeping
     def _active_warps(self, mask: Optional[np.ndarray]) -> int:
         if mask is None:
@@ -121,20 +204,19 @@ class BlockContext:
                     mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Gather ``buffer[flat_indices]`` with full traffic accounting.
 
-        ``flat_indices`` is a per-thread array of flattened element indices;
-        masked-off lanes return 0 and generate no traffic.
+        ``flat_indices`` is a per-thread array of flattened element indices
+        (anything broadcastable to one index per thread); masked-off lanes
+        return 0 and generate no traffic.
         """
-        flat_indices = np.asarray(flat_indices, dtype=np.int64)
-        if flat_indices.shape != (self.block_threads,):
-            raise SimulationError("load_global expects one index per thread")
+        flat_indices = self._as_indices(flat_indices, "load_global")
         if np.any(flat_indices < 0) or np.any(flat_indices >= buffer.size):
             raise SimulationError(
                 f"out-of-bounds global load on {buffer.name!r}"
             )
+        mask = self._as_mask(mask)
         if mask is None:
             active_indices = flat_indices
         else:
-            mask = np.asarray(mask, dtype=bool)
             active_indices = flat_indices[mask]
         warps = self._active_warps(mask)
         self.counters.gmem_load += warps
@@ -161,17 +243,20 @@ class BlockContext:
 
     def store_global(self, buffer: DeviceBuffer, flat_indices: np.ndarray,
                      values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
-        """Scatter ``values`` into ``buffer`` with traffic accounting."""
-        flat_indices = np.asarray(flat_indices, dtype=np.int64)
-        values = np.asarray(values)
-        if flat_indices.shape != (self.block_threads,):
-            raise SimulationError("store_global expects one index per thread")
+        """Scatter ``values`` into ``buffer`` with traffic accounting.
+
+        Write traffic is charged directly (one byte of DRAM per byte
+        stored); stores are not routed through the unique-line tracker.
+        """
+        flat_indices = self._as_indices(flat_indices, "store_global")
+        values = np.broadcast_to(np.asarray(values), (self.block_threads,))
         if np.any(flat_indices < 0) or np.any(flat_indices >= buffer.size):
             raise SimulationError(f"out-of-bounds global store on {buffer.name!r}")
+        mask = self._as_mask(mask)
         warps = self._active_warps(mask)
         self.counters.gmem_store += warps
         itemsize = buffer.itemsize
-        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else mask
         grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
         grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
         transactions = 0
@@ -182,8 +267,6 @@ class BlockContext:
         self.counters.gmem_store_transactions += transactions
         active_indices = flat_indices[lane_mask]
         self.counters.dram_write_bytes += float(active_indices.size * itemsize)
-        if self._traffic is not None and active_indices.size:
-            self._traffic.record_write(buffer, active_indices)
         buffer.flat[flat_indices[lane_mask]] = values[lane_mask].astype(buffer.dtype, copy=False)
 
     # ----------------------------------------------------------- shared mem
@@ -196,13 +279,12 @@ class BlockContext:
     def load_shared(self, shared: SharedArray, flat_indices: np.ndarray,
                     mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Counted shared-memory gather (bank conflicts and broadcasts)."""
-        flat_indices = np.asarray(flat_indices, dtype=np.int64)
-        if flat_indices.shape != (self.block_threads,):
-            raise SimulationError("load_shared expects one index per thread")
+        flat_indices = self._as_indices(flat_indices, "load_shared")
         size = shared.array.size
         if np.any(flat_indices < 0) or np.any(flat_indices >= size):
             raise SimulationError(f"out-of-bounds shared load on {shared.name!r}")
-        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        mask = self._as_mask(mask)
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else mask
         grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
         grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
         for w in range(self.num_warps):
@@ -223,14 +305,13 @@ class BlockContext:
     def store_shared(self, shared: SharedArray, flat_indices: np.ndarray,
                      values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
         """Counted shared-memory scatter."""
-        flat_indices = np.asarray(flat_indices, dtype=np.int64)
-        values = np.asarray(values)
-        if flat_indices.shape != (self.block_threads,):
-            raise SimulationError("store_shared expects one index per thread")
+        flat_indices = self._as_indices(flat_indices, "store_shared")
+        values = np.broadcast_to(np.asarray(values), (self.block_threads,))
         size = shared.array.size
         if np.any(flat_indices < 0) or np.any(flat_indices >= size):
             raise SimulationError(f"out-of-bounds shared store on {shared.name!r}")
-        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        mask = self._as_mask(mask)
+        lane_mask = np.ones(self.block_threads, dtype=bool) if mask is None else mask
         grouped_idx = flat_indices.reshape(self.num_warps, self.warp_size)
         grouped_mask = lane_mask.reshape(self.num_warps, self.warp_size)
         for w in range(self.num_warps):
@@ -243,52 +324,8 @@ class BlockContext:
         self.counters.smem_write_bytes += float(lane_mask.sum() * shared.array.itemsize)
         shared.flat[flat_indices[lane_mask]] = values[lane_mask].astype(shared.array.dtype, copy=False)
 
-    def syncthreads(self) -> None:
-        """``__syncthreads()`` — counted barrier, no functional effect here."""
-        self.counters.sync += self.num_warps
-
-    # --------------------------------------------------------------- shuffles
-    def shfl_up(self, values: np.ndarray, delta: int = 1) -> np.ndarray:
-        """``__shfl_up_sync`` across each warp of the block (counted)."""
-        values = np.asarray(values)
-        self.counters.shfl += self.num_warps
-        return warp_ops.shfl_up(values, delta, self.warp_size)
-
-    def shfl_down(self, values: np.ndarray, delta: int = 1) -> np.ndarray:
-        """``__shfl_down_sync`` across each warp of the block (counted)."""
-        values = np.asarray(values)
-        self.counters.shfl += self.num_warps
-        return warp_ops.shfl_down(values, delta, self.warp_size)
-
-    def shfl_idx(self, values: np.ndarray, source_lane: int) -> np.ndarray:
-        """``__shfl_sync`` broadcast from ``source_lane`` (counted)."""
-        values = np.asarray(values)
-        self.counters.shfl += self.num_warps
-        return warp_ops.shfl_idx(values, source_lane, self.warp_size)
-
-    # -------------------------------------------------------------- arithmetic
-    def mad(self, a: np.ndarray, b: np.ndarray, acc: np.ndarray) -> np.ndarray:
-        """Fused multiply-add ``a * b + acc`` (one FMA warp instruction)."""
-        self.counters.fma += self.num_warps
-        return np.asarray(a, dtype=self.numpy_dtype) * np.asarray(b, dtype=self.numpy_dtype) + acc
-
-    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Counted addition."""
-        self.counters.add += self.num_warps
-        return np.asarray(a, dtype=self.numpy_dtype) + np.asarray(b, dtype=self.numpy_dtype)
-
-    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Counted multiplication."""
-        self.counters.mul += self.num_warps
-        return np.asarray(a, dtype=self.numpy_dtype) * np.asarray(b, dtype=self.numpy_dtype)
-
-    def overhead(self, instructions: float = 1.0) -> None:
-        """Account for integer/addressing instructions not modelled explicitly."""
-        self.counters.misc += instructions * self.num_warps
-
     # ------------------------------------------------------------- finalize
     def finalize(self) -> None:
         """Fold the block's unique-line DRAM reads into the launch counters."""
         if self._traffic is not None:
-            read_bytes, _ = self._traffic.finalize()
-            self.counters.dram_read_bytes += read_bytes
+            self.counters.dram_read_bytes += self._traffic.finalize()

@@ -1,7 +1,7 @@
 """Kernel objects, launch configuration and grid execution.
 
 A :class:`Kernel` wraps a Python function with the signature
-``func(ctx: BlockContext, *args)`` and executes it once per thread block of
+``func(ctx: BlockContext, *args)`` and executes it over the thread blocks of
 the launch grid, accumulating :class:`~repro.gpu.counters.KernelCounters`.
 
 Two execution modes are supported:
@@ -12,23 +12,75 @@ Two execution modes are supported:
   are scaled up; outputs are partial, but the cost estimate is cheap even
   for paper-scale grids (used by the benchmark harness when a closed-form
   traffic profile is not available).
+
+Either mode runs on one of two engines:
+
+* **batched** (the default, ``batch_size="auto"``) — large chunks of the
+  grid execute as one vectorized pass through
+  :class:`~repro.gpu.batch.BatchedBlockContext`, with all coalescing /
+  unique-line / bank-conflict accounting computed by segmented NumPy
+  reductions instead of per-warp Python loops;
+* **legacy** (``batch_size=1``) — one
+  :class:`~repro.gpu.block.BlockContext` per block in a Python loop, kept
+  for differential testing of the batched engine.
+
+Both engines produce bit-identical outputs and identical counters.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..dtypes import Precision, resolve_precision
 from ..errors import ConfigurationError, LaunchError
 from .architecture import GPUArchitecture, get_architecture
+from .batch import BatchedBlockContext
 from .block import BlockContext
 from .counters import KernelCounters
 from .occupancy import OccupancyResult, compute_occupancy
 from .profiler import TimingBreakdown, estimate_time
+
+#: default per-batch memory budget of the ``batch_size="auto"`` heuristic
+DEFAULT_BATCH_MEMORY_BYTES = 128 * 1024 * 1024
+#: hard cap on blocks per batch (keeps peak temporaries bounded even for
+#: tiny block sizes)
+MAX_AUTO_BATCH_BLOCKS = 4096
+
+
+def auto_batch_size(config: "LaunchConfig",
+                    memory_budget_bytes: int = DEFAULT_BATCH_MEMORY_BYTES) -> int:
+    """Blocks per batch chosen so a batch's working set fits a memory budget.
+
+    The per-block footprint is estimated from the launch configuration: each
+    live register vector costs ``block_threads`` elements (counted at the
+    declared ``registers_per_thread``, 8 bytes each to cover float64 and the
+    int64 index/line temporaries), plus the block's declared shared memory
+    (allocated once per block of the batch) and a flat allowance for the
+    traffic tracker's per-access line matrices.
+    """
+    bytes_per_vector = 8  # int64 indices / float64 registers dominate
+    registers = max(8, int(config.registers_per_thread))
+    per_block = (config.block_threads * (registers * bytes_per_vector + 64)
+                 + int(config.shared_bytes_per_block))
+    blocks = max(1, int(memory_budget_bytes) // max(1, per_block))
+    return int(min(blocks, MAX_AUTO_BATCH_BLOCKS))
+
+
+def _resolve_batch_size(batch_size: Union[int, str, None], config: "LaunchConfig",
+                        total_blocks: int) -> int:
+    if batch_size is None or batch_size == "auto":
+        resolved = auto_batch_size(config)
+    elif isinstance(batch_size, bool) or not isinstance(batch_size, (int, np.integer)):
+        raise LaunchError(f"batch_size must be a positive int or 'auto', got {batch_size!r}")
+    else:
+        resolved = int(batch_size)
+        if resolved < 1:
+            raise LaunchError("batch_size must be >= 1")
+    return max(1, min(resolved, max(1, total_blocks)))
 
 
 @dataclass(frozen=True)
@@ -148,6 +200,7 @@ class Kernel:
         architecture: object = "p100",
         max_blocks: Optional[int] = None,
         count_traffic: bool = True,
+        batch_size: Union[int, str, None] = "auto",
     ) -> LaunchResult:
         """Execute the kernel over the launch grid.
 
@@ -167,6 +220,11 @@ class Kernel:
         count_traffic:
             Disable per-block unique-line DRAM accounting (faster) when the
             caller supplies traffic analytically.
+        batch_size:
+            Blocks executed per vectorized batch.  ``"auto"`` (default)
+            bounds the batch by a memory budget (:func:`auto_batch_size`);
+            ``1`` selects the legacy per-block loop, which produces
+            bit-identical results and counters.
         """
         arch = get_architecture(architecture)
         if config.block_threads % arch.warp_size != 0:
@@ -182,20 +240,38 @@ class Kernel:
             stride = max(1, total_blocks // max_blocks)
             block_indices = block_indices[::stride][:max_blocks]
             sampled = True
+        chunk = _resolve_batch_size(batch_size, config, len(block_indices))
         executed = 0
-        for block_idx in block_indices:
-            ctx = BlockContext(
-                block_idx=block_idx,
-                grid_dim=config.grid_dim,
-                block_threads=config.block_threads,
-                architecture=arch,
-                counters=counters,
-                precision=config.precision,
-                count_traffic=count_traffic,
-            )
-            self.func(ctx, *args)
-            ctx.finalize()
-            executed += 1
+        if chunk <= 1:
+            for block_idx in block_indices:
+                ctx = BlockContext(
+                    block_idx=block_idx,
+                    grid_dim=config.grid_dim,
+                    block_threads=config.block_threads,
+                    architecture=arch,
+                    counters=counters,
+                    precision=config.precision,
+                    count_traffic=count_traffic,
+                )
+                self.func(ctx, *args)
+                ctx.finalize()
+                executed += 1
+        else:
+            index_matrix = np.asarray(block_indices, dtype=np.int64).reshape(-1, 3)
+            for start in range(0, index_matrix.shape[0], chunk):
+                batch = index_matrix[start:start + chunk]
+                ctx = BatchedBlockContext(
+                    block_indices=batch,
+                    grid_dim=config.grid_dim,
+                    block_threads=config.block_threads,
+                    architecture=arch,
+                    counters=counters,
+                    precision=config.precision,
+                    count_traffic=count_traffic,
+                )
+                self.func(ctx, *args)
+                ctx.finalize()
+                executed += int(batch.shape[0])
         sample_fraction = executed / total_blocks if total_blocks else 1.0
         if sampled and sample_fraction > 0:
             counters = counters.scaled(1.0 / sample_fraction)

@@ -10,6 +10,10 @@ block, regardless of how the accesses are scheduled inside the block.
 Per-warp coalescing is still tracked (number of 128-byte sectors per warp
 load/store) because uncoalesced access patterns increase the number of
 transactions the load/store units must issue.
+
+Write traffic is charged directly per store (write-through, no write
+combining across stores), so stores do not go through the unique-line
+tracker; only reads do.
 """
 
 from __future__ import annotations
@@ -145,17 +149,103 @@ def coalesced_transactions(flat_indices: np.ndarray, itemsize: int,
     return int(np.unique(lines).size)
 
 
+_SENTINEL = np.iinfo(np.int64).max
+
+
+def rowwise_sorted_firsts(values: np.ndarray,
+                          mask: Optional[np.ndarray] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort each row and flag the first occurrence of every distinct value.
+
+    The one segmented-unique primitive shared by every vectorised
+    accounting path (coalescing sectors, unique-line DRAM traffic, bank
+    conflicts): returns ``(work, firsts)`` where ``work`` is the row-sorted
+    copy of ``values`` with masked-off entries replaced by the int64-max
+    sentinel, and ``firsts`` marks, per row, the first occurrence of each
+    distinct non-sentinel value — so ``firsts.sum(axis=1)`` is the per-row
+    unique count and ``work[firsts]`` are the unique values themselves.
+    Sentinel entries already present in ``values`` are treated as padding.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 2:
+        raise SimulationError("rowwise_sorted_firsts expects a 2-D matrix")
+    work = np.where(mask, values, _SENTINEL) if mask is not None else np.array(values)
+    work.sort(axis=1)
+    valid = work != _SENTINEL
+    firsts = np.empty(work.shape, dtype=bool)
+    if work.shape[1]:
+        firsts[:, 0] = valid[:, 0]
+        firsts[:, 1:] = valid[:, 1:] & (work[:, 1:] != work[:, :-1])
+    return work, firsts
+
+
+def rowwise_unique_counts(values: np.ndarray,
+                          mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Number of distinct values among the active entries of each row.
+
+    Vectorised equivalent of ``np.unique(row[mask]).size`` applied row by
+    row: one sort over the whole matrix instead of a Python loop, which is
+    what lets the batched execution engine compute per-warp coalescing and
+    per-block unique-line traffic for a whole batch of blocks at once.
+
+    Parameters
+    ----------
+    values:
+        Integer matrix of shape ``(rows, width)``.  Values must be
+        non-negative (the engine passes cache-line / element indices).
+    mask:
+        Optional boolean matrix of the same shape; ``False`` entries are
+        excluded.  Rows with no active entry count 0.
+    """
+    _, firsts = rowwise_sorted_firsts(values, mask)
+    return firsts.sum(axis=1)
+
+
+def rowwise_unique_pad(values: np.ndarray,
+                       mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-row sorted unique values, right-padded with a sentinel.
+
+    Entries equal to ``np.iinfo(np.int64).max`` (and entries excluded by
+    ``mask``) are treated as padding on input, so the output of one call can
+    be concatenated with fresh data and fed back in — the compaction step of
+    the batched traffic tracker's bounded-memory accumulation.
+    """
+    work, firsts = rowwise_sorted_firsts(values, mask)
+    rows = work.shape[0]
+    if rows == 0 or work.shape[1] == 0:
+        return np.full((rows, 1), _SENTINEL, dtype=np.int64)
+    padded_width = max(1, int(firsts.sum(axis=1).max()))
+    out = np.full((rows, padded_width), _SENTINEL, dtype=np.int64)
+    positions = np.cumsum(firsts, axis=1) - 1
+    row_ids = np.broadcast_to(np.arange(rows)[:, None], work.shape)
+    out[row_ids[firsts], positions[firsts]] = work[firsts]
+    return out
+
+
+def coalesced_transactions_matrix(flat_indices: np.ndarray, itemsize: int,
+                                  line_bytes: int = 128,
+                                  mask: Optional[np.ndarray] = None) -> int:
+    """Total sectors touched by a matrix of warp accesses (one warp per row).
+
+    Equivalent to summing :func:`coalesced_transactions` over the rows with
+    inactive lanes filtered by ``mask``, but computed in one vectorised pass.
+    """
+    lines = (np.asarray(flat_indices, dtype=np.int64) * itemsize) // line_bytes
+    return int(rowwise_unique_counts(lines, mask).sum())
+
+
 class BlockTrafficTracker:
-    """Tracks the unique global-memory lines touched by one thread block.
+    """Tracks the unique global-memory lines read by one thread block.
 
     ``finalize`` converts the touched-line sets into DRAM bytes according to
     the perfect-intra-block-reuse policy described in the module docstring.
+    Only *reads* are tracked — write traffic is charged directly per store
+    (see the module docstring).
     """
 
     def __init__(self, line_bytes: int = 128) -> None:
         self.line_bytes = line_bytes
         self._read_lines: Dict[int, List[np.ndarray]] = {}
-        self._written_lines: Dict[int, List[np.ndarray]] = {}
 
     def record_read(self, buffer: DeviceBuffer, flat_indices: np.ndarray) -> None:
         if buffer.cached:
@@ -163,22 +253,15 @@ class BlockTrafficTracker:
         lines = (flat_indices.astype(np.int64) * buffer.itemsize) // self.line_bytes
         self._read_lines.setdefault(buffer.buffer_id, []).append(lines)
 
-    def record_write(self, buffer: DeviceBuffer, flat_indices: np.ndarray) -> None:
-        lines = (flat_indices.astype(np.int64) * buffer.itemsize) // self.line_bytes
-        self._written_lines.setdefault(buffer.buffer_id, []).append(lines)
-
-    def _unique_bytes(self, per_buffer: Dict[int, List[np.ndarray]]) -> float:
+    def finalize(self) -> float:
+        """The block's DRAM read bytes (unique lines per touched buffer)."""
         total = 0
-        for chunks in per_buffer.values():
+        for chunks in self._read_lines.values():
             if not chunks:
                 continue
             lines = np.concatenate(chunks)
             total += int(np.unique(lines).size) * self.line_bytes
         return float(total)
-
-    def finalize(self) -> Tuple[float, float]:
-        """Return ``(dram_read_bytes, dram_write_bytes)`` for the block."""
-        return self._unique_bytes(self._read_lines), self._unique_bytes(self._written_lines)
 
 
 def clamp_indices(indices: np.ndarray, lower: int, upper: int) -> np.ndarray:

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..dtypes import resolve_precision
 from ..errors import ResourceExhaustedError, SimulationError
+from .memory import rowwise_sorted_firsts
 
 
 @dataclass
@@ -70,6 +71,53 @@ def bank_conflict_degree(flat_indices: np.ndarray, itemsize: int,
     return degree
 
 
+def bank_conflict_profile(flat_indices: np.ndarray, itemsize: int,
+                          banks: int = 32, bank_bytes: int = 4,
+                          mask: Optional[np.ndarray] = None
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`bank_conflict_degree` over a matrix of warp accesses.
+
+    Each row of ``flat_indices`` holds the element indices of one warp-level
+    shared-memory access; ``mask`` (same shape) marks the active lanes.
+
+    Returns
+    -------
+    (degrees, broadcasts, active_counts):
+        Per-row arrays.  ``degrees[r]`` equals
+        ``bank_conflict_degree(row_r_active, itemsize, banks, bank_bytes)``
+        (0 for rows with no active lane), ``broadcasts[r]`` is True when all
+        active lanes of the row read the same address, and
+        ``active_counts[r]`` is the number of active lanes.
+    """
+    idx = np.asarray(flat_indices, dtype=np.int64)
+    if idx.ndim != 2:
+        raise SimulationError("bank_conflict_profile expects a 2-D matrix")
+    rows, width = idx.shape
+    if rows == 0 or width == 0:
+        empty = np.zeros(rows, dtype=np.int64)
+        return empty, empty.astype(bool), empty
+    if mask is None:
+        mask = np.ones(idx.shape, dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+    active_counts = mask.sum(axis=1)
+    addresses, uniq = rowwise_sorted_firsts(idx * itemsize, mask)
+    unique_counts = uniq.sum(axis=1)
+    broadcasts = unique_counts == 1
+    degrees = (unique_counts > 0).astype(np.int64)
+    # count distinct addresses per (row, bank); 8-byte elements occupy two
+    # consecutive banks, hence the sub-word loop (mirrors the scalar path)
+    words = addresses // bank_bytes
+    row_ids = np.broadcast_to(np.arange(rows)[:, None], addresses.shape)
+    words_per_element = max(1, itemsize // bank_bytes)
+    for sub in range(words_per_element):
+        bank_ids = (words + sub) % banks
+        keys = (row_ids * banks + bank_ids)[uniq]
+        counts = np.bincount(keys, minlength=rows * banks).reshape(rows, banks)
+        degrees = np.maximum(degrees, counts.max(axis=1))
+    return degrees, broadcasts, active_counts
+
+
 class SharedMemory:
     """Shared-memory arena for one thread block."""
 
@@ -91,21 +139,33 @@ class SharedMemory:
         """Bytes currently allocated in this block's scratchpad."""
         return self._used_bytes
 
-    def allocate(self, name: str, shape: Tuple[int, ...],
-                 precision: object = "float32") -> SharedArray:
-        """Allocate a named shared array (like ``__shared__ T name[...]``)."""
+    def _check_allocate(self, name: str, shape: Tuple[int, ...],
+                        precision: object):
+        """Validate a new named allocation before materializing any array.
+
+        Shared by the per-block and batched arenas so the capacity policy
+        cannot drift between the two engines.  Returns
+        ``(precision, bytes per block)``.
+        """
         if name in self._arrays:
             raise SimulationError(f"shared array {name!r} already allocated")
         prec = resolve_precision(precision)
-        array = np.zeros(shape, dtype=prec.numpy_dtype)
-        if self._used_bytes + array.nbytes > self.capacity_bytes:
+        per_block = int(np.prod(shape, dtype=np.int64)) * prec.itemsize
+        if self._used_bytes + per_block > self.capacity_bytes:
             raise ResourceExhaustedError(
-                f"shared memory exhausted: {self._used_bytes + array.nbytes} bytes "
+                f"shared memory exhausted: {self._used_bytes + per_block} bytes "
                 f"requested, {self.capacity_bytes} available per block"
             )
+        return prec, per_block
+
+    def allocate(self, name: str, shape: Tuple[int, ...],
+                 precision: object = "float32") -> SharedArray:
+        """Allocate a named shared array (like ``__shared__ T name[...]``)."""
+        prec, nbytes = self._check_allocate(name, shape, precision)
+        array = np.zeros(shape, dtype=prec.numpy_dtype)
         shared = SharedArray(name=name, array=array, offset_bytes=self._used_bytes)
         self._arrays[name] = shared
-        self._used_bytes += int(array.nbytes)
+        self._used_bytes += nbytes
         return shared
 
     def get(self, name: str) -> SharedArray:

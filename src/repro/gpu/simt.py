@@ -51,6 +51,24 @@ def divergent_warp_count(mask: np.ndarray, warp_size: int = 32) -> int:
     return int((any_arr & ~all_arr).sum())
 
 
+def grouped_warp_counts(lane_mask: np.ndarray, warp_size: int = 32) -> Tuple[int, int]:
+    """``(active_warps, divergent_warps)`` for a batch of blocks at once.
+
+    ``lane_mask`` has the lane axis last (e.g. shape ``(blocks, threads)``)
+    and its last axis must be a multiple of the warp size; the counts are
+    summed over every warp of every leading index.  This is the vectorised
+    form of :func:`active_warp_count` / :func:`divergent_warp_count` used by
+    the batched execution engine.
+    """
+    mask = np.asarray(lane_mask, dtype=bool)
+    if mask.size == 0:
+        return 0, 0
+    grouped = mask.reshape(-1, warp_size)
+    any_arr = grouped.any(axis=1)
+    all_arr = grouped.all(axis=1)
+    return int(any_arr.sum()), int((any_arr & ~all_arr).sum())
+
+
 def predicate_statistics(mask: np.ndarray, warp_size: int = 32) -> Tuple[int, int, float]:
     """Return ``(active_warps, divergent_warps, active_lane_fraction)``."""
     mask = np.asarray(mask, dtype=bool).reshape(-1)

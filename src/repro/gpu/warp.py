@@ -3,7 +3,10 @@
 These functions reproduce the semantics of ``__shfl_up_sync`` and friends on
 arrays whose *last axis is the lane axis*.  They are pure functions so they
 can be unit-tested and property-tested independently of the block execution
-machinery, which wraps them with instruction accounting.
+machinery, which wraps them with instruction accounting.  Leading axes are
+arbitrary: a ``(threads,)`` register vector from the legacy per-block engine
+and a ``(num_blocks, threads)`` vector from the batched engine shuffle
+identically, which is what lets both engines share one kernel body.
 
 CUDA semantics reproduced here:
 

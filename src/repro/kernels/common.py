@@ -104,9 +104,12 @@ def load_weights_to_shared(ctx: BlockContext, weights: DeviceBuffer, count: int,
 
 
 def broadcast_weight(ctx: BlockContext, smem, flat_index: int) -> np.ndarray:
-    """Warp-uniform (broadcast) read of one staged weight."""
-    indices = np.full(ctx.block_threads, flat_index, dtype=np.int64)
-    return ctx.load_shared(smem, indices)
+    """Warp-uniform (broadcast) read of one staged weight.
+
+    The scalar index broadcasts to one lane per thread on both the legacy
+    and the batched execution engine.
+    """
+    return ctx.load_shared(smem, np.int64(flat_index))
 
 
 def clamp(values: np.ndarray, lower: int, upper: int) -> np.ndarray:

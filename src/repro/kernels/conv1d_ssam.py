@@ -51,7 +51,8 @@ CONV1D_SSAM_KERNEL = Kernel(_conv1d_ssam_block, name="ssam_conv1d")
 
 def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int] = None,
                     architecture: object = "p100", precision: object = "float32",
-                    block_threads: int = 128) -> KernelRunResult:
+                    block_threads: int = 128,
+                    batch_size: object = "auto") -> KernelRunResult:
     """Convolve a 1-D sequence with ``taps`` using the SSAM kernel.
 
     ``out[i] = sum_m in[i + m - anchor] * taps[m]`` with replicate boundary;
@@ -86,7 +87,7 @@ def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int
     )
     launch = CONV1D_SSAM_KERNEL.launch(
         config, args=(src, dst, tuple(float(t) for t in taps), length, anchor),
-        architecture=arch)
+        architecture=arch, batch_size=batch_size)
     return KernelRunResult(
         name="ssam",
         output=dst.to_host(),

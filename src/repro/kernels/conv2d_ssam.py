@@ -54,7 +54,14 @@ def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
                        weights: DeviceBuffer, width: int, height: int,
                        filter_width: int, filter_height: int,
                        outputs_per_thread: int, anchor_x: int, anchor_y: int) -> None:
-    """Listing 1, executed for one thread block."""
+    """Listing 1, executed for one thread block (or a whole batch of blocks).
+
+    Written against the broadcast contract shared by
+    :class:`~repro.gpu.block.BlockContext` and
+    :class:`~repro.gpu.batch.BatchedBlockContext`: block indices are scalars
+    on the legacy path and ``(num_blocks, 1)`` columns on the batched path,
+    so every index expression broadcasts to the context's register shape.
+    """
     m_extent, n_extent, p_extent = filter_width, filter_height, outputs_per_thread
     cache_rows = n_extent + p_extent - 1
     warp_size = ctx.warp_size
@@ -76,7 +83,7 @@ def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
     # (ii) fill the register cache, one coalesced row at a time (lines 13-14)
     register_cache = []
     for j in range(cache_rows):
-        row = clamp(np.full(ctx.block_threads, row_base + j, dtype=np.int64), 0, height - 1)
+        row = clamp(row_base + j, 0, height - 1)
         register_cache.append(ctx.load_global(src, row * width + column))
 
     # (iii)-(v) sliding window over P output rows (lines 16-29)
@@ -94,7 +101,7 @@ def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
         # (vi) write the valid results back to global memory (lines 30-31)
         out_y = ctx.block_idx_y * p_extent + i
         mask = x_mask & (out_y < height)
-        safe_y = min(out_y, height - 1)
+        safe_y = np.minimum(out_y, height - 1)
         ctx.store_global(dst, safe_y * width + safe_x, partial, mask=mask)
 
 
@@ -107,11 +114,13 @@ def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
                     outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
                     block_threads: int = DEFAULT_BLOCK_THREADS,
                     plan: Optional[SSAMPlan] = None,
-                    max_blocks: Optional[int] = None) -> KernelRunResult:
+                    max_blocks: Optional[int] = None,
+                    batch_size: object = "auto") -> KernelRunResult:
     """Convolve ``image`` with ``spec`` using the SSAM kernel.
 
     Parameters mirror the paper's evaluation defaults (P=4, B=128).  Pass
-    ``max_blocks`` to sample the grid when only cost estimates are needed.
+    ``max_blocks`` to sample the grid when only cost estimates are needed,
+    and ``batch_size=1`` to force the legacy per-block engine.
     """
     image = check_image(image)
     require_edge_boundary(spec.boundary, "the SSAM convolution kernel")
@@ -131,6 +140,7 @@ def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
               plan.outputs_per_thread, anchor_x, anchor_y),
         architecture=arch,
         max_blocks=max_blocks,
+        batch_size=batch_size,
     )
     output = None if max_blocks is not None else dst.to_host()
     return KernelRunResult(

@@ -53,23 +53,25 @@ def _scan_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
 
     offsets = ctx.zeros()
     for w in range(ctx.num_warps):
-        total = ctx.load_shared(warp_totals, np.full(ctx.block_threads, w, dtype=np.int64))
+        total = ctx.load_shared(warp_totals, np.int64(w))
         contribution = np.where(warp > w, total, 0.0).astype(ctx.numpy_dtype)
         offsets = ctx.add(offsets, contribution)
     values = ctx.add(values, offsets)
 
     ctx.store_global(dst, safe, values, mask=mask)
     # record the block total so the host pass can make the scan global
+    # (the block index broadcasts to one destination per thread; only the
+    # last thread's lane is active)
     block_last = tid == (ctx.block_threads - 1)
-    ctx.store_global(block_sums, np.full(ctx.block_threads, ctx.block_idx_x, dtype=np.int64),
-                     values, mask=block_last)
+    ctx.store_global(block_sums, ctx.block_idx_x, values, mask=block_last)
 
 
 SCAN_SSAM_KERNEL = Kernel(_scan_block, name="ssam_scan")
 
 
 def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
-              precision: object = "float32", block_threads: int = 128) -> KernelRunResult:
+              precision: object = "float32", block_threads: int = 128,
+              batch_size: object = "auto") -> KernelRunResult:
     """Inclusive prefix sum of a 1-D sequence using the SSAM scan kernel."""
     sequence = np.asarray(sequence)
     if sequence.ndim != 1 or sequence.size == 0:
@@ -91,7 +93,7 @@ def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
         memory_parallelism=2.0,
     )
     launch = SCAN_SSAM_KERNEL.launch(config, args=(src, dst, block_sums, length),
-                                     architecture=arch)
+                                     architecture=arch, batch_size=batch_size)
     # host-side carry propagation across blocks (the "scan of block sums" pass)
     partial = dst.to_host()
     carries = np.cumsum(block_sums.to_host(), dtype=np.float64)

@@ -73,7 +73,7 @@ def _stencil2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
 
     register_cache = []
     for j in range(cache_rows):
-        row = clamp(np.full(ctx.block_threads, row_base + j, dtype=np.int64), 0, height - 1)
+        row = clamp(row_base + j, 0, height - 1)
         register_cache.append(ctx.load_global(src, row * width + column))
 
     # partial sums accumulate towards higher lanes; lane t holds the output
@@ -97,7 +97,7 @@ def _stencil2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
             partial = ctx.shfl_up(partial, trailing)
         out_y = ctx.block_idx_y * p_extent + i
         mask = x_mask & (out_y < height)
-        safe_y = min(out_y, height - 1)
+        safe_y = np.minimum(out_y, height - 1)
         ctx.store_global(dst, safe_y * width + safe_x, partial, mask=mask)
 
 
@@ -109,7 +109,8 @@ def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
                    block_threads: int = DEFAULT_BLOCK_THREADS,
                    plan: Optional[SSAMPlan] = None,
-                   max_blocks: Optional[int] = None) -> KernelRunResult:
+                   max_blocks: Optional[int] = None,
+                   batch_size: object = "auto") -> KernelRunResult:
     """Apply a 2-D stencil for ``iterations`` Jacobi steps with the SSAM kernel."""
     grid = check_image(grid)
     if spec.dims != 2:
@@ -139,6 +140,7 @@ def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                   spec.footprint_height, plan.outputs_per_thread, x_min, y_min),
             architecture=arch,
             max_blocks=max_blocks,
+            batch_size=batch_size,
         )
         merged = launch if merged is None else merged.merged_with(launch)
     final = buffers[iterations % 2]

@@ -85,7 +85,7 @@ def _stencil3d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
 
     register_cache = []
     for j in range(cache_rows):
-        row = clamp(np.full(ctx.block_threads, row_base + j, dtype=np.int64), 0, height - 1)
+        row = clamp(row_base + j, 0, height - 1)
         register_cache.append(ctx.load_global(src, slice_clamped * plane + row * width + column))
 
     # publish the centre rows so neighbouring warps can read their z-neighbours
@@ -116,7 +116,7 @@ def _stencil3d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
                                   ctx.full(coefficient), partial)
 
         out_y = ctx.block_idx_y * p_extent + i
-        safe_y = min(out_y, height - 1)
+        safe_y = np.minimum(out_y, height - 1)
 
         # axial out-of-plane taps: shared memory when the neighbour slice is
         # resident in this block, coalesced global loads otherwise
@@ -129,15 +129,14 @@ def _stencil3d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
                 + source_lane
             from_shared = ctx.load_shared(center, flat)
             z_src = clamp(neighbor_slice, 0, depth - 1)
-            from_global = ctx.load_global(
-                src, z_src * plane + min(safe_y, height - 1) * width + safe_x)
+            from_global = ctx.load_global(src, z_src * plane + safe_y * width + safe_x)
             neighbor_value = np.where(in_block, from_shared, from_global)
             partial = ctx.mad(neighbor_value, ctx.full(coefficient), partial)
 
         # general out-of-plane taps (box stencils): direct clamped global reads
         for dx, dy, dz, coefficient in general:
             z_src = clamp(slice_index + dz, 0, depth - 1)
-            y_src = clamp(np.full(ctx.block_threads, out_y + dy, dtype=np.int64), 0, height - 1)
+            y_src = clamp(out_y + dy, 0, height - 1)
             x_src = clamp(out_x + dx, 0, width - 1)
             value = ctx.load_global(src, z_src * plane + y_src * width + x_src)
             partial = ctx.mad(value, ctx.full(coefficient), partial)
@@ -165,7 +164,8 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                    architecture: object = "p100", precision: object = "float32",
                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
                    block_threads: int = 128,
-                   max_blocks: Optional[int] = None) -> KernelRunResult:
+                   max_blocks: Optional[int] = None,
+                   batch_size: object = "auto") -> KernelRunResult:
     """Apply a 3-D stencil for ``iterations`` Jacobi steps with the SSAM kernel."""
     grid = check_grid3d(grid)
     if spec.dims != 3:
@@ -206,6 +206,7 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                   x_min, x_max, y_min),
             architecture=arch,
             max_blocks=max_blocks,
+            batch_size=batch_size,
         )
         merged = launch if merged is None else merged.merged_with(launch)
     final = buffers[iterations % 2]

@@ -75,16 +75,14 @@ def test_block_traffic_tracker_unique_lines():
     tracker.record_read(buf, np.arange(32))          # one 128 B line
     tracker.record_read(buf, np.arange(32))          # same line again: free
     tracker.record_read(buf, np.arange(32, 64))      # a second line
-    read, written = tracker.finalize()
-    assert read == 256.0
-    assert written == 0.0
+    assert tracker.finalize() == 256.0
 
 
 def test_cached_buffers_generate_no_dram_traffic():
     buf = DeviceBuffer(array=np.zeros(1024, dtype=np.float32), cached=True)
     tracker = BlockTrafficTracker()
     tracker.record_read(buf, np.arange(64))
-    assert tracker.finalize() == (0.0, 0.0)
+    assert tracker.finalize() == 0.0
 
 
 def test_linear_index_helpers():
