@@ -1,0 +1,71 @@
+"""Acceptance harness for the structured experiment pipeline.
+
+Asserts the two pipeline-level guarantees:
+
+* ``--experiment all --quick --jobs 4`` produces **byte-identical**
+  table/figure text to the serial run (the executor keys payloads by job
+  id and assembly order is fixed, so worker count cannot leak into the
+  report);
+* a **warm-cache rerun is >= 5x faster** than the cold run.  Both runs are
+  timed in fresh subprocesses so the cold measurement includes none of
+  this process's warmed ``lru_cache`` state.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.experiments import runner
+
+_TIMING_SCRIPT = """
+import sys, time
+from repro.experiments import runner
+from repro.experiments.cache import SimulationCache
+cache = SimulationCache(sys.argv[1])
+start = time.perf_counter()
+text = runner.run_experiment('all', quick=True, cache=cache)
+print(time.perf_counter() - start)
+print(len(text))
+"""
+
+
+def _timed_subprocess_run(cache_dir: str):
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                       "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    proc = subprocess.run([sys.executable, "-c", _TIMING_SCRIPT, cache_dir],
+                          capture_output=True, text=True, env=env, check=True)
+    seconds, text_length = proc.stdout.strip().splitlines()[-2:]
+    return float(seconds), int(text_length)
+
+
+def test_parallel_report_is_byte_identical_to_serial():
+    serial = runner.run_experiment("all", quick=True, jobs=1)
+    parallel = runner.run_experiment("all", quick=True, jobs=4)
+    assert parallel == serial
+    assert len(serial) > 1000
+
+
+def test_warm_cache_rerun_is_5x_faster_than_cold():
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_seconds, cold_length = _timed_subprocess_run(cache_dir)
+        warm_seconds, warm_length = _timed_subprocess_run(cache_dir)
+    assert warm_length == cold_length
+    assert cold_seconds >= 5 * warm_seconds, (
+        f"warm-cache speedup too small: cold {cold_seconds:.3f}s vs "
+        f"warm {warm_seconds:.3f}s")
+
+
+def test_cached_payloads_render_identically(tmp_path):
+    from repro.experiments.cache import SimulationCache
+
+    cache = SimulationCache(str(tmp_path / "cache"))
+    cold = runner.run_experiment("all", quick=True, cache=cache)
+    warm = runner.run_experiment("all", quick=True, cache=cache)
+    assert warm == cold
+    assert cache.stats()["hits"] == cache.stats()["stores"]

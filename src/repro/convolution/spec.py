@@ -21,6 +21,7 @@ import numpy as np
 
 from ..dtypes import resolve_precision
 from ..errors import SpecificationError
+from ..serialization import array_digest, stable_digest
 
 #: supported boundary handling modes (NumPy pad mode names)
 BOUNDARY_MODES = ("edge", "constant", "wrap", "reflect")
@@ -64,6 +65,36 @@ class ConvolutionSpec:
         ax, ay = self.anchor
         if not (0 <= ax < weights.shape[1] and 0 <= ay < weights.shape[0]):
             raise SpecificationError(f"anchor {self.anchor} outside the filter footprint")
+
+    # -- identity ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable description of this spec (weights included)."""
+        return {
+            "kind": "conv2d",
+            "name": self.name,
+            "boundary": self.boundary,
+            "anchor": list(self.anchor),
+            "shape": [self.filter_height, self.filter_width],
+            "weights_digest": array_digest(self.weights),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash used by plan memoisation and the simulation
+        cache; two specs with identical weights/anchor/boundary share it.
+        Computed once per instance (specs are immutable)."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_digest(self.to_dict())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConvolutionSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
 
     # -- geometry ---------------------------------------------------------
     @property

@@ -86,6 +86,27 @@ class SSAMPlan:
             self.shared_bytes_per_block,
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable identity of this plan (cache keys, artifacts)."""
+        return {
+            "problem": self.problem.fingerprint(),
+            "architecture": self.architecture.name,
+            "precision": self.precision.name,
+            "M": self.filter_width,
+            "N": self.filter_height,
+            "P": self.outputs_per_thread,
+            "C": self.register_cache.cache_values,
+            "registers_per_thread": self.register_cache.registers_per_thread,
+            "block_threads": self.block_threads,
+            "shared_bytes_per_block": self.shared_bytes_per_block,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this plan."""
+        from ..serialization import stable_digest
+
+        return stable_digest(self.to_dict())
+
     def describe(self) -> Dict[str, object]:
         """Summary used by examples and the experiment reports."""
         occupancy = self.occupancy()
@@ -115,14 +136,11 @@ _PLAN_CACHE_MAX = 512
 def _spec_token(spec: Union[ConvolutionSpec, StencilSpec]) -> object:
     """A hashable identity token for a problem spec.
 
-    :class:`ConvolutionSpec` holds a NumPy weights array and is therefore
-    unhashable; its token is built from the array bytes.  Stencil specs are
-    frozen/hashable and serve as their own token.
+    Both spec types expose a stable content ``fingerprint()``; using it as
+    the memoisation token keeps this cache aligned with the on-disk
+    simulation cache, which keys on the same digests.
     """
-    if isinstance(spec, ConvolutionSpec):
-        return ("conv2d", spec.weights.shape, spec.weights.tobytes(),
-                tuple(spec.anchor), spec.boundary, spec.name)
-    return spec
+    return spec.fingerprint()
 
 
 def _cached_plan(kind: str, spec, arch, prec, outputs_per_thread: int,

@@ -1,15 +1,54 @@
-"""Experiment harnesses that regenerate every table and figure of the paper."""
+"""Experiment pipeline regenerating every table and figure of the paper.
 
-from . import figure4, figure5, figure6, model_validation, table1, table2, table3
-from .runner import run_experiment
+Layered as data → execution → presentation:
+
+* :mod:`~repro.experiments.results` — typed results (``Measurement``,
+  ``ExperimentResult``) with lossless JSON artifacts;
+* :mod:`~repro.experiments.jobs` / :mod:`~repro.experiments.parallel` —
+  independent simulation jobs executed inline or across a process pool;
+* :mod:`~repro.experiments.cache` — persistent on-disk memoisation of
+  simulation payloads keyed by spec/config fingerprints + code version;
+* the per-experiment modules (``table1`` ... ``model_validation``) each
+  provide ``jobs``/``assemble``/``render`` plus their legacy ``run``/
+  ``report`` surface;
+* :mod:`~repro.experiments.runner` — the ``ssam-repro`` CLI.
+"""
+
+from . import (
+    cache,
+    figure4,
+    figure5,
+    figure6,
+    jobs,
+    model_validation,
+    parallel,
+    results,
+    runner,
+    table1,
+    table2,
+    table3,
+)
+from .cache import SimulationCache
+from .results import ExperimentResult, Measurement, load_result
+from .runner import run_experiment, run_experiment_results
 
 __all__ = [
+    "cache",
     "figure4",
     "figure5",
     "figure6",
+    "jobs",
     "model_validation",
+    "parallel",
+    "results",
+    "runner",
     "table1",
     "table2",
     "table3",
+    "SimulationCache",
+    "ExperimentResult",
+    "Measurement",
+    "load_result",
     "run_experiment",
+    "run_experiment_results",
 ]

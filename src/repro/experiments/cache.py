@@ -1,0 +1,129 @@
+"""Persistent on-disk memoisation of simulation jobs.
+
+Every experiment decomposes into simulation jobs (:mod:`repro.experiments.jobs`)
+whose payloads — :class:`~repro.gpu.counters.KernelCounters` dictionaries and
+modelled times — are pure functions of the job's parameters and of the
+simulator's code.  The cache keys each payload by a stable hash of
+
+* the job's kernel/function identity,
+* the problem spec fingerprint and launch parameters
+  (specs, plans and launch configs are hashable-serialisable for exactly
+  this purpose),
+* the architecture, precision and engine/mode,
+* a code-version digest over ``src/repro`` so editing the simulator
+  invalidates every stale entry automatically.
+
+Entries are one JSON file each under a two-level shard directory; writes go
+through a temp file + ``os.replace`` so concurrent runs never observe a
+partial entry.  The default location honours ``$SSAM_REPRO_CACHE_DIR`` and
+``$XDG_CACHE_HOME`` and can be overridden per run (``--cache-dir``) or
+disabled entirely (``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from typing import Dict, Mapping, Optional
+
+from ..serialization import atomic_write_json, stable_digest
+
+#: environment variable overriding the default cache directory
+CACHE_DIR_ENV = "SSAM_REPRO_CACHE_DIR"
+#: bumped when the entry layout changes incompatibly
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    """Default persistent cache location (XDG-style, env-overridable)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "ssam-repro")
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every Python source file under ``src/repro``.
+
+    Any edit to the simulator, kernels or experiment definitions changes
+    this digest and therefore invalidates all cached simulations — the
+    cache can never serve results from a different code state.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            hasher.update(os.path.relpath(path, package_root).encode())
+            with open(path, "rb") as handle:
+                hasher.update(handle.read())
+    return hasher.hexdigest()[:16]
+
+
+class SimulationCache:
+    """Content-addressed store of simulation-job payloads.
+
+    ``lookup``/``store`` operate on (key mapping, payload mapping) pairs;
+    the key mapping is hashed with :func:`repro.serialization.stable_digest`
+    after the code-version digest is folded in.  ``hits``/``misses``/
+    ``stores`` counters make cache behaviour observable to tests and to the
+    runner's ``--verbose`` summary.
+    """
+
+    def __init__(self, directory: Optional[str] = None, enabled: bool = True) -> None:
+        self.directory = directory or default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ---------------------------------------------------------------
+    def entry_path(self, key: Mapping[str, object]) -> str:
+        digest = stable_digest({"code_version": code_version(), **key}, length=40)
+        return os.path.join(self.directory, f"v{CACHE_FORMAT}",
+                            digest[:2], f"{digest}.json")
+
+    # -- operations ---------------------------------------------------------
+    def lookup(self, key: Mapping[str, object]) -> Optional[Dict[str, object]]:
+        """Return the cached payload for ``key`` or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        path = self.entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            entry = None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: Mapping[str, object], payload: Mapping[str, object]) -> None:
+        """Persist ``payload`` under ``key`` (atomic; no-op when disabled)."""
+        if not self.enabled:
+            return
+        entry = {"format": CACHE_FORMAT, "key": dict(key), "payload": dict(payload)}
+        atomic_write_json(self.entry_path(key), entry)
+        self.stores += 1
+
+    # -- maintenance ---------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of entries currently stored (all format versions)."""
+        count = 0
+        for _, _, filenames in os.walk(self.directory):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

@@ -4,13 +4,25 @@ The paper sweeps square filters from 2x2 to 20x20 over an 8192^2 single
 precision image (P=4, B=128) and compares SSAM against ArrayFire, NPP,
 cuFFT, Halide and cuDNN.  This module regenerates both panels from the
 kernels' cost profiles on the simulated architectures.
+
+Structure (shared by every experiment module):
+
+* ``_measure_cell`` — the simulation worker: one (implementation,
+  filter size, architecture) point, returning a JSON payload;
+* ``jobs``/``assemble``/``render`` — the pipeline surface used by the
+  runner: independent jobs, deterministic folding of their payloads into a
+  typed :class:`~repro.experiments.results.ExperimentResult`, and the pure
+  text view over that result;
+* ``run``/``run_both``/``report`` — the legacy in-process API, now thin
+  wrappers over the same worker.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.metrics import geometric_mean, speedup, winner
+from ..analysis.metrics import geometric_mean, speedup
 from ..analysis.tables import format_series
 from ..baselines.conv2d import (
     ARRAYFIRE_MAX_FILTER,
@@ -22,13 +34,150 @@ from ..baselines.conv2d import (
 )
 from ..convolution.spec import ConvolutionSpec
 from ..kernels.conv2d_ssam import analytic_launch as ssam_analytic_launch
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
 
 #: evaluation parameters from Section 6.2
 IMAGE_WIDTH = 8192
 IMAGE_HEIGHT = 8192
 FILTER_SIZES = tuple(range(2, 21))
+#: reduced sweep used by ``--quick`` runs
+QUICK_FILTER_SIZES = (3, 5, 9, 13, 17, 20)
 IMPLEMENTATIONS = ("ssam", "arrayfire", "npp", "halide", "cudnn", "cufft")
+#: the two panels of the figure
+PANELS = (("figure4a", "p100"), ("figure4b", "v100"))
 
+_BASELINES = {
+    "arrayfire": arrayfire_like_convolve2d,
+    "npp": npp_like_convolve2d,
+    "halide": halide_like_convolve2d,
+    "cudnn": cudnn_like_convolve2d,
+    "cufft": cufft_like_convolve2d,
+}
+
+
+def _measure_impl(implementation: str, filter_size: int, architecture: str,
+                  precision: str, width: int, height: int):
+    """Simulate one implementation at one filter size (or ``None`` if the
+    implementation does not support the size, like ArrayFire above 16)."""
+    spec = ConvolutionSpec.gaussian(filter_size)
+    if implementation == "ssam":
+        return ssam_analytic_launch(spec, width, height, architecture, precision)
+    if implementation == "arrayfire" and filter_size > ARRAYFIRE_MAX_FILTER:
+        return None
+    baseline = _BASELINES[implementation]
+    return baseline(None, spec, architecture, precision, functional=False,
+                    width=width, height=height)
+
+
+def _measure_cell(implementation: str, filter_size: int, architecture: str,
+                  precision: str, width: int, height: int) -> Dict[str, object]:
+    """Worker: payload of one Figure 4 cell (time + counters + config)."""
+    result = _measure_impl(implementation, filter_size, architecture,
+                           precision, width, height)
+    if result is None:
+        return {"milliseconds": None}
+    return {
+        "milliseconds": result.milliseconds,
+        "counters": result.launch.counters.as_dict(),
+        "config": result.launch.config.to_dict(),
+        "kernel_name": result.launch.kernel_name,
+    }
+
+
+# --------------------------------------------------------------- pipeline
+
+@lru_cache(maxsize=None)
+def _spec_fingerprint(filter_size: int) -> str:
+    """Fingerprint of the Gaussian sweep spec at one size (job cache keys)."""
+    return ConvolutionSpec.gaussian(filter_size).fingerprint()
+
+
+def jobs(quick: bool = False, filter_sizes: Optional[Sequence[int]] = None,
+         width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> List[SimulationJob]:
+    """One independent job per (panel, implementation, filter size)."""
+    sizes = tuple(filter_sizes if filter_sizes is not None
+                  else (QUICK_FILTER_SIZES if quick else FILTER_SIZES))
+    out: List[SimulationJob] = []
+    for _, arch in PANELS:
+        for impl in IMPLEMENTATIONS:
+            for size in sizes:
+                out.append(SimulationJob(
+                    key=f"figure4:{arch}:float32:{impl}:{size}:{width}x{height}",
+                    func="repro.experiments.figure4:_measure_cell",
+                    params={"implementation": impl, "filter_size": size,
+                            "architecture": arch, "precision": "float32",
+                            "width": width, "height": height},
+                    cache_fields={"kernel": f"conv2d:{impl}",
+                                  "spec": _spec_fingerprint(size),
+                                  "architecture": arch, "precision": "float32",
+                                  "engine": "analytic",
+                                  "domain": [height, width]},
+                ))
+    return out
+
+
+def assemble(payloads: Dict[str, Dict[str, object]], quick: bool = False,
+             filter_sizes: Optional[Sequence[int]] = None,
+             width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> ExperimentResult:
+    """Fold cell payloads into the typed two-panel result (fixed order)."""
+    sizes = tuple(filter_sizes if filter_sizes is not None
+                  else (QUICK_FILTER_SIZES if quick else FILTER_SIZES))
+    measurements: List[Measurement] = []
+    panels: Dict[str, Dict[str, object]] = {}
+    for panel_key, arch in PANELS:
+        series: Dict[str, List[Optional[float]]] = {}
+        for impl in IMPLEMENTATIONS:
+            values: List[Optional[float]] = []
+            for size in sizes:
+                payload = payloads[
+                    f"figure4:{arch}:float32:{impl}:{size}:{width}x{height}"]
+                ms = payload.get("milliseconds")
+                values.append(ms)
+                measurements.append(Measurement(
+                    kernel=impl, architecture=arch, workload=f"{size}x{size}",
+                    config=payload.get("config") or {},
+                    counters=payload.get("counters"),
+                    milliseconds=ms, value=ms, unit="ms"))
+            series[impl] = values
+        panels[panel_key] = {
+            "architecture": arch,
+            "precision": "float32",
+            "filter_sizes": list(sizes),
+            "summary": summarize(series),
+        }
+    return ExperimentResult(
+        experiment="figure4",
+        title="Figure 4 — 2D convolution runtime vs. filter size",
+        quick=quick,
+        measurements=measurements,
+        metadata={"panels": panels, "width": width, "height": height,
+                  "implementations": list(IMPLEMENTATIONS)},
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    """Format the two-panel report from the typed result (pure view)."""
+    width = result.metadata["width"]
+    height = result.metadata["height"]
+    chunks = []
+    for panel_key, panel in result.metadata["panels"].items():
+        arch = panel["architecture"]
+        sizes = panel["filter_sizes"]
+        labels = [f"{s}x{s}" for s in sizes]
+        series = {
+            impl: [result.series_value(impl, arch, f"{s}x{s}") for s in sizes]
+            for impl in result.metadata["implementations"]
+        }
+        chunks.append(format_series(
+            f"Figure {panel_key[-2:]} — 2D convolution runtime, {arch.upper()} "
+            f"({panel['precision']}, {width}x{height})",
+            "filter", labels, series, unit="ms"))
+        chunks.append(f"summary: {panel['summary']}")
+    return "\n\n".join(chunks)
+
+
+# --------------------------------------------------------- legacy surface
 
 def run(architecture: str = "p100", precision: str = "float32",
         filter_sizes: Sequence[int] = FILTER_SIZES,
@@ -36,28 +185,9 @@ def run(architecture: str = "p100", precision: str = "float32",
     """One Figure 4 panel: runtime (ms) per implementation per filter size."""
     series: Dict[str, List[Optional[float]]] = {name: [] for name in IMPLEMENTATIONS}
     for size in filter_sizes:
-        spec = ConvolutionSpec.gaussian(size)
-        series["ssam"].append(
-            ssam_analytic_launch(spec, width, height, architecture, precision).milliseconds)
-        if size <= ARRAYFIRE_MAX_FILTER:
-            series["arrayfire"].append(
-                arrayfire_like_convolve2d(None, spec, architecture, precision,
-                                          functional=False, width=width,
-                                          height=height).milliseconds)
-        else:
-            series["arrayfire"].append(None)
-        series["npp"].append(
-            npp_like_convolve2d(None, spec, architecture, precision, functional=False,
-                                width=width, height=height).milliseconds)
-        series["halide"].append(
-            halide_like_convolve2d(None, spec, architecture, precision, functional=False,
-                                   width=width, height=height).milliseconds)
-        series["cudnn"].append(
-            cudnn_like_convolve2d(None, spec, architecture, precision, functional=False,
-                                  width=width, height=height).milliseconds)
-        series["cufft"].append(
-            cufft_like_convolve2d(None, spec, architecture, precision, functional=False,
-                                  width=width, height=height).milliseconds)
+        for impl in IMPLEMENTATIONS:
+            result = _measure_impl(impl, size, architecture, precision, width, height)
+            series[impl].append(None if result is None else result.milliseconds)
     return {
         "architecture": architecture,
         "precision": precision,
@@ -93,20 +223,17 @@ def run_both(filter_sizes: Sequence[int] = FILTER_SIZES,
              width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> Dict[str, object]:
     """Both panels (Figure 4a on P100, Figure 4b on V100)."""
     return {
-        "figure4a": run("p100", "float32", filter_sizes, width, height),
-        "figure4b": run("v100", "float32", filter_sizes, width, height),
+        panel_key: run(arch, "float32", filter_sizes, width, height)
+        for panel_key, arch in PANELS
     }
 
 
 def report(filter_sizes: Sequence[int] = FILTER_SIZES,
            width: int = IMAGE_WIDTH, height: int = IMAGE_HEIGHT) -> str:
-    """Formatted two-panel Figure 4 report."""
-    chunks = []
-    for key, panel in run_both(filter_sizes, width, height).items():
-        labels = [f"{s}x{s}" for s in panel["filter_sizes"]]
-        chunks.append(format_series(
-            f"Figure {key[-2:]} — 2D convolution runtime, {panel['architecture'].upper()} "
-            f"({panel['precision']}, {width}x{height})",
-            "filter", labels, panel["milliseconds"], unit="ms"))
-        chunks.append(f"summary: {panel['summary']}")
-    return "\n\n".join(chunks)
+    """Formatted two-panel Figure 4 report (serial, in-process)."""
+    from .parallel import execute_jobs
+
+    job_list = jobs(filter_sizes=filter_sizes, width=width, height=height)
+    payloads = execute_jobs(job_list)
+    return render(assemble(payloads, filter_sizes=filter_sizes,
+                           width=width, height=height))

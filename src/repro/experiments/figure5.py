@@ -22,8 +22,15 @@ from ..baselines.stencil3d import original_stencil3d, shared_stencil3d
 from ..kernels.stencil2d_ssam import analytic_launch as ssam_stencil2d_analytic
 from ..kernels.stencil3d_ssam import analytic_launch as ssam_stencil3d_analytic
 from ..stencils.catalog import CATALOG, FIGURE5_BENCHMARKS, StencilBenchmark
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
 
 IMPLEMENTATIONS = ("original", "reordered", "unrolled", "ppcg", "halide", "ssam")
+#: benchmark subset used by ``--quick`` runs
+QUICK_BENCHMARKS = ("2d5pt", "2d9pt", "2d25pt", "3d7pt", "poisson")
+#: the four panels of the figure
+PANELS = (("figure5a", "p100", "float32"), ("figure5b", "v100", "float32"),
+          ("figure5c", "p100", "float64"), ("figure5d", "v100", "float64"))
 
 #: approximate values read off the paper's Figure 5 for the SSAM series
 #: (GCells/s), used by EXPERIMENTS.md for paper-vs-measured comparison
@@ -88,6 +95,102 @@ def run_benchmark(benchmark: StencilBenchmark, architecture: str, precision: str
     return results
 
 
+def _measure_benchmark(benchmark: str, architecture: str, precision: str,
+                       iterations: int) -> Dict[str, float]:
+    """Worker: GCells/s of every implementation on one benchmark."""
+    row = run_benchmark(CATALOG[benchmark], architecture, precision, iterations)
+    return {"gcells_per_second": row}
+
+
+# --------------------------------------------------------------- pipeline
+
+def jobs(quick: bool = False, benchmarks: Optional[Sequence[str]] = None,
+         iterations: int = 1) -> List[SimulationJob]:
+    """One independent job per (panel, benchmark)."""
+    names = tuple(benchmarks if benchmarks is not None
+                  else (QUICK_BENCHMARKS if quick else FIGURE5_BENCHMARKS))
+    out: List[SimulationJob] = []
+    for _, arch, precision in PANELS:
+        for name in names:
+            spec = CATALOG[name].spec
+            out.append(SimulationJob(
+                key=f"figure5:{arch}:{precision}:{name}:i{iterations}",
+                func="repro.experiments.figure5:_measure_benchmark",
+                params={"benchmark": name, "architecture": arch,
+                        "precision": precision, "iterations": iterations},
+                cache_fields={"kernel": "stencil_suite",
+                              "spec": spec.fingerprint(),
+                              "architecture": arch, "precision": precision,
+                              "engine": "analytic",
+                              "domain": list(CATALOG[name].domain)},
+            ))
+    return out
+
+
+def assemble(payloads: Dict[str, Dict[str, object]], quick: bool = False,
+             benchmarks: Optional[Sequence[str]] = None,
+             iterations: int = 1) -> ExperimentResult:
+    """Fold per-benchmark payloads into the typed four-panel result."""
+    names = tuple(benchmarks if benchmarks is not None
+                  else (QUICK_BENCHMARKS if quick else FIGURE5_BENCHMARKS))
+    measurements: List[Measurement] = []
+    panels: Dict[str, Dict[str, object]] = {}
+    for panel_key, arch, precision in PANELS:
+        series: Dict[str, List[Optional[float]]] = {impl: [] for impl in IMPLEMENTATIONS}
+        for name in names:
+            key = f"figure5:{arch}:{precision}:{name}:i{iterations}"
+            row = payloads[key]["gcells_per_second"]
+            for impl in IMPLEMENTATIONS:
+                value = row.get(impl)
+                series[impl].append(value)
+                measurements.append(Measurement(
+                    kernel=impl, architecture=f"{arch}:{precision}",
+                    workload=name,
+                    config={"iterations": iterations,
+                            "domain": list(CATALOG[name].domain)},
+                    value=value, unit="GCells/s"))
+        ssam_wins = sum(
+            1 for i in range(len(names))
+            if series["ssam"][i] >= max(series[impl][i] for impl in IMPLEMENTATIONS
+                                        if impl != "ssam" and series[impl][i] is not None)
+        )
+        panels[panel_key] = {
+            "architecture": arch,
+            "precision": precision,
+            "benchmarks": list(names),
+            "ssam_wins": ssam_wins,
+            "total": len(names),
+        }
+    return ExperimentResult(
+        experiment="figure5",
+        title="Figure 5 — stencil throughput across the Table 3 suite",
+        quick=quick,
+        measurements=measurements,
+        metadata={"panels": panels, "iterations": iterations,
+                  "implementations": list(IMPLEMENTATIONS)},
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    """Format the four-panel report from the typed result (pure view)."""
+    chunks = []
+    for panel_key, panel in result.metadata["panels"].items():
+        arch, precision = panel["architecture"], panel["precision"]
+        series = {
+            impl: [result.series_value(impl, f"{arch}:{precision}", name)
+                   for name in panel["benchmarks"]]
+            for impl in result.metadata["implementations"]
+        }
+        chunks.append(format_series(
+            f"Figure {panel_key[-2:]} — stencil throughput, {arch.upper()} "
+            f"{precision}",
+            "benchmark", panel["benchmarks"], series, unit="GCells/s"))
+        chunks.append(f"SSAM fastest or tied on {panel['ssam_wins']}/{panel['total']} benchmarks")
+    return "\n\n".join(chunks)
+
+
+# --------------------------------------------------------- legacy surface
+
 def run(architecture: str = "p100", precision: str = "float32",
         benchmarks: Sequence[str] = FIGURE5_BENCHMARKS,
         iterations: int = 1) -> Dict[str, object]:
@@ -117,21 +220,15 @@ def run_all(benchmarks: Sequence[str] = FIGURE5_BENCHMARKS,
             iterations: int = 1) -> Dict[str, object]:
     """All four panels of Figure 5."""
     return {
-        "figure5a": run("p100", "float32", benchmarks, iterations),
-        "figure5b": run("v100", "float32", benchmarks, iterations),
-        "figure5c": run("p100", "float64", benchmarks, iterations),
-        "figure5d": run("v100", "float64", benchmarks, iterations),
+        panel_key: run(arch, precision, benchmarks, iterations)
+        for panel_key, arch, precision in PANELS
     }
 
 
 def report(benchmarks: Sequence[str] = FIGURE5_BENCHMARKS, iterations: int = 1) -> str:
-    """Formatted four-panel Figure 5 report."""
-    chunks = []
-    for key, panel in run_all(benchmarks, iterations).items():
-        chunks.append(format_series(
-            f"Figure {key[-2:]} — stencil throughput, {panel['architecture'].upper()} "
-            f"{panel['precision']}",
-            "benchmark", panel["benchmarks"], panel["gcells_per_second"],
-            unit="GCells/s"))
-        chunks.append(f"SSAM fastest or tied on {panel['ssam_wins']}/{panel['total']} benchmarks")
-    return "\n\n".join(chunks)
+    """Formatted four-panel Figure 5 report (serial, in-process)."""
+    from .parallel import execute_jobs
+
+    job_list = jobs(benchmarks=benchmarks, iterations=iterations)
+    payloads = execute_jobs(job_list)
+    return render(assemble(payloads, benchmarks=benchmarks, iterations=iterations))

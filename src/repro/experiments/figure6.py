@@ -17,11 +17,127 @@ from ..baselines.temporal import (
     stencilgen_like_stencil,
 )
 from ..stencils.catalog import CATALOG, FIGURE6_BENCHMARKS
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
 
 IMPLEMENTATIONS = ("stencilgen", "ssam", "diffusion", "bricks")
 #: number of fused/total time steps used for the throughput evaluation
 TIME_STEPS = 64
+#: the four panels of the figure
+PANELS = (("figure6a", "p100", "float32"), ("figure6b", "p100", "float64"),
+          ("figure6c", "v100", "float32"), ("figure6d", "v100", "float64"))
 
+
+def _measure_benchmark(benchmark: str, architecture: str, precision: str,
+                       time_steps: int) -> Dict[str, object]:
+    """Worker: temporal-blocking throughputs on one benchmark.
+
+    The ``diffusion``/``bricks`` series are published reference numbers
+    (table lookups, only reported for 3d7pt) and ride along in the payload
+    so the panel is complete.
+    """
+    bench = CATALOG[benchmark]
+    spec = bench.spec
+    if spec.dims == 2:
+        width, height = bench.domain
+        depth = 1
+    else:
+        width, height, depth = bench.domain
+    sg = stencilgen_like_stencil(spec, width, height, depth, time_steps=time_steps,
+                                 architecture=architecture, precision=precision)
+    ss = ssam_temporal_stencil(spec, width, height, depth, time_steps=time_steps,
+                               architecture=architecture, precision=precision)
+    published = benchmark == "3d7pt"
+    return {
+        "gcells_per_second": {
+            "stencilgen": sg.gcells_per_second(bench.cells, time_steps),
+            "ssam": ss.gcells_per_second(bench.cells, time_steps),
+            "diffusion": published_reference("diffusion", architecture, precision)
+            if published else None,
+            "bricks": published_reference("bricks", architecture, precision)
+            if published else None,
+        },
+    }
+
+
+# --------------------------------------------------------------- pipeline
+
+def jobs(quick: bool = False, benchmarks: Optional[Sequence[str]] = None,
+         time_steps: int = TIME_STEPS) -> List[SimulationJob]:
+    """One independent job per (panel, benchmark).
+
+    Figure 6's benchmark list is already small (5 entries), so ``--quick``
+    keeps the full sweep and only the shared time-step count applies.
+    """
+    names = tuple(benchmarks if benchmarks is not None else FIGURE6_BENCHMARKS)
+    out: List[SimulationJob] = []
+    for _, arch, precision in PANELS:
+        for name in names:
+            out.append(SimulationJob(
+                key=f"figure6:{arch}:{precision}:{name}:t{time_steps}",
+                func="repro.experiments.figure6:_measure_benchmark",
+                params={"benchmark": name, "architecture": arch,
+                        "precision": precision, "time_steps": time_steps},
+                cache_fields={"kernel": "temporal_blocking",
+                              "spec": CATALOG[name].spec.fingerprint(),
+                              "architecture": arch, "precision": precision,
+                              "engine": "analytic",
+                              "domain": list(CATALOG[name].domain)},
+            ))
+    return out
+
+
+def assemble(payloads: Dict[str, Dict[str, object]], quick: bool = False,
+             benchmarks: Optional[Sequence[str]] = None,
+             time_steps: int = TIME_STEPS) -> ExperimentResult:
+    """Fold per-benchmark payloads into the typed four-panel result."""
+    names = tuple(benchmarks if benchmarks is not None else FIGURE6_BENCHMARKS)
+    measurements: List[Measurement] = []
+    panels: Dict[str, Dict[str, object]] = {}
+    for panel_key, arch, precision in PANELS:
+        for name in names:
+            key = f"figure6:{arch}:{precision}:{name}:t{time_steps}"
+            row = payloads[key]["gcells_per_second"]
+            for impl in IMPLEMENTATIONS:
+                measurements.append(Measurement(
+                    kernel=impl, architecture=f"{arch}:{precision}",
+                    workload=name,
+                    config={"time_steps": time_steps,
+                            "domain": list(CATALOG[name].domain)},
+                    value=row.get(impl), unit="GCells/s"))
+        panels[panel_key] = {
+            "architecture": arch,
+            "precision": precision,
+            "benchmarks": list(names),
+        }
+    return ExperimentResult(
+        experiment="figure6",
+        title="Figure 6 — temporal blocking comparison",
+        quick=quick,
+        measurements=measurements,
+        metadata={"panels": panels, "time_steps": time_steps,
+                  "implementations": list(IMPLEMENTATIONS)},
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    """Format the four-panel report from the typed result (pure view)."""
+    chunks = []
+    for panel_key, panel in result.metadata["panels"].items():
+        arch, precision = panel["architecture"], panel["precision"]
+        series = {
+            impl: [result.series_value(impl, f"{arch}:{precision}", name)
+                   for name in panel["benchmarks"]]
+            for impl in result.metadata["implementations"]
+        }
+        chunks.append(format_series(
+            f"Figure {panel_key[-2:]} — temporal blocking, {arch.upper()} "
+            f"{precision}",
+            "benchmark", panel["benchmarks"], series, unit="GCells/s"))
+    return "\n\n".join(chunks)
+
+
+# --------------------------------------------------------- legacy surface
 
 def run(architecture: str = "p100", precision: str = "float32",
         benchmarks: Sequence[str] = FIGURE6_BENCHMARKS,
@@ -29,24 +145,9 @@ def run(architecture: str = "p100", precision: str = "float32",
     """One Figure 6 panel (GCells/s per implementation per benchmark)."""
     series: Dict[str, List[Optional[float]]] = {name: [] for name in IMPLEMENTATIONS}
     for name in benchmarks:
-        benchmark = CATALOG[name]
-        spec = benchmark.spec
-        if spec.dims == 2:
-            width, height = benchmark.domain
-            depth = 1
-        else:
-            width, height, depth = benchmark.domain
-        cells = benchmark.cells
-        sg = stencilgen_like_stencil(spec, width, height, depth, time_steps=time_steps,
-                                     architecture=architecture, precision=precision)
-        ss = ssam_temporal_stencil(spec, width, height, depth, time_steps=time_steps,
-                                   architecture=architecture, precision=precision)
-        series["stencilgen"].append(sg.gcells_per_second(cells, time_steps))
-        series["ssam"].append(ss.gcells_per_second(cells, time_steps))
-        series["diffusion"].append(
-            published_reference("diffusion", architecture, precision) if name == "3d7pt" else None)
-        series["bricks"].append(
-            published_reference("bricks", architecture, precision) if name == "3d7pt" else None)
+        row = _measure_benchmark(name, architecture, precision, time_steps)
+        for impl in IMPLEMENTATIONS:
+            series[impl].append(row["gcells_per_second"].get(impl))
     return {
         "architecture": architecture,
         "precision": precision,
@@ -60,21 +161,16 @@ def run_all(benchmarks: Sequence[str] = FIGURE6_BENCHMARKS,
             time_steps: int = TIME_STEPS) -> Dict[str, object]:
     """All four panels of Figure 6."""
     return {
-        "figure6a": run("p100", "float32", benchmarks, time_steps),
-        "figure6b": run("p100", "float64", benchmarks, time_steps),
-        "figure6c": run("v100", "float32", benchmarks, time_steps),
-        "figure6d": run("v100", "float64", benchmarks, time_steps),
+        panel_key: run(arch, precision, benchmarks, time_steps)
+        for panel_key, arch, precision in PANELS
     }
 
 
 def report(benchmarks: Sequence[str] = FIGURE6_BENCHMARKS,
            time_steps: int = TIME_STEPS) -> str:
-    """Formatted four-panel Figure 6 report."""
-    chunks = []
-    for key, panel in run_all(benchmarks, time_steps).items():
-        chunks.append(format_series(
-            f"Figure {key[-2:]} — temporal blocking, {panel['architecture'].upper()} "
-            f"{panel['precision']}",
-            "benchmark", panel["benchmarks"], panel["gcells_per_second"],
-            unit="GCells/s"))
-    return "\n\n".join(chunks)
+    """Formatted four-panel Figure 6 report (serial, in-process)."""
+    from .parallel import execute_jobs
+
+    job_list = jobs(benchmarks=benchmarks, time_steps=time_steps)
+    payloads = execute_jobs(job_list)
+    return render(assemble(payloads, benchmarks=benchmarks, time_steps=time_steps))

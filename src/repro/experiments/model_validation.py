@@ -19,35 +19,46 @@ from ..core.performance_model import (
     average_advantage,
     latency_advantage,
 )
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
 
+TITLE = "Section 5 performance-model validation"
 FILTER_SIZES = (2, 3, 5, 7, 9, 11, 15, 20)
+#: reduced sweep used by --quick runs
+QUICK_FILTER_SIZES = (2, 5, 9, 20)
+ARCHITECTURES = ("p100", "v100")
+#: the exhaustive M/N extent of the full claim checks; --quick uses the
+#: reduced extent (the claims are monotone, so the booleans are unchanged)
+CLAIM_MAX_EXTENT = 21
+QUICK_CLAIM_MAX_EXTENT = 9
 
 
-def run(architectures: Sequence[str] = ("p100", "v100"),
+def run(architectures: Sequence[str] = ARCHITECTURES,
         filter_sizes: Sequence[int] = FILTER_SIZES,
         outputs_per_thread: int = 4) -> List[Dict[str, object]]:
     """Evaluate the Section 5 quantities over a sweep of filter sizes."""
     rows: List[Dict[str, object]] = []
     for arch in architectures:
-        for row in advantage_table(arch, filter_sizes, outputs_per_thread):
-            rows.append({"architecture": arch, **row,
-                         "eq5_positive": row["dif_cycles"] > 0})
+        rows.extend(_measure_advantage(arch, list(filter_sizes),
+                                       outputs_per_thread)["rows"])
     return rows
 
 
-def claims(architectures: Sequence[str] = ("p100", "v100")) -> Dict[str, bool]:
+def claims(architectures: Sequence[str] = ARCHITECTURES,
+           max_extent: int = CLAIM_MAX_EXTENT) -> Dict[str, bool]:
     """The boolean claims the paper makes about the model."""
     eq5 = all(
         latency_advantage(arch, m, n) > 0
-        for arch in architectures for m in range(2, 21) for n in range(2, 21)
+        for arch in architectures
+        for m in range(2, max_extent) for n in range(2, max_extent)
     )
     growth = all(
         average_advantage(arch, size + 1, size + 1, 4) > average_advantage(arch, size, size, 4)
-        for arch in architectures for size in range(2, 20)
+        for arch in architectures for size in range(2, max_extent - 1)
     )
     large_filters_positive = all(
         average_advantage(arch, size, size, 4) > 0
-        for arch in architectures for size in range(5, 21)
+        for arch in architectures for size in range(5, max_extent)
     )
     return {
         "eq5_advantage_positive_for_all_M_N_ge_2": eq5,
@@ -56,7 +67,75 @@ def claims(architectures: Sequence[str] = ("p100", "v100")) -> Dict[str, bool]:
     }
 
 
-def report() -> str:
+def _measure_advantage(architecture: str, filter_sizes: List[int],
+                       outputs_per_thread: int = 4) -> Dict[str, object]:
+    """Worker: the Section 5 advantage sweep on one architecture."""
+    rows = [
+        {"architecture": architecture, **row, "eq5_positive": row["dif_cycles"] > 0}
+        for row in advantage_table(architecture, filter_sizes, outputs_per_thread)
+    ]
+    return {"rows": rows}
+
+
+def _measure_claims(architectures: List[str], max_extent: int) -> Dict[str, object]:
+    """Worker: the boolean paper claims over the given extent."""
+    return {"claims": claims(tuple(architectures), max_extent)}
+
+
+# --------------------------------------------------------------- pipeline
+
+def jobs(quick: bool = False) -> List[SimulationJob]:
+    """One advantage-sweep job per architecture plus one claims job."""
+    sizes = list(QUICK_FILTER_SIZES if quick else FILTER_SIZES)
+    max_extent = QUICK_CLAIM_MAX_EXTENT if quick else CLAIM_MAX_EXTENT
+    out = [
+        SimulationJob(
+            key=f"model:advantage:{arch}:{'-'.join(map(str, sizes))}",
+            func="repro.experiments.model_validation:_measure_advantage",
+            params={"architecture": arch, "filter_sizes": sizes,
+                    "outputs_per_thread": 4},
+            cache_fields={"kernel": "performance_model:advantage",
+                          "architecture": arch, "engine": "closed_form"},
+        )
+        for arch in ARCHITECTURES
+    ]
+    out.append(SimulationJob(
+        key=f"model:claims:m{max_extent}",
+        func="repro.experiments.model_validation:_measure_claims",
+        params={"architectures": list(ARCHITECTURES), "max_extent": max_extent},
+        cache_fields={"kernel": "performance_model:claims",
+                      "engine": "closed_form"},
+    ))
+    return out
+
+
+def assemble(payloads: Dict[str, Dict[str, object]],
+             quick: bool = False) -> ExperimentResult:
+    sizes = list(QUICK_FILTER_SIZES if quick else FILTER_SIZES)
+    max_extent = QUICK_CLAIM_MAX_EXTENT if quick else CLAIM_MAX_EXTENT
+    measurements = []
+    for arch in ARCHITECTURES:
+        key = f"model:advantage:{arch}:{'-'.join(map(str, sizes))}"
+        for row in payloads[key]["rows"]:
+            measurements.append(Measurement(
+                kernel="register_cache_advantage", architecture=arch,
+                workload=str(row.get("filter", row.get("M", ""))),
+                config={"outputs_per_thread": 4},
+                value=row.get("dif_cycles"), unit="cycles", extra=row))
+    claims_payload = payloads[f"model:claims:m{max_extent}"]["claims"]
+    return ExperimentResult(
+        experiment="model", title=TITLE, quick=quick,
+        measurements=measurements,
+        metadata={"claims": claims_payload, "claim_max_extent": max_extent})
+
+
+def render(result: ExperimentResult) -> str:
+    return (f"{TITLE}\n" + format_table(result.rows())
+            + "\n\nclaims: " + str(result.metadata["claims"]))
+
+
+def report(quick: bool = False) -> str:
     """Formatted model-validation report."""
-    return ("Section 5 performance-model validation\n"
-            + format_table(run()) + "\n\nclaims: " + str(claims()))
+    from .parallel import execute_jobs
+
+    return render(assemble(execute_jobs(jobs(quick)), quick))

@@ -1,0 +1,77 @@
+"""Sharded execution of simulation jobs with deterministic results.
+
+``execute_jobs`` is the single entry point: it deduplicates the job list,
+serves what it can from the persistent cache, and runs the misses either
+inline (``workers=1``) or across a ``ProcessPoolExecutor``.  Results come
+back as a ``{job key: payload}`` mapping, so downstream assembly never
+depends on completion order — the rendered reports are byte-identical for
+any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .cache import SimulationCache
+from .jobs import SimulationJob, dedupe_jobs, execute_job
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Validate/normalise a ``--jobs`` value (``None``/``0`` = cpu count)."""
+    if workers in (None, 0):
+        return max(1, os.cpu_count() or 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {workers}")
+    return workers
+
+
+def execute_jobs(jobs: List[SimulationJob], workers: int = 1,
+                 cache: Optional[SimulationCache] = None) -> Dict[str, Dict[str, object]]:
+    """Run every job once and return payloads keyed by job key.
+
+    Parameters
+    ----------
+    jobs:
+        Jobs to run; duplicate keys (shared simulations between experiments)
+        execute once.
+    workers:
+        Process count.  ``1`` runs inline in this process (no pool, no
+        pickling); larger values shard the cache misses across a
+        ``ProcessPoolExecutor``.
+    cache:
+        Optional persistent cache consulted before execution; fresh
+        payloads are stored back after execution.
+    """
+    workers = resolve_workers(workers)
+    unique = dedupe_jobs(list(jobs))
+    payloads: Dict[str, Dict[str, object]] = {}
+    misses: List[SimulationJob] = []
+    for job in unique:
+        cached = cache.lookup(job.cache_key()) if cache is not None else None
+        if cached is None:
+            misses.append(job)
+        else:
+            payloads[job.key] = cached
+
+    if misses:
+        if workers <= 1 or len(misses) <= 1:
+            results = map(execute_job, misses)
+        else:
+            # ship plain tuples: cheap to pickle, no dataclass import needed
+            work = [(job.key, job.func, dict(job.params)) for job in misses]
+            chunksize = max(1, len(work) // (4 * workers))
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(work)))
+            try:
+                results = list(pool.map(execute_job, work, chunksize=chunksize))
+            finally:
+                pool.shutdown(wait=True)
+        fresh = dict(results)
+        if cache is not None:
+            for job in misses:
+                cache.store(job.cache_key(), fresh[job.key])
+        payloads.update(fresh)
+    return payloads

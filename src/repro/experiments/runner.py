@@ -4,53 +4,84 @@ Installed as the ``ssam-repro`` console script::
 
     ssam-repro --experiment table1
     ssam-repro --experiment figure4
-    ssam-repro --experiment all --quick
+    ssam-repro --experiment all --quick --jobs 4 --output-dir results
+
+The runner is a thin orchestrator over the structured experiment pipeline:
+each experiment contributes independent simulation jobs
+(:mod:`repro.experiments.jobs`), the executor shards them across worker
+processes and memoises their payloads in the persistent simulation cache
+(:mod:`repro.experiments.parallel`, :mod:`repro.experiments.cache`), and
+the typed results (:mod:`repro.experiments.results`) are rendered to the
+paper's text tables — and optionally saved as JSON artifacts — in a fixed
+deterministic order, so the report text is byte-identical for any worker
+count or cache state.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from . import figure4, figure5, figure6, model_validation, table1, table2, table3
+from .cache import SimulationCache, default_cache_dir
+from .parallel import execute_jobs, resolve_workers
+from .results import ExperimentResult
 
-#: benchmark subset used by --quick runs
-QUICK_FIGURE5 = ("2d5pt", "2d9pt", "2d25pt", "3d7pt", "poisson")
-QUICK_FILTER_SIZES = (3, 5, 9, 13, 17, 20)
-
-
-def _figure4_report(quick: bool) -> str:
-    return figure4.report(QUICK_FILTER_SIZES if quick else figure4.FILTER_SIZES)
-
-
-def _figure5_report(quick: bool) -> str:
-    return figure5.report(QUICK_FIGURE5 if quick else figure5.FIGURE5_BENCHMARKS)
-
-
-def _figure6_report(quick: bool) -> str:
-    return figure6.report()
-
-
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
-    "table1": lambda quick: table1.report(),
-    "table2": lambda quick: table2.report(),
-    "table3": lambda quick: table3.report(),
-    "figure4": _figure4_report,
-    "figure5": _figure5_report,
-    "figure6": _figure6_report,
-    "model": lambda quick: model_validation.report(),
+#: experiment registry, in report order; every module implements the same
+#: pipeline surface (jobs / assemble / render)
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "model": model_validation,
 }
 
 
-def run_experiment(name: str, quick: bool = False) -> str:
-    """Run one named experiment and return its formatted report."""
+def _select(name: str) -> List[str]:
     if name == "all":
-        return "\n\n".join(EXPERIMENTS[key](quick) for key in EXPERIMENTS)
+        return list(EXPERIMENTS)
     if name not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {name!r}; choose from "
                          f"{sorted(EXPERIMENTS) + ['all']}")
-    return EXPERIMENTS[name](quick)
+    return [name]
+
+
+def run_experiment_results(name: str = "all", quick: bool = False,
+                           jobs: int = 1,
+                           cache: Optional[SimulationCache] = None,
+                           ) -> Dict[str, ExperimentResult]:
+    """Run one or all experiments through the pipeline.
+
+    All selected experiments' jobs are pooled into a single executor pass
+    (shared simulations between experiments run once), then each experiment
+    assembles its typed result from the keyed payloads.
+    """
+    names = _select(name)
+    pending = []
+    for key in names:
+        pending.extend(EXPERIMENTS[key].jobs(quick))
+    payloads = execute_jobs(pending, workers=jobs, cache=cache)
+    return {key: EXPERIMENTS[key].assemble(payloads, quick) for key in names}
+
+
+def run_experiment(name: str, quick: bool = False, jobs: int = 1,
+                   cache: Optional[SimulationCache] = None) -> str:
+    """Run one named experiment (or ``"all"``) and return its report text."""
+    results = run_experiment_results(name, quick=quick, jobs=jobs, cache=cache)
+    return "\n\n".join(EXPERIMENTS[key].render(result)
+                       for key, result in results.items())
+
+
+def save_artifacts(results: Dict[str, ExperimentResult],
+                   output_dir: str) -> List[str]:
+    """Write one JSON artifact per experiment result; returns the paths."""
+    return [results[key].save(os.path.join(output_dir, f"{key}.json"))
+            for key in results]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -62,8 +93,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="which table/figure to regenerate")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced sweeps for a fast smoke run")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation jobs "
+                             "(0 = all CPUs; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent simulation cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"simulation cache location "
+                             f"(default {default_cache_dir()!r})")
+    parser.add_argument("--output-dir", default=None, metavar="DIR",
+                        help="also save each experiment result as a JSON "
+                             "artifact under DIR")
     args = parser.parse_args(argv)
-    print(run_experiment(args.experiment, quick=args.quick))
+    try:
+        workers = resolve_workers(args.jobs)
+    except Exception as exc:
+        parser.error(str(exc))
+    cache = None if args.no_cache else SimulationCache(args.cache_dir)
+    results = run_experiment_results(args.experiment, quick=args.quick,
+                                     jobs=workers, cache=cache)
+    print("\n\n".join(EXPERIMENTS[key].render(result)
+                      for key, result in results.items()))
+    if args.output_dir:
+        for path in save_artifacts(results, args.output_dir):
+            print(f"wrote {path}", file=sys.stderr)
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses "
+              f"({cache.directory})", file=sys.stderr)
     return 0
 
 

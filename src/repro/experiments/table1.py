@@ -6,6 +6,10 @@ from typing import Dict, List
 
 from ..analysis.tables import format_table
 from ..gpu.architecture import table1_rows
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
+
+TITLE = "Table 1 — Shared memory and register files on GPUs"
 
 #: the values printed in the paper's Table 1, for comparison
 PAPER_TABLE1 = {
@@ -25,6 +29,41 @@ def run() -> List[Dict[str, object]]:
     return rows
 
 
-def report() -> str:
+def _measure_rows() -> Dict[str, object]:
+    """Worker: the Table 1 rows (architecture presets vs. paper values)."""
+    return {"rows": run()}
+
+
+# --------------------------------------------------------------- pipeline
+
+def jobs(quick: bool = False) -> List[SimulationJob]:
+    """Single job — the table is static preset metadata, so ``quick`` has
+    no work to trim (the flag is still threaded through for uniformity)."""
+    return [SimulationJob(
+        key="table1:rows",
+        func="repro.experiments.table1:_measure_rows",
+        cache_fields={"kernel": "table1_presets", "engine": "preset"},
+    )]
+
+
+def assemble(payloads: Dict[str, Dict[str, object]],
+             quick: bool = False) -> ExperimentResult:
+    rows = payloads["table1:rows"]["rows"]
+    measurements = [
+        Measurement(kernel="table1", architecture=row["gpu"],
+                    workload=row["gpu"], extra=row)
+        for row in rows
+    ]
+    return ExperimentResult(experiment="table1", title=TITLE, quick=quick,
+                            measurements=measurements)
+
+
+def render(result: ExperimentResult) -> str:
+    return f"{TITLE}\n" + format_table(result.rows())
+
+
+def report(quick: bool = False) -> str:
     """Formatted Table 1 report."""
-    return "Table 1 — Shared memory and register files on GPUs\n" + format_table(run())
+    from .parallel import execute_jobs
+
+    return render(assemble(execute_jobs(jobs(quick)), quick))

@@ -5,7 +5,18 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..analysis.tables import format_table
-from ..gpu.microbench import run_table2
+from ..gpu.architecture import get_architecture
+from ..gpu.microbench import TABLE2_OPERATIONS, measure_latency
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
+
+TITLE = "Table 2 — Latency of operations (cycles/warp), micro-benchmarked"
+#: dependent-chain length of the full micro-benchmark
+CHAIN_LENGTH = 512
+#: shorter chain used by --quick runs (latency = cycles / length, so the
+#: measured value is identical; only the functional warm-up loop shrinks)
+QUICK_CHAIN_LENGTH = 128
+ARCHITECTURES = ("p100", "v100")
 
 #: the paper's measured values, cycles per warp
 PAPER_TABLE2 = {
@@ -18,17 +29,73 @@ PAPER_TABLE2 = {
 }
 
 
-def run(chain_length: int = 512) -> List[Dict[str, object]]:
+def _measure_latency(architecture: str, operation: str,
+                     chain_length: int) -> Dict[str, object]:
+    """Worker: one (GPU, operation) dependent-chain micro-benchmark."""
+    arch = get_architecture(architecture)
+    return {"gpu": arch.name,
+            "latency_cycles": measure_latency(arch, operation, chain_length)}
+
+
+def _compare_row(gpu: str, label: str, latency: float) -> Dict[str, object]:
+    paper = PAPER_TABLE2[(gpu, label)]
+    return {"gpu": gpu, "operation": label, "latency_cycles": latency,
+            "paper_cycles": paper, "matches_paper": abs(latency - paper) < 1e-6}
+
+
+def run(chain_length: int = CHAIN_LENGTH) -> List[Dict[str, object]]:
     """Regenerate Table 2 with the dependent-chain micro-benchmarks."""
     rows = []
-    for row in run_table2(chain_length=chain_length):
-        paper = PAPER_TABLE2[(row["gpu"], row["operation"])]
-        rows.append({**row, "paper_cycles": paper,
-                     "matches_paper": abs(row["latency_cycles"] - paper) < 1e-6})
+    for arch in ARCHITECTURES:
+        for label, op in TABLE2_OPERATIONS:
+            payload = _measure_latency(arch, op, chain_length)
+            rows.append(_compare_row(payload["gpu"], label,
+                                     payload["latency_cycles"]))
     return rows
 
 
-def report() -> str:
+# --------------------------------------------------------------- pipeline
+
+def jobs(quick: bool = False) -> List[SimulationJob]:
+    """One job per (GPU, operation) chain measurement."""
+    chain_length = QUICK_CHAIN_LENGTH if quick else CHAIN_LENGTH
+    out: List[SimulationJob] = []
+    for arch in ARCHITECTURES:
+        for label, op in TABLE2_OPERATIONS:
+            out.append(SimulationJob(
+                key=f"table2:{arch}:{op}:n{chain_length}",
+                func="repro.experiments.table2:_measure_latency",
+                params={"architecture": arch, "operation": op,
+                        "chain_length": chain_length},
+                cache_fields={"kernel": f"microbench:{op}",
+                              "architecture": arch, "engine": "dependent_chain"},
+            ))
+    return out
+
+
+def assemble(payloads: Dict[str, Dict[str, object]],
+             quick: bool = False) -> ExperimentResult:
+    chain_length = QUICK_CHAIN_LENGTH if quick else CHAIN_LENGTH
+    measurements = []
+    for arch in ARCHITECTURES:
+        for label, op in TABLE2_OPERATIONS:
+            payload = payloads[f"table2:{arch}:{op}:n{chain_length}"]
+            row = _compare_row(payload["gpu"], label, payload["latency_cycles"])
+            measurements.append(Measurement(
+                kernel=label, architecture=row["gpu"], workload=op,
+                config={"chain_length": chain_length},
+                value=row["latency_cycles"], unit="cycles/warp", extra=row))
+    return ExperimentResult(experiment="table2", title=TITLE, quick=quick,
+                            measurements=measurements,
+                            metadata={"chain_length": chain_length})
+
+
+def render(result: ExperimentResult) -> str:
+    return f"{TITLE}\n" + format_table(result.rows())
+
+
+def report(quick: bool = False) -> str:
     """Formatted Table 2 report."""
-    return ("Table 2 — Latency of operations (cycles/warp), micro-benchmarked\n"
-            + format_table(run()))
+    from .parallel import execute_jobs
+
+    return render(assemble(execute_jobs(jobs(quick)), quick))

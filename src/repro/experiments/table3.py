@@ -6,6 +6,11 @@ from typing import Dict, List
 
 from ..analysis.tables import format_table
 from ..stencils.catalog import CATALOG, DOMAIN_2D, DOMAIN_3D, table3_rows
+from .jobs import SimulationJob
+from .results import ExperimentResult, Measurement
+
+TITLE = (f"Table 3 — Stencil benchmarks (2-D domain {DOMAIN_2D[0]}^2, "
+         f"3-D domain {DOMAIN_3D[0]}^3)")
 
 #: (k, FPP) from the paper's Table 3
 PAPER_TABLE3 = {
@@ -34,8 +39,42 @@ def run() -> List[Dict[str, object]]:
     return rows
 
 
-def report() -> str:
+def _measure_rows() -> Dict[str, object]:
+    """Worker: the Table 3 rows (stencil catalog vs. paper values)."""
+    return {"rows": run()}
+
+
+# --------------------------------------------------------------- pipeline
+
+def jobs(quick: bool = False) -> List[SimulationJob]:
+    """Single job — catalog metadata only, no simulation to trim under
+    ``quick`` (the flag is still threaded through for uniformity)."""
+    return [SimulationJob(
+        key="table3:rows",
+        func="repro.experiments.table3:_measure_rows",
+        cache_fields={"kernel": "table3_catalog", "engine": "catalog",
+                      "specs": sorted(CATALOG[name].spec.fingerprint()
+                                      for name in CATALOG)},
+    )]
+
+
+def assemble(payloads: Dict[str, Dict[str, object]],
+             quick: bool = False) -> ExperimentResult:
+    rows = payloads["table3:rows"]["rows"]
+    measurements = [
+        Measurement(kernel="table3", workload=row["benchmark"], extra=row)
+        for row in rows
+    ]
+    return ExperimentResult(experiment="table3", title=TITLE, quick=quick,
+                            measurements=measurements)
+
+
+def render(result: ExperimentResult) -> str:
+    return f"{TITLE}\n" + format_table(result.rows())
+
+
+def report(quick: bool = False) -> str:
     """Formatted Table 3 report."""
-    header = (f"Table 3 — Stencil benchmarks (2-D domain {DOMAIN_2D[0]}^2, "
-              f"3-D domain {DOMAIN_3D[0]}^3)\n")
-    return header + format_table(run())
+    from .parallel import execute_jobs
+
+    return render(assemble(execute_jobs(jobs(quick)), quick))

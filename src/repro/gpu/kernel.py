@@ -116,6 +116,23 @@ class LaunchConfig:
         """Copy of this configuration at a different precision."""
         return replace(self, precision=resolve_precision(precision))
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (cache keys, result artifacts)."""
+        return {
+            "grid_dim": list(self.grid_dim),
+            "block_threads": self.block_threads,
+            "registers_per_thread": self.registers_per_thread,
+            "shared_bytes_per_block": self.shared_bytes_per_block,
+            "precision": self.precision.name,
+            "memory_parallelism": self.memory_parallelism,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this launch configuration."""
+        from ..serialization import stable_digest
+
+        return stable_digest(self.to_dict())
+
 
 @dataclass
 class LaunchResult:

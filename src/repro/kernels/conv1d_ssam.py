@@ -52,11 +52,15 @@ CONV1D_SSAM_KERNEL = Kernel(_conv1d_ssam_block, name="ssam_conv1d")
 def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int] = None,
                     architecture: object = "p100", precision: object = "float32",
                     block_threads: int = 128,
-                    batch_size: object = "auto") -> KernelRunResult:
+                    batch_size: object = "auto",
+                    max_blocks: Optional[int] = None,
+                    keep_output: bool = False) -> KernelRunResult:
     """Convolve a 1-D sequence with ``taps`` using the SSAM kernel.
 
     ``out[i] = sum_m in[i + m - anchor] * taps[m]`` with replicate boundary;
-    the anchor defaults to the filter centre.
+    the anchor defaults to the filter centre.  ``max_blocks`` samples the
+    grid (counters are scaled to the full grid; outputs are partial and
+    only returned with ``keep_output=True``).
     """
     sequence = np.asarray(sequence)
     taps = np.asarray(taps, dtype=np.float64)
@@ -87,10 +91,10 @@ def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int
     )
     launch = CONV1D_SSAM_KERNEL.launch(
         config, args=(src, dst, tuple(float(t) for t in taps), length, anchor),
-        architecture=arch, batch_size=batch_size)
+        architecture=arch, max_blocks=max_blocks, batch_size=batch_size)
     return KernelRunResult(
         name="ssam",
-        output=dst.to_host(),
+        output=dst.to_host() if (max_blocks is None or keep_output) else None,
         launch=launch,
         parameters={"taps": taps.size, "anchor": anchor, "architecture": arch.name,
                     "precision": prec.name},

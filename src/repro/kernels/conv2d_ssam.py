@@ -115,12 +115,16 @@ def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
                     block_threads: int = DEFAULT_BLOCK_THREADS,
                     plan: Optional[SSAMPlan] = None,
                     max_blocks: Optional[int] = None,
-                    batch_size: object = "auto") -> KernelRunResult:
+                    batch_size: object = "auto",
+                    keep_output: bool = False) -> KernelRunResult:
     """Convolve ``image`` with ``spec`` using the SSAM kernel.
 
     Parameters mirror the paper's evaluation defaults (P=4, B=128).  Pass
     ``max_blocks`` to sample the grid when only cost estimates are needed,
     and ``batch_size=1`` to force the legacy per-block engine.
+    ``keep_output=True`` returns the (partial) output buffer even for
+    sampled runs — the executed blocks' results are exactly those of a
+    full run; unexecuted blocks leave zeros.
     """
     image = check_image(image)
     require_edge_boundary(spec.boundary, "the SSAM convolution kernel")
@@ -142,7 +146,7 @@ def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
         max_blocks=max_blocks,
         batch_size=batch_size,
     )
-    output = None if max_blocks is not None else dst.to_host()
+    output = dst.to_host() if (max_blocks is None or keep_output) else None
     return KernelRunResult(
         name="ssam",
         output=output,

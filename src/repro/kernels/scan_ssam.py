@@ -71,8 +71,16 @@ SCAN_SSAM_KERNEL = Kernel(_scan_block, name="ssam_scan")
 
 def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
               precision: object = "float32", block_threads: int = 128,
-              batch_size: object = "auto") -> KernelRunResult:
-    """Inclusive prefix sum of a 1-D sequence using the SSAM scan kernel."""
+              batch_size: object = "auto",
+              max_blocks: Optional[int] = None,
+              keep_output: bool = False) -> KernelRunResult:
+    """Inclusive prefix sum of a 1-D sequence using the SSAM scan kernel.
+
+    ``max_blocks`` samples the grid for cost estimation: counters are
+    scaled to the full grid and the host carry pass sees zero sums for the
+    unexecuted blocks, so outputs are only exact for the leading block.
+    Partial outputs are returned with ``keep_output=True``.
+    """
     sequence = np.asarray(sequence)
     if sequence.ndim != 1 or sequence.size == 0:
         raise ConfigurationError("ssam_scan expects a non-empty 1-D sequence")
@@ -93,18 +101,23 @@ def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
         memory_parallelism=2.0,
     )
     launch = SCAN_SSAM_KERNEL.launch(config, args=(src, dst, block_sums, length),
-                                     architecture=arch, batch_size=batch_size)
-    # host-side carry propagation across blocks (the "scan of block sums" pass)
-    partial = dst.to_host()
-    carries = np.cumsum(block_sums.to_host(), dtype=np.float64)
-    output = partial.astype(np.float64)
-    for block in range(1, grid[0]):
-        start = block * block_threads
-        stop = min(length, start + block_threads)
-        output[start:stop] += carries[block - 1]
+                                     architecture=arch, max_blocks=max_blocks,
+                                     batch_size=batch_size)
+    output = None
+    if max_blocks is None or keep_output:
+        # host-side carry propagation across blocks (the "scan of block
+        # sums" pass); skipped entirely when the output is discarded
+        partial = dst.to_host()
+        carries = np.cumsum(block_sums.to_host(), dtype=np.float64)
+        result = partial.astype(np.float64)
+        for block in range(1, grid[0]):
+            start = block * block_threads
+            stop = min(length, start + block_threads)
+            result[start:stop] += carries[block - 1]
+        output = result.astype(prec.numpy_dtype)
     return KernelRunResult(
         name="ssam",
-        output=output.astype(prec.numpy_dtype),
+        output=output,
         launch=launch,
         parameters={"length": length, "B": block_threads, "architecture": arch.name,
                     "precision": prec.name},

@@ -110,8 +110,14 @@ def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                    block_threads: int = DEFAULT_BLOCK_THREADS,
                    plan: Optional[SSAMPlan] = None,
                    max_blocks: Optional[int] = None,
-                   batch_size: object = "auto") -> KernelRunResult:
-    """Apply a 2-D stencil for ``iterations`` Jacobi steps with the SSAM kernel."""
+                   batch_size: object = "auto",
+                   keep_output: bool = False) -> KernelRunResult:
+    """Apply a 2-D stencil for ``iterations`` Jacobi steps with the SSAM kernel.
+
+    ``keep_output=True`` returns the (partial) output even for sampled
+    runs; with ``iterations=1`` the executed blocks' outputs match a full
+    run exactly.
+    """
     grid = check_image(grid)
     if spec.dims != 2:
         raise ConfigurationError(f"stencil {spec.name!r} is not 2-D")
@@ -144,7 +150,7 @@ def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
         )
         merged = launch if merged is None else merged.merged_with(launch)
     final = buffers[iterations % 2]
-    output = None if max_blocks is not None else final.to_host()
+    output = final.to_host() if (max_blocks is None or keep_output) else None
     return KernelRunResult(
         name="ssam",
         output=output,

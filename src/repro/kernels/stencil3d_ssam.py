@@ -165,8 +165,14 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
                    block_threads: int = 128,
                    max_blocks: Optional[int] = None,
-                   batch_size: object = "auto") -> KernelRunResult:
-    """Apply a 3-D stencil for ``iterations`` Jacobi steps with the SSAM kernel."""
+                   batch_size: object = "auto",
+                   keep_output: bool = False) -> KernelRunResult:
+    """Apply a 3-D stencil for ``iterations`` Jacobi steps with the SSAM kernel.
+
+    ``keep_output=True`` returns the (partial) output even for sampled
+    runs; with ``iterations=1`` the executed blocks' outputs match a full
+    run exactly.
+    """
     grid = check_grid3d(grid)
     if spec.dims != 3:
         raise ConfigurationError(f"stencil {spec.name!r} is not 3-D")
@@ -210,7 +216,7 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
         )
         merged = launch if merged is None else merged.merged_with(launch)
     final = buffers[iterations % 2]
-    output = None if max_blocks is not None else final.to_host()
+    output = final.to_host() if (max_blocks is None or keep_output) else None
     return KernelRunResult(
         name="ssam",
         output=output,

@@ -1,0 +1,109 @@
+"""Canonical JSON serialization and stable content digests.
+
+The experiment pipeline memoizes simulations on disk and fans jobs out to
+worker processes, so every object that parameterises a simulation (problem
+specs, SSAM plans, launch configurations, job parameters) needs a stable,
+platform-independent identity.  This module provides the two primitives the
+whole repository shares:
+
+* :func:`jsonify` — normalise a value into plain JSON types (tuples become
+  lists, NumPy scalars/arrays become Python numbers/lists) so the same
+  logical value always serialises to the same text;
+* :func:`stable_digest` — a hex digest of the canonical JSON encoding,
+  used for cache keys and spec fingerprints.
+
+Keeping this at the package root lets :mod:`repro.core`, :mod:`repro.gpu`
+and :mod:`repro.experiments` all use one identity scheme without layering
+violations (the GPU layer never imports the experiment layer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Mapping
+from typing import Any
+
+import numpy as np
+
+
+def jsonify(value: Any) -> Any:
+    """Normalise ``value`` into plain JSON-compatible Python types.
+
+    Tuples become lists, mappings become plain dicts (preserving insertion
+    order), NumPy scalars become Python ints/floats/bools and NumPy arrays
+    become nested lists.  Values that are already JSON types pass through
+    unchanged; anything else raises ``TypeError`` so non-serialisable
+    objects are caught at the call site rather than deep inside ``json``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)  # np.float64 subclasses float; normalise it too
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()] \
+            if value.dtype == object else value.tolist()
+    if isinstance(value, Mapping):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [jsonify(item) for item in items]
+    if hasattr(value, "to_dict"):
+        return jsonify(value.to_dict())
+    raise TypeError(f"cannot serialise {type(value).__name__!r} value {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace drift.
+
+    Two values that :func:`jsonify` to the same structure always produce the
+    same text, regardless of dict insertion order.
+    """
+    return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"),
+                      allow_nan=True)
+
+
+def stable_digest(value: Any, length: int = 16) -> str:
+    """Short hex digest of the canonical JSON encoding of ``value``."""
+    digest = hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+    return digest[:length] if length else digest
+
+
+def atomic_write_json(path: str, value: Any, indent: "int | None" = None) -> str:
+    """Write ``value`` as JSON via a temp file + ``os.replace``.
+
+    Concurrent writers/readers (parallel experiment runs sharing a cache
+    or artifact directory) never observe a partially written file; the
+    last writer wins.  Returns ``path``.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(value, handle, indent=indent,
+                  separators=None if indent else (",", ":"))
+        if indent:
+            handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def array_digest(array: np.ndarray, length: int = 16) -> str:
+    """Content digest of a NumPy array (dtype + shape + bytes).
+
+    Faster than routing large arrays through JSON; used by spec
+    fingerprints that embed weight matrices.
+    """
+    array = np.ascontiguousarray(array)
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype).encode())
+    hasher.update(str(array.shape).encode())
+    hasher.update(array.tobytes())
+    digest = hasher.hexdigest()
+    return digest[:length] if length else digest

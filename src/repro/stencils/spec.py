@@ -20,6 +20,7 @@ import numpy as np
 
 from ..dtypes import resolve_precision
 from ..errors import SpecificationError
+from ..serialization import stable_digest
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,26 @@ class StencilSpec:
             raise SpecificationError(f"duplicate offsets in stencil {self.name!r}")
         if self.flops_per_point is None:
             object.__setattr__(self, "flops_per_point", 2 * len(self.points) - 1)
+
+    # -- identity ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable description of this stencil."""
+        return {
+            "kind": "stencil",
+            "name": self.name,
+            "dims": self.dims,
+            "flops_per_point": self.flops_per_point,
+            "points": [[p.dx, p.dy, p.dz, p.coefficient] for p in self.points],
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash used by the simulation cache.  Computed once
+        per instance (specs are immutable)."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_digest(self.to_dict())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # -- geometry ----------------------------------------------------------
     @property

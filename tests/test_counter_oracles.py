@@ -1,0 +1,330 @@
+"""Counter-oracle property tests for the memory-system accounting.
+
+Seeded-random address streams are replayed through both execution engines
+(the legacy per-block :class:`~repro.gpu.block.BlockContext` and the
+vectorised :class:`~repro.gpu.batch.BatchedBlockContext`) and the counted
+quantities are checked against deliberately brute-force Python oracles:
+
+* per-warp coalescing sectors (``gmem_load_transactions`` /
+  ``gmem_store_transactions``),
+* per-block unique-line DRAM read traffic (``dram_read_bytes``),
+* shared-memory bank conflicts / broadcasts (``smem_bank_conflicts``,
+  ``smem_load``, ``smem_broadcast``).
+
+The oracles use nothing but Python sets/dicts and loops, so any bug in the
+segmented NumPy accounting paths shows up as a disagreement; additionally
+the two engines are cross-validated counter-for-counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtypes import resolve_precision
+from repro.gpu.architecture import get_architecture
+from repro.gpu.batch import BatchedBlockContext
+from repro.gpu.block import BlockContext
+from repro.gpu.counters import KernelCounters
+from repro.gpu.memory import GlobalMemory
+
+WARP_SIZE = 32
+LINE_BYTES = 128
+BLOCK_THREADS = 64
+NUM_BLOCKS = 3
+NUM_ACCESSES = 4
+BUFFER_ELEMENTS = 4096
+SMEM_ELEMENTS = 256
+
+
+# ----------------------------------------------------------------- oracles
+
+def oracle_sectors(active_indices, itemsize, line_bytes=LINE_BYTES):
+    """Brute force: distinct memory sectors touched by one warp access."""
+    return len({(int(i) * itemsize) // line_bytes for i in active_indices})
+
+
+def oracle_warp_sectors(indices, mask, itemsize):
+    """Total sectors for one block-wide access, warp by warp."""
+    total = 0
+    for w in range(0, len(indices), WARP_SIZE):
+        lanes = range(w, w + WARP_SIZE)
+        active = [indices[i] for i in lanes if mask is None or mask[i]]
+        if active:
+            total += oracle_sectors(active, itemsize)
+    return total
+
+
+def oracle_unique_line_bytes(reads, itemsize, line_bytes=LINE_BYTES):
+    """Brute force: per-block unique-line DRAM bytes for a list of reads
+    (each a ``(indices, mask)`` pair) against a single buffer."""
+    lines = set()
+    for indices, mask in reads:
+        for i, idx in enumerate(indices):
+            if mask is None or mask[i]:
+                lines.add((int(idx) * itemsize) // line_bytes)
+    return len(lines) * line_bytes
+
+
+def oracle_bank_degree(active_indices, itemsize, banks=32, bank_bytes=4):
+    """Brute force bank-conflict degree of one warp shared-memory access.
+
+    Returns ``(degree, is_broadcast)`` exactly as the simulator defines
+    them: all active lanes on one address is a broadcast; otherwise the
+    degree is the worst per-bank count of *distinct* addresses, where
+    8-byte elements occupy two consecutive banks.
+    """
+    addresses = sorted({int(i) * itemsize for i in active_indices})
+    if len(addresses) == 1:
+        return 1, True
+    words_per_element = max(1, itemsize // bank_bytes)
+    degree = 1
+    for sub in range(words_per_element):
+        per_bank = {}
+        for address in addresses:
+            bank = (address // bank_bytes + sub) % banks
+            per_bank[bank] = per_bank.get(bank, 0) + 1
+        degree = max(degree, max(per_bank.values()))
+    return degree, False
+
+
+def oracle_smem_counts(accesses, itemsize, is_store):
+    """Brute force (loads_or_stores, broadcasts, conflicts) for a list of
+    block-wide shared accesses (``(indices, mask)`` pairs)."""
+    ops = broadcasts = conflicts = 0
+    for indices, mask in accesses:
+        for w in range(0, len(indices), WARP_SIZE):
+            lanes = range(w, w + WARP_SIZE)
+            active = [indices[i] for i in lanes if mask is None or mask[i]]
+            if not active:
+                continue
+            degree, broadcast = oracle_bank_degree(active, itemsize)
+            if broadcast and not is_store:
+                broadcasts += 1
+            else:
+                ops += degree
+                conflicts += degree - 1
+    return ops, broadcasts, conflicts
+
+
+# ----------------------------------------------------------------- drivers
+
+def _stream(rng, high, mask_mode):
+    """One seeded block-wide address stream plus an optional lane mask."""
+    indices = rng.integers(0, high, size=BLOCK_THREADS, dtype=np.int64)
+    if mask_mode == "none":
+        return indices, None
+    mask = rng.random(BLOCK_THREADS) < 0.7
+    if mask_mode == "dead-warp":
+        mask[:WARP_SIZE] = False  # a fully inactive warp must count nothing
+    return indices, mask
+
+
+def _make_streams(seed, high, patterns=("random",)):
+    """Per-block access streams: ``streams[a][b] = (indices, mask)``."""
+    rng = np.random.default_rng(seed)
+    streams = []
+    for access in range(NUM_ACCESSES):
+        mask_mode = ("none", "random", "dead-warp")[access % 3]
+        per_block = [_stream(rng, high, mask_mode) for _ in range(NUM_BLOCKS)]
+        streams.append(per_block)
+    if "contiguous" in patterns:
+        base = np.arange(BLOCK_THREADS, dtype=np.int64)
+        streams.append([(base, None) for _ in range(NUM_BLOCKS)])
+    if "broadcast" in patterns:
+        streams.append([(np.full(BLOCK_THREADS, 7, dtype=np.int64), None)
+                        for _ in range(NUM_BLOCKS)])
+    if "strided" in patterns:
+        strided = (np.arange(BLOCK_THREADS, dtype=np.int64) * 2) % high
+        streams.append([(strided, None) for _ in range(NUM_BLOCKS)])
+    return streams
+
+
+def _legacy_contexts(arch, counters, precision):
+    return [
+        BlockContext(block_idx=(b, 0, 0), grid_dim=(NUM_BLOCKS, 1, 1),
+                     block_threads=BLOCK_THREADS, architecture=arch,
+                     counters=counters, precision=precision)
+        for b in range(NUM_BLOCKS)
+    ]
+
+
+def _batched_context(arch, counters, precision):
+    block_indices = np.array([(b, 0, 0) for b in range(NUM_BLOCKS)], dtype=np.int64)
+    return BatchedBlockContext(block_indices=block_indices,
+                               grid_dim=(NUM_BLOCKS, 1, 1),
+                               block_threads=BLOCK_THREADS, architecture=arch,
+                               counters=counters, precision=precision)
+
+
+def _batch_matrix(per_block, pick):
+    return np.stack([pick(entry) for entry in per_block])
+
+
+def _run_global(engine, arch, precision, streams, store=False):
+    """Replay the streams through one engine; returns the counters."""
+    counters = KernelCounters()
+    memory = GlobalMemory()
+    buffer = memory.allocate((BUFFER_ELEMENTS,), precision, name="g")
+    if engine == "legacy":
+        contexts = _legacy_contexts(arch, counters, precision)
+        for per_block in streams:
+            for ctx, (indices, mask) in zip(contexts, per_block):
+                if store:
+                    ctx.store_global(buffer, indices, np.float64(1.0), mask=mask)
+                else:
+                    ctx.load_global(buffer, indices, mask=mask)
+        for ctx in contexts:
+            ctx.finalize()
+    else:
+        ctx = _batched_context(arch, counters, precision)
+        for per_block in streams:
+            indices = _batch_matrix(per_block, lambda e: e[0])
+            masks = [mask for _, mask in per_block]
+            mask = None if masks[0] is None else np.stack(masks)
+            if store:
+                ctx.store_global(buffer, indices, np.float64(1.0), mask=mask)
+            else:
+                ctx.load_global(buffer, indices, mask=mask)
+        ctx.finalize()
+    return counters
+
+
+def _run_shared(engine, arch, precision, streams, store=False):
+    counters = KernelCounters()
+    if engine == "legacy":
+        contexts = _legacy_contexts(arch, counters, precision)
+        shared = [ctx.alloc_shared("s", (SMEM_ELEMENTS,)) for ctx in contexts]
+        for per_block in streams:
+            for ctx, smem, (indices, mask) in zip(contexts, shared, per_block):
+                if store:
+                    ctx.store_shared(smem, indices, np.float64(1.0), mask=mask)
+                else:
+                    ctx.load_shared(smem, indices, mask=mask)
+    else:
+        ctx = _batched_context(arch, counters, precision)
+        smem = ctx.alloc_shared("s", (SMEM_ELEMENTS,))
+        for per_block in streams:
+            indices = _batch_matrix(per_block, lambda e: e[0])
+            masks = [mask for _, mask in per_block]
+            mask = None if masks[0] is None else np.stack(masks)
+            if store:
+                ctx.store_shared(smem, indices, np.float64(1.0), mask=mask)
+            else:
+                ctx.load_shared(smem, indices, mask=mask)
+    return counters
+
+
+ENGINES = ("legacy", "batched")
+SEEDS = (0, 1, 2)
+
+
+# ------------------------------------------------------------------- tests
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("precision_name", ["float32", "float64"])
+def test_coalescing_sectors_match_oracle(engine, seed, precision_name):
+    arch = get_architecture("p100")
+    precision = resolve_precision(precision_name)
+    itemsize = precision.itemsize
+    streams = _make_streams(seed, BUFFER_ELEMENTS,
+                            patterns=("contiguous", "strided"))
+    counters = _run_global(engine, arch, precision, streams)
+    expected = sum(
+        oracle_warp_sectors(list(indices), mask, itemsize)
+        for per_block in streams for indices, mask in per_block
+    )
+    assert counters.gmem_load_transactions == expected
+    # a fully coalesced float32 warp access is exactly one 128-byte sector
+    if precision_name == "float32":
+        solo = KernelCounters()
+        ctx = BlockContext((0, 0, 0), (1, 1, 1), BLOCK_THREADS, arch, solo, precision)
+        memory = GlobalMemory()
+        buffer = memory.allocate((BUFFER_ELEMENTS,), precision)
+        ctx.load_global(buffer, np.arange(BLOCK_THREADS, dtype=np.int64))
+        assert solo.gmem_load_transactions == BLOCK_THREADS // WARP_SIZE
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_store_sectors_match_oracle(engine, seed):
+    arch = get_architecture("v100")
+    precision = resolve_precision("float32")
+    streams = _make_streams(seed, BUFFER_ELEMENTS)
+    counters = _run_global(engine, arch, precision, streams, store=True)
+    expected = sum(
+        oracle_warp_sectors(list(indices), mask, precision.itemsize)
+        for per_block in streams for indices, mask in per_block
+    )
+    assert counters.gmem_store_transactions == expected
+    active = sum(
+        (len(indices) if mask is None else int(np.sum(mask)))
+        for per_block in streams for indices, mask in per_block
+    )
+    assert counters.dram_write_bytes == active * precision.itemsize
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("precision_name", ["float32", "float64"])
+def test_unique_line_dram_traffic_matches_oracle(engine, seed, precision_name):
+    arch = get_architecture("p100")
+    precision = resolve_precision(precision_name)
+    streams = _make_streams(seed, BUFFER_ELEMENTS)
+    counters = _run_global(engine, arch, precision, streams)
+    expected = sum(
+        oracle_unique_line_bytes(
+            [(list(per_block[b][0]), per_block[b][1]) for per_block in streams],
+            precision.itemsize)
+        for b in range(NUM_BLOCKS)
+    )
+    assert counters.dram_read_bytes == expected
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("precision_name", ["float32", "float64"])
+def test_bank_conflicts_match_oracle(engine, seed, precision_name):
+    arch = get_architecture("p100")
+    precision = resolve_precision(precision_name)
+    itemsize = precision.itemsize
+    streams = _make_streams(seed, SMEM_ELEMENTS,
+                            patterns=("contiguous", "broadcast", "strided"))
+    counters = _run_shared(engine, arch, precision, streams)
+    flat = [(list(indices), mask)
+            for per_block in streams for indices, mask in per_block]
+    loads, broadcasts, conflicts = oracle_smem_counts(flat, itemsize, is_store=False)
+    assert counters.smem_load == loads
+    assert counters.smem_broadcast == broadcasts
+    assert counters.smem_bank_conflicts == conflicts
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bank_conflicts_on_stores_match_oracle(engine, seed):
+    arch = get_architecture("v100")
+    precision = resolve_precision("float64")
+    streams = _make_streams(seed, SMEM_ELEMENTS, patterns=("strided",))
+    counters = _run_shared(engine, arch, precision, streams, store=True)
+    flat = [(list(indices), mask)
+            for per_block in streams for indices, mask in per_block]
+    stores, _, conflicts = oracle_smem_counts(flat, precision.itemsize, is_store=True)
+    assert counters.smem_store == stores
+    assert counters.smem_bank_conflicts == conflicts
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("precision_name", ["float32", "float64"])
+def test_engines_agree_counter_for_counter(seed, precision_name):
+    """The legacy and batched engines must agree on every counter."""
+    arch = get_architecture("p100")
+    precision = resolve_precision(precision_name)
+    gstreams = _make_streams(seed, BUFFER_ELEMENTS,
+                             patterns=("contiguous", "strided"))
+    sstreams = _make_streams(seed + 100, SMEM_ELEMENTS,
+                             patterns=("broadcast", "strided"))
+    for runner, streams in ((_run_global, gstreams), (_run_shared, sstreams)):
+        legacy = runner("legacy", arch, precision, streams)
+        batched = runner("batched", arch, precision, streams)
+        assert legacy.as_dict() == batched.as_dict()

@@ -1,0 +1,166 @@
+"""Unit tests for the typed-results layer and the simulation cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.convolution.spec import ConvolutionSpec
+from repro.core.plan import plan_convolution
+from repro.errors import ConfigurationError
+from repro.experiments.cache import SimulationCache, code_version
+from repro.experiments.jobs import SimulationJob, dedupe_jobs, execute_job, resolve_worker
+from repro.experiments.parallel import execute_jobs
+from repro.experiments.results import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    Measurement,
+    load_result,
+)
+from repro.serialization import canonical_json, jsonify, stable_digest
+from repro.stencils.catalog import CATALOG
+
+
+# ----------------------------------------------------------- serialization
+
+def test_jsonify_normalises_tuples_and_numpy_types():
+    value = {"a": (1, 2), "b": np.float64(1.5), "c": np.int32(3),
+             "d": np.array([1.0, 2.0]), "e": np.bool_(True)}
+    normal = jsonify(value)
+    assert normal == {"a": [1, 2], "b": 1.5, "c": 3, "d": [1.0, 2.0], "e": True}
+    assert type(normal["b"]) is float and type(normal["c"]) is int
+
+
+def test_jsonify_rejects_unserialisable_values():
+    with pytest.raises(TypeError):
+        jsonify(object())
+
+
+def test_stable_digest_is_order_insensitive():
+    assert stable_digest({"x": 1, "y": (2, 3)}) == stable_digest({"y": [2, 3], "x": 1})
+    assert stable_digest({"x": 1}) != stable_digest({"x": 2})
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+def test_spec_fingerprints_are_stable_and_content_addressed():
+    a = ConvolutionSpec.gaussian(5)
+    b = ConvolutionSpec.gaussian(5)
+    c = ConvolutionSpec.gaussian(7)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+    assert a == b and hash(a) == hash(b)
+    stencil = CATALOG["2d5pt"].spec
+    assert stencil.fingerprint() == CATALOG["2d5pt"].spec.fingerprint()
+    assert stencil.fingerprint() != CATALOG["3d7pt"].spec.fingerprint()
+
+
+def test_plan_and_launch_config_serialise():
+    plan = plan_convolution(ConvolutionSpec.gaussian(5))
+    config = plan.launch_config(512, 512)
+    assert config.to_dict()["precision"] == "float32"
+    assert config.fingerprint() == config.fingerprint()
+    assert plan.to_dict()["problem"] == plan.problem.fingerprint()
+    assert len(plan.fingerprint()) == 16
+
+
+# ------------------------------------------------------------------ results
+
+def _sample_result():
+    measurements = [
+        Measurement(kernel="ssam", architecture="p100", workload="3x3",
+                    config={"grid_dim": (4, 4, 1)}, counters={"fma": 10.0},
+                    milliseconds=1.25, value=1.25, unit="ms",
+                    extra={"matches_paper": True}),
+        Measurement(kernel="npp", architecture="p100", workload="3x3",
+                    value=None),
+    ]
+    return ExperimentResult(experiment="demo", title="Demo", quick=True,
+                            measurements=measurements,
+                            metadata={"panels": {"a": {"sizes": (3,)}}})
+
+
+def test_result_round_trips_through_json(tmp_path):
+    result = _sample_result()
+    path = str(tmp_path / "demo.json")
+    result.save(path)
+    loaded = load_result(path)
+    assert loaded == result
+    assert loaded.measurements[0].config["grid_dim"] == [4, 4, 1]
+    assert loaded.series_value("ssam", "p100", "3x3") == 1.25
+    assert loaded.rows()[0] == {"matches_paper": True}
+
+
+def test_result_rejects_unknown_schema_version(tmp_path):
+    bad = dict(_sample_result().to_dict(), schema_version=SCHEMA_VERSION + 1)
+    with pytest.raises(ConfigurationError):
+        ExperimentResult.from_dict(bad)
+
+
+# --------------------------------------------------------------------- jobs
+
+def _echo_worker(**params):
+    return {"echo": params}
+
+
+def test_execute_job_resolves_and_normalises():
+    job = SimulationJob(key="t:1", func="tests.test_results_and_cache:_echo_worker",
+                        params={"x": (1, 2)})
+    key, payload = execute_job(job)
+    assert key == "t:1"
+    assert payload == {"echo": {"x": [1, 2]}}
+    assert resolve_worker("repro.experiments.table1:_measure_rows")
+
+
+def test_resolve_worker_rejects_bad_paths():
+    with pytest.raises(ConfigurationError):
+        resolve_worker("no-colon")
+    with pytest.raises(ConfigurationError):
+        resolve_worker("repro.experiments.table1:nope")
+
+
+def test_dedupe_jobs_detects_conflicts():
+    a = SimulationJob(key="k", func="m:f", params={"x": 1})
+    same = SimulationJob(key="k", func="m:f", params={"x": 1})
+    conflict = SimulationJob(key="k", func="m:f", params={"x": 2})
+    assert dedupe_jobs([a, same]) == [a]
+    with pytest.raises(ConfigurationError):
+        dedupe_jobs([a, conflict])
+
+
+# -------------------------------------------------------------------- cache
+
+def test_cache_lookup_store_round_trip(tmp_path):
+    cache = SimulationCache(str(tmp_path / "c"))
+    key = {"func": "f", "params": {"n": 1}, "kernel": "k"}
+    assert cache.lookup(key) is None
+    cache.store(key, {"value": 1.5})
+    assert cache.lookup(key) == {"value": 1.5}
+    assert cache.lookup({**key, "kernel": "other"}) is None
+    assert cache.stats() == {"hits": 1, "misses": 2, "stores": 1}
+    assert cache.entry_count() == 1
+
+
+def test_cache_disabled_stores_nothing(tmp_path):
+    cache = SimulationCache(str(tmp_path / "c"), enabled=False)
+    cache.store({"k": 1}, {"v": 2})
+    assert cache.lookup({"k": 1}) is None
+    assert cache.entry_count() == 0
+
+
+def test_cache_key_includes_code_version(tmp_path):
+    cache = SimulationCache(str(tmp_path / "c"))
+    assert code_version() == code_version()
+    path = cache.entry_path({"func": "f"})
+    assert str(tmp_path) in path and path.endswith(".json")
+
+
+def test_execute_jobs_uses_cache_and_preserves_payloads(tmp_path):
+    cache = SimulationCache(str(tmp_path / "c"))
+    jobs = [SimulationJob(key=f"t:{i}",
+                          func="tests.test_results_and_cache:_echo_worker",
+                          params={"i": i}) for i in range(3)]
+    first = execute_jobs(jobs, workers=1, cache=cache)
+    assert cache.stats()["stores"] == 3
+    second = execute_jobs(jobs, workers=1, cache=cache)
+    assert second == first
+    assert cache.stats()["hits"] == 3

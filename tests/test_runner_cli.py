@@ -1,0 +1,129 @@
+"""CLI tests for ``ssam-repro`` (the experiment runner).
+
+Covers exit codes, unknown experiment names, ``--quick``, ``--jobs``,
+``--no-cache``/``--cache-dir`` and JSON artifact emission, exercising the
+whole pipeline through the same argument surface CI uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import load_result, runner
+from repro.experiments.parallel import resolve_workers
+from repro.errors import ConfigurationError
+
+
+def _main(args, capsys):
+    code = runner.main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_single_experiment_exit_code_and_output(capsys, tmp_path):
+    code, out, _ = _main(["--experiment", "table1", "--no-cache"], capsys)
+    assert code == 0
+    assert "Table 1" in out
+    assert "Tesla V100" in out
+
+
+def test_unknown_experiment_name_rejected(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        runner.main(["--experiment", "table99"])
+    assert excinfo.value.code == 2  # argparse usage error
+    assert "invalid choice" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        runner.run_experiment("table99")
+
+
+def test_invalid_jobs_value_rejected(capsys):
+    with pytest.raises(SystemExit):
+        runner.main(["--experiment", "table1", "--jobs", "-3"])
+    with pytest.raises(ConfigurationError):
+        resolve_workers(-3)
+    assert resolve_workers(0) >= 1
+
+
+def test_quick_all_runs_every_section(capsys, tmp_path):
+    code, out, _ = _main(["--experiment", "all", "--quick", "--no-cache"], capsys)
+    assert code == 0
+    for section in ("Table 1", "Table 2", "Table 3", "Figure 4a", "Figure 5d",
+                    "Figure 6c", "performance-model validation"):
+        assert section in out, section
+
+
+def test_quick_reduces_the_sweeps():
+    quick = runner.run_experiment("figure4", quick=True)
+    full_sizes = runner.EXPERIMENTS["figure4"].FILTER_SIZES
+    quick_sizes = runner.EXPERIMENTS["figure4"].QUICK_FILTER_SIZES
+    assert len(quick_sizes) < len(full_sizes)
+    assert f"{quick_sizes[-1]}x{quick_sizes[-1]}" in quick
+    assert "4x4" not in quick  # 4 is only in the full sweep
+
+
+def test_quick_is_honored_by_every_experiment():
+    """``run_experiment('all', quick=True)`` must thread --quick uniformly:
+    the experiments with real simulation work shrink it, and even the
+    static tables see the flag (their results are tagged quick)."""
+    results = runner.run_experiment_results("all", quick=True)
+    assert all(result.quick for result in results.values())
+    # table2: shorter dependent chains, same measured latency
+    assert results["table2"].metadata["chain_length"] == \
+        runner.table2.QUICK_CHAIN_LENGTH
+    # model: reduced sweep and claim extent, same verdicts
+    assert results["model"].metadata["claim_max_extent"] == \
+        runner.model_validation.QUICK_CLAIM_MAX_EXTENT
+    assert all(results["model"].metadata["claims"].values())
+    full_rows = runner.model_validation.run()
+    quick_rows = results["model"].rows()
+    assert len(quick_rows) < len(full_rows)
+
+
+def test_jobs_flag_produces_identical_output(capsys, tmp_path):
+    _, serial, _ = _main(["--experiment", "all", "--quick", "--no-cache"], capsys)
+    _, parallel, _ = _main(["--experiment", "all", "--quick", "--no-cache",
+                            "--jobs", "2"], capsys)
+    assert parallel == serial
+
+
+def test_json_artifact_emission_and_round_trip(capsys, tmp_path):
+    out_dir = tmp_path / "artifacts"
+    code, out, err = _main(["--experiment", "all", "--quick", "--no-cache",
+                            "--output-dir", str(out_dir)], capsys)
+    assert code == 0
+    names = sorted(runner.EXPERIMENTS)
+    assert sorted(p.name for p in out_dir.iterdir()) == \
+        [f"{name}.json" for name in names]
+    # every artifact loads back losslessly and re-renders the exact text
+    results = runner.run_experiment_results("all", quick=True)
+    for name in names:
+        loaded = load_result(str(out_dir / f"{name}.json"))
+        assert loaded == results[name]
+        module = runner.EXPERIMENTS[name]
+        assert module.render(loaded) == module.render(results[name])
+        assert module.render(loaded) in out
+
+
+def test_cache_dir_controls(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _, first, _ = _main(["--experiment", "table2", "--quick",
+                         "--cache-dir", str(cache_dir)], capsys)
+    entries = [os.path.join(root, f) for root, _, files in os.walk(cache_dir)
+               for f in files]
+    assert entries, "cache population expected"
+    with open(entries[0], "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    assert "payload" in entry and "key" in entry
+    # a second run must serve from cache and print identical text
+    _, second, err = _main(["--experiment", "table2", "--quick",
+                            "--cache-dir", str(cache_dir)], capsys)
+    assert second == first
+    assert "0 misses" in err
+    # --no-cache leaves the directory untouched
+    no_cache_dir = tmp_path / "never"
+    _main(["--experiment", "table2", "--quick", "--no-cache",
+           "--cache-dir", str(no_cache_dir)], capsys)
+    assert not no_cache_dir.exists()
