@@ -71,19 +71,30 @@ __all__ = [
     "get_stencil",
     "StencilPoint",
     "StencilSpec",
+    "ssam_convolve1d",
     "ssam_convolve2d",
     "ssam_stencil2d",
     "ssam_stencil3d",
     "ssam_scan",
+    "get_scenario",
+    "scenario_names",
     "__version__",
 ]
 
 
 def __getattr__(name):  # lazy imports keep heavy kernel modules off the import path
+    if name == "ssam_convolve1d":
+        from .kernels.conv1d_ssam import ssam_convolve1d
+
+        return ssam_convolve1d
     if name == "ssam_convolve2d":
         from .kernels.conv2d_ssam import ssam_convolve2d
 
         return ssam_convolve2d
+    if name in ("get_scenario", "scenario_names"):
+        from . import scenarios
+
+        return getattr(scenarios, name)
     if name == "ssam_stencil2d":
         from .kernels.stencil2d_ssam import ssam_stencil2d
 

@@ -18,6 +18,7 @@ from ..errors import ConfigurationError, ResourceExhaustedError
 from ..gpu.architecture import GPUArchitecture, get_architecture
 from ..gpu.register_file import (
     BASE_REGISTER_OVERHEAD,
+    REGISTER_ALLOCATION_GRANULARITY,
     RegisterAllocation,
     allocate_registers,
     registers_for_cache,
@@ -113,7 +114,10 @@ def max_outputs_per_thread(filter_height: int, architecture: object = "p100",
     """
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    cap = arch.max_registers_per_thread
+    # requests round up to the allocation granularity before the cap check,
+    # so an odd cap (255) effectively grants one register less
+    granularity = REGISTER_ALLOCATION_GRANULARITY
+    cap = (arch.max_registers_per_thread // granularity) * granularity
     per_value = prec.registers_per_value
     budget = cap - overhead
     # (N + 2P - 1) * per_value <= budget

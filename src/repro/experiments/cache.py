@@ -46,6 +46,26 @@ def default_cache_dir() -> str:
     return os.path.join(base, "ssam-repro")
 
 
+def digest_source_tree(root: str) -> str:
+    """Digest of every Python source file under ``root`` (path + content).
+
+    Uncached: callers that need memoisation (the per-process
+    :func:`code_version`) wrap it themselves, and tests digest throwaway
+    trees to check sensitivity to edits, additions and renames.
+    """
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            hasher.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                hasher.update(handle.read())
+    return hasher.hexdigest()[:16]
+
+
 @lru_cache(maxsize=1)
 def code_version() -> str:
     """Digest of every Python source file under ``src/repro``.
@@ -55,17 +75,7 @@ def code_version() -> str:
     cache can never serve results from a different code state.
     """
     package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    hasher = hashlib.sha256()
-    for dirpath, dirnames, filenames in os.walk(package_root):
-        dirnames.sort()
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            hasher.update(os.path.relpath(path, package_root).encode())
-            with open(path, "rb") as handle:
-                hasher.update(handle.read())
-    return hasher.hexdigest()[:16]
+    return digest_source_tree(package_root)
 
 
 class SimulationCache:

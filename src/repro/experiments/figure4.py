@@ -24,16 +24,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.metrics import geometric_mean, speedup
 from ..analysis.tables import format_series
-from ..baselines.conv2d import (
-    ARRAYFIRE_MAX_FILTER,
-    arrayfire_like_convolve2d,
-    cudnn_like_convolve2d,
-    cufft_like_convolve2d,
-    halide_like_convolve2d,
-    npp_like_convolve2d,
-)
+from ..baselines.conv2d import ARRAYFIRE_MAX_FILTER
 from ..convolution.spec import ConvolutionSpec
-from ..kernels.conv2d_ssam import analytic_launch as ssam_analytic_launch
+from ..scenarios import get_scenario
 from .jobs import SimulationJob
 from .results import ExperimentResult, Measurement
 
@@ -47,27 +40,25 @@ IMPLEMENTATIONS = ("ssam", "arrayfire", "npp", "halide", "cudnn", "cufft")
 #: the two panels of the figure
 PANELS = (("figure4a", "p100"), ("figure4b", "v100"))
 
-_BASELINES = {
-    "arrayfire": arrayfire_like_convolve2d,
-    "npp": npp_like_convolve2d,
-    "halide": halide_like_convolve2d,
-    "cudnn": cudnn_like_convolve2d,
-    "cufft": cufft_like_convolve2d,
-}
+def _scenario_name(implementation: str) -> str:
+    """Map a figure series name onto its registered conv2d scenario."""
+    return "conv2d" if implementation == "ssam" else f"conv2d-{implementation}"
 
 
 def _measure_impl(implementation: str, filter_size: int, architecture: str,
                   precision: str, width: int, height: int):
     """Simulate one implementation at one filter size (or ``None`` if the
-    implementation does not support the size, like ArrayFire above 16)."""
-    spec = ConvolutionSpec.gaussian(filter_size)
-    if implementation == "ssam":
-        return ssam_analytic_launch(spec, width, height, architecture, precision)
+    implementation does not support the size, like ArrayFire above 16).
+
+    Implementations are looked up in the scenario registry and evaluated
+    through their registered analytic engine.
+    """
     if implementation == "arrayfire" and filter_size > ARRAYFIRE_MAX_FILTER:
         return None
-    baseline = _BASELINES[implementation]
-    return baseline(None, spec, architecture, precision, functional=False,
-                    width=width, height=height)
+    spec = ConvolutionSpec.gaussian(filter_size)
+    scenario = get_scenario(_scenario_name(implementation))
+    return scenario.run_analytic(spec, {"width": width, "height": height},
+                                 architecture, precision)
 
 
 def _measure_cell(implementation: str, filter_size: int, architecture: str,

@@ -47,20 +47,45 @@ def _select(name: str) -> List[str]:
         return list(EXPERIMENTS)
     if name not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {name!r}; choose from "
-                         f"{sorted(EXPERIMENTS) + ['all']}")
+                         f"{sorted(EXPERIMENTS) + ['all', 'sweep']}")
     return [name]
+
+
+def _sweep_module():
+    """The registry-driven sweep engine (imported lazily: it loads every
+    kernel and baseline to populate the scenario registry)."""
+    from ..scenarios import sweep
+
+    return sweep
+
+
+def render_result(name: str, result: ExperimentResult) -> str:
+    """Render one experiment result by name (including ``"sweep"``)."""
+    if name == "sweep":
+        return _sweep_module().render(result)
+    return EXPERIMENTS[name].render(result)
 
 
 def run_experiment_results(name: str = "all", quick: bool = False,
                            jobs: int = 1,
                            cache: Optional[SimulationCache] = None,
+                           matrix: Optional[str] = None,
                            ) -> Dict[str, ExperimentResult]:
     """Run one or all experiments through the pipeline.
 
     All selected experiments' jobs are pooled into a single executor pass
     (shared simulations between experiments run once), then each experiment
-    assembles its typed result from the keyed payloads.
+    assembles its typed result from the keyed payloads.  ``name="sweep"``
+    runs the scenario-registry sweep engine instead; ``matrix`` names a
+    preset or a JSON matrix file (default ``"smoke"`` under ``--quick``,
+    ``"default"`` otherwise).
     """
+    if name == "sweep":
+        sweep = _sweep_module()
+        resolved = sweep.load_matrix(
+            matrix if matrix is not None else ("smoke" if quick else "default"))
+        payloads = execute_jobs(sweep.jobs(resolved), workers=jobs, cache=cache)
+        return {"sweep": sweep.assemble(payloads, resolved, quick=quick)}
     names = _select(name)
     pending = []
     for key in names:
@@ -70,10 +95,12 @@ def run_experiment_results(name: str = "all", quick: bool = False,
 
 
 def run_experiment(name: str, quick: bool = False, jobs: int = 1,
-                   cache: Optional[SimulationCache] = None) -> str:
-    """Run one named experiment (or ``"all"``) and return its report text."""
-    results = run_experiment_results(name, quick=quick, jobs=jobs, cache=cache)
-    return "\n\n".join(EXPERIMENTS[key].render(result)
+                   cache: Optional[SimulationCache] = None,
+                   matrix: Optional[str] = None) -> str:
+    """Run one named experiment (or ``"all"``/``"sweep"``); returns the report."""
+    results = run_experiment_results(name, quick=quick, jobs=jobs, cache=cache,
+                                     matrix=matrix)
+    return "\n\n".join(render_result(key, result)
                        for key, result in results.items())
 
 
@@ -89,10 +116,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the SSAM paper's tables and figures on the simulated GPUs")
     parser.add_argument("--experiment", "-e", default="all",
-                        choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which table/figure to regenerate")
+                        choices=sorted(EXPERIMENTS) + ["all", "sweep"],
+                        help="which table/figure to regenerate, or 'sweep' for "
+                             "a scenario-registry sweep")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced sweeps for a fast smoke run")
+    parser.add_argument("--matrix", default=None, metavar="SPEC",
+                        help="sweep matrix: a preset name or a JSON file with "
+                             "scenarios/architectures/precisions/engines/sizes "
+                             "axes (only with --experiment sweep)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the simulation jobs "
                              "(0 = all CPUs; default 1)")
@@ -109,10 +141,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers = resolve_workers(args.jobs)
     except Exception as exc:
         parser.error(str(exc))
+    if args.matrix is not None and args.experiment != "sweep":
+        parser.error("--matrix requires --experiment sweep")
     cache = None if args.no_cache else SimulationCache(args.cache_dir)
     results = run_experiment_results(args.experiment, quick=args.quick,
-                                     jobs=workers, cache=cache)
-    print("\n\n".join(EXPERIMENTS[key].render(result)
+                                     jobs=workers, cache=cache,
+                                     matrix=args.matrix)
+    print("\n\n".join(render_result(key, result)
                       for key, result in results.items()))
     if args.output_dir:
         for path in save_artifacts(results, args.output_dir):

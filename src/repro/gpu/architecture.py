@@ -281,6 +281,11 @@ ARCHITECTURES: Dict[str, GPUArchitecture] = {
 EVALUATED_ARCHITECTURES: Tuple[GPUArchitecture, ...] = (TESLA_P100, TESLA_V100)
 
 
+def architecture_names() -> Tuple[str, ...]:
+    """The preset short names, in Table 1 order (registry envelopes, CLIs)."""
+    return tuple(ARCHITECTURES)
+
+
 def get_architecture(name: object) -> GPUArchitecture:
     """Look up an architecture preset by name (case-insensitive).
 

@@ -21,6 +21,9 @@ from .architecture import GPUArchitecture
 #: on top of the explicitly cached values (empirical nvcc overhead).
 BASE_REGISTER_OVERHEAD = 18
 
+#: per-thread register allocation granularity: requests round up to pairs
+REGISTER_ALLOCATION_GRANULARITY = 2
+
 
 @dataclass(frozen=True)
 class RegisterAllocation:
@@ -81,7 +84,7 @@ def allocate_registers(architecture: GPUArchitecture, requested_per_thread: int,
     ResourceExhaustedError
         If ``allow_spill`` is False and the request exceeds the cap.
     """
-    granularity = 2
+    granularity = REGISTER_ALLOCATION_GRANULARITY
     rounded = ((requested_per_thread + granularity - 1) // granularity) * granularity
     cap = architecture.max_registers_per_thread
     if rounded <= cap:

@@ -1,5 +1,34 @@
-"""SSAM kernels: the paper's contribution, executable on the GPU substrate."""
+"""SSAM kernels: the paper's contribution, executable on the GPU substrate.
+
+The five kernel entry points are re-exported here so consumers — the
+scenario registry first among them — can import every runner from one
+place instead of reaching into the per-kernel modules.
+"""
 
 from .common import KernelRunResult
+from .conv1d_ssam import reference_convolve1d, ssam_convolve1d
+from .conv2d_ssam import ssam_convolve2d
+from .scan_ssam import reference_scan, ssam_scan
+from .stencil2d_ssam import ssam_stencil2d
+from .stencil3d_ssam import ssam_stencil3d
 
-__all__ = ["KernelRunResult"]
+#: the five SSAM kernel entry points, keyed by scenario name
+RUN_ENTRY_POINTS = {
+    "conv1d": ssam_convolve1d,
+    "conv2d": ssam_convolve2d,
+    "stencil2d": ssam_stencil2d,
+    "stencil3d": ssam_stencil3d,
+    "scan": ssam_scan,
+}
+
+__all__ = [
+    "KernelRunResult",
+    "RUN_ENTRY_POINTS",
+    "reference_convolve1d",
+    "reference_scan",
+    "ssam_convolve1d",
+    "ssam_convolve2d",
+    "ssam_scan",
+    "ssam_stencil2d",
+    "ssam_stencil3d",
+]

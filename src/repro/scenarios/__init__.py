@@ -1,0 +1,41 @@
+"""Scenario registry + sweep subsystem.
+
+``repro.scenarios`` turns scenario count into a data problem: every SSAM
+kernel and baseline registers itself once (:mod:`~repro.scenarios.builtin`)
+with its spec builder, planner, runner, CPU oracle and supported
+(architecture x precision x engine) envelope; the registry
+(:mod:`~repro.scenarios.registry`) expands declarative Cartesian matrices
+over those registrations, and the sweep engine
+(:mod:`~repro.scenarios.sweep`) runs the expansion through the cached,
+sharded experiment pipeline (``ssam-repro --experiment sweep``).
+
+Importing this package populates the registry with the built-in scenarios.
+"""
+
+from . import builtin  # noqa: F401  (registers the built-in scenarios)
+from .registry import (
+    ENGINE_BATCH_SIZE,
+    ENGINES,
+    Scenario,
+    ScenarioCase,
+    all_scenarios,
+    expand_matrix,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+
+__all__ = [
+    "ENGINE_BATCH_SIZE",
+    "ENGINES",
+    "Scenario",
+    "ScenarioCase",
+    "all_scenarios",
+    "builtin",
+    "expand_matrix",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "unregister",
+]

@@ -1,0 +1,355 @@
+"""Built-in scenario registrations: the five SSAM kernels and the baselines.
+
+Importing this module (which :mod:`repro.scenarios` does on package import)
+populates the registry with every implementation the paper evaluates.  Each
+registration is the single place a kernel is wired up — spec builder,
+workload builder, planner, runner, CPU oracle and supported envelope — and
+is everything needed for the kernel to appear in sweeps and in the
+auto-generated differential test matrix.
+
+The named problem sizes deliberately produce partial blocks on every grid
+edge (domains indivisible by the tile extents) so functional runs exercise
+the masked boundary paths; ``"paper"`` sizes are the evaluation-scale
+domains of Section 6 and are analytic-only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..baselines.conv2d import (
+    arrayfire_like_convolve2d,
+    cudnn_like_convolve2d,
+    cufft_like_convolve2d,
+    halide_like_convolve2d,
+    npp_like_convolve2d,
+)
+from ..baselines.stencil2d import (
+    halide_like_stencil2d,
+    original_stencil2d,
+    ppcg_like_stencil2d,
+)
+from ..baselines.stencil3d import original_stencil3d
+from ..convolution.spec import ConvolutionSpec
+from ..core.plan import plan_convolution, plan_stencil
+from ..gpu.architecture import EVALUATED_ARCHITECTURES, architecture_names
+from ..kernels import (
+    reference_convolve1d,
+    reference_scan,
+    ssam_convolve1d,
+    ssam_convolve2d,
+    ssam_scan,
+    ssam_stencil2d,
+    ssam_stencil3d,
+)
+from ..kernels.conv2d_ssam import analytic_launch as conv2d_analytic_launch
+from ..kernels.stencil2d_ssam import analytic_launch as stencil2d_analytic_launch
+from ..kernels.stencil3d_ssam import analytic_launch as stencil3d_analytic_launch
+from ..stencils.catalog import get_stencil
+from ..workloads.generators import random_grid_3d, random_image, sequence
+from .registry import ENGINE_BATCH_SIZE, Scenario, register
+
+#: every architecture preset (K40/M40/P100/V100) — the SSAM kernels run on all
+ALL_ARCHITECTURES = architecture_names()
+#: the two parts the paper evaluates — the baselines' cost models target these
+EVALUATED = tuple(arch.name.split()[-1].lower() for arch in EVALUATED_ARCHITECTURES)
+BOTH_PRECISIONS = ("float32", "float64")
+FUNCTIONAL_ENGINES = ("scalar", "batched")
+ALL_ENGINES = ("scalar", "batched", "analytic")
+
+
+def binomial_taps(count: int) -> np.ndarray:
+    """Normalised binomial filter taps (the 1-D Gaussian approximation)."""
+    row = np.array([math.comb(count - 1, k) for k in range(count)], dtype=np.float64)
+    return row / row.sum()
+
+
+# Named problem sizes are shared per family between the SSAM kernel and its
+# baselines, so paired scenarios always describe the same problem domain.
+_CONV2D_SIZES: Dict[str, Mapping[str, object]] = {
+    "tiny": {"width": 49, "height": 37, "filter": 3},
+    "small": {"width": 97, "height": 83, "filter": 5},
+    "paper": {"width": 8192, "height": 8192, "filter": 9,
+              "engines": ("analytic",)},
+}
+
+_STENCIL2D_SIZES: Dict[str, Mapping[str, object]] = {
+    "tiny": {"stencil": "2d5pt", "width": 49, "height": 37, "iterations": 1},
+    "small": {"stencil": "2d9pt", "width": 70, "height": 45, "iterations": 2},
+    "paper": {"stencil": "2d9pt", "width": 8192, "height": 8192,
+              "iterations": 1, "engines": ("analytic",)},
+}
+
+_STENCIL3D_SIZES: Dict[str, Mapping[str, object]] = {
+    "tiny": {"stencil": "3d7pt", "width": 19, "height": 13, "depth": 7,
+             "iterations": 1},
+    "small": {"stencil": "3d27pt", "width": 25, "height": 17, "depth": 9,
+              "iterations": 1},
+    "paper": {"stencil": "3d7pt", "width": 512, "height": 512, "depth": 512,
+              "iterations": 1, "engines": ("analytic",)},
+}
+
+
+# ---------------------------------------------------------------------------
+# SSAM kernels
+# ---------------------------------------------------------------------------
+
+def _run_conv1d(spec, workload, params, architecture, precision, engine):
+    return ssam_convolve1d(workload, spec, architecture=architecture,
+                           precision=precision,
+                           batch_size=ENGINE_BATCH_SIZE[engine])
+
+
+register(Scenario(
+    name="conv1d",
+    family="convolution",
+    dims=1,
+    role="ssam",
+    runner=_run_conv1d,
+    spec_builder=lambda params: binomial_taps(params["taps"]),
+    workload_builder=lambda params, precision: sequence(
+        params["length"], precision, seed=params["length"]),
+    oracle=lambda spec, workload, params: reference_convolve1d(workload, spec),
+    sizes={
+        "tiny": {"length": 193, "taps": 3},
+        "small": {"length": 413, "taps": 5},
+    },
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=FUNCTIONAL_ENGINES,
+    description="SSAM 1-D convolution (Section 3.5 motivating example)",
+))
+
+
+def _run_conv2d(spec, workload, params, architecture, precision, engine):
+    if engine == "analytic":
+        return conv2d_analytic_launch(spec, params["width"], params["height"],
+                                      architecture, precision)
+    return ssam_convolve2d(workload, spec, architecture, precision,
+                           batch_size=ENGINE_BATCH_SIZE[engine])
+
+
+register(Scenario(
+    name="conv2d",
+    family="convolution",
+    dims=2,
+    role="ssam",
+    runner=_run_conv2d,
+    spec_builder=lambda params: ConvolutionSpec.gaussian(params["filter"]),
+    workload_builder=lambda params, precision: random_image(
+        params["width"], params["height"], precision, seed=params["width"]),
+    planner=lambda spec, params, architecture, precision: plan_convolution(
+        spec, architecture, precision),
+    oracle=lambda spec, workload, params: spec.reference(workload),
+    sizes=_CONV2D_SIZES,
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=ALL_ENGINES,
+    description="SSAM 2-D convolution (Listing 1)",
+))
+
+
+def _run_stencil2d(spec, workload, params, architecture, precision, engine):
+    iterations = params.get("iterations", 1)
+    if engine == "analytic":
+        return stencil2d_analytic_launch(spec, params["width"], params["height"],
+                                         iterations, architecture, precision)
+    return ssam_stencil2d(workload, spec, iterations, architecture, precision,
+                          batch_size=ENGINE_BATCH_SIZE[engine])
+
+
+register(Scenario(
+    name="stencil2d",
+    family="stencil",
+    dims=2,
+    role="ssam",
+    runner=_run_stencil2d,
+    spec_builder=lambda params: get_stencil(params["stencil"]),
+    workload_builder=lambda params, precision: random_image(
+        params["width"], params["height"], precision, seed=params["height"]),
+    planner=lambda spec, params, architecture, precision: plan_stencil(
+        spec, architecture, precision),
+    oracle=lambda spec, workload, params: spec.reference(
+        workload, iterations=params.get("iterations", 1)),
+    sizes=_STENCIL2D_SIZES,
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=ALL_ENGINES,
+    description="SSAM 2-D stencil (Listing 2, generalised)",
+))
+
+
+def _run_stencil3d(spec, workload, params, architecture, precision, engine):
+    iterations = params.get("iterations", 1)
+    if engine == "analytic":
+        return stencil3d_analytic_launch(spec, params["width"], params["height"],
+                                         params["depth"], iterations,
+                                         architecture, precision)
+    return ssam_stencil3d(workload, spec, iterations, architecture, precision,
+                          batch_size=ENGINE_BATCH_SIZE[engine])
+
+
+register(Scenario(
+    name="stencil3d",
+    family="stencil",
+    dims=3,
+    role="ssam",
+    runner=_run_stencil3d,
+    spec_builder=lambda params: get_stencil(params["stencil"]),
+    workload_builder=lambda params, precision: random_grid_3d(
+        params["width"], params["height"], params["depth"], precision,
+        seed=params["depth"]),
+    oracle=lambda spec, workload, params: spec.reference(
+        workload, iterations=params.get("iterations", 1)),
+    sizes=_STENCIL3D_SIZES,
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=ALL_ENGINES,
+    description="SSAM 3-D stencil (in-plane register cache + out-of-plane taps)",
+))
+
+
+def _run_scan(spec, workload, params, architecture, precision, engine):
+    return ssam_scan(workload, architecture, precision,
+                     batch_size=ENGINE_BATCH_SIZE[engine])
+
+
+register(Scenario(
+    name="scan",
+    family="scan",
+    dims=1,
+    role="ssam",
+    runner=_run_scan,
+    workload_builder=lambda params, precision: sequence(
+        params["length"], precision, seed=params["length"] + 1),
+    oracle=lambda spec, workload, params: reference_scan(workload),
+    sizes={
+        "tiny": {"length": 193},
+        "small": {"length": 1000},
+    },
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=FUNCTIONAL_ENGINES,
+    description="SSAM Kogge-Stone scan (Figure 1e)",
+))
+
+
+# ---------------------------------------------------------------------------
+# convolution baselines (the Figure 4 competitors)
+# ---------------------------------------------------------------------------
+
+def _conv2d_baseline_runner(fn):
+    def run(spec, workload, params, architecture, precision, engine):
+        if engine == "analytic":
+            return fn(None, spec, architecture, precision, functional=False,
+                      width=params["width"], height=params["height"])
+        return fn(workload, spec, architecture, precision,
+                  batch_size=ENGINE_BATCH_SIZE[engine])
+    return run
+
+
+def _conv2d_analytic_only_runner(fn):
+    def run(spec, workload, params, architecture, precision, engine):
+        return fn(None, spec, architecture, precision, functional=False,
+                  width=params["width"], height=params["height"])
+    return run
+
+
+def _register_conv2d_baseline(label: str, fn, engines) -> None:
+    functional = "scalar" in engines
+    register(Scenario(
+        name=f"conv2d-{label}",
+        family="convolution",
+        dims=2,
+        role="baseline",
+        runner=(_conv2d_baseline_runner(fn) if functional
+                else _conv2d_analytic_only_runner(fn)),
+        spec_builder=lambda params: ConvolutionSpec.gaussian(params["filter"]),
+        workload_builder=lambda params, precision: random_image(
+            params["width"], params["height"], precision, seed=params["width"]),
+        oracle=(lambda spec, workload, params: spec.reference(workload))
+        if functional else None,
+        sizes=_CONV2D_SIZES,
+        architectures=EVALUATED,
+        precisions=BOTH_PRECISIONS,
+        engines=engines,
+        description=f"{label}-like 2-D convolution baseline",
+    ))
+
+
+_register_conv2d_baseline("npp", npp_like_convolve2d, ALL_ENGINES)
+_register_conv2d_baseline("arrayfire", arrayfire_like_convolve2d, ALL_ENGINES)
+_register_conv2d_baseline("halide", halide_like_convolve2d, ALL_ENGINES)
+_register_conv2d_baseline("cudnn", cudnn_like_convolve2d, ("analytic",))
+_register_conv2d_baseline("cufft", cufft_like_convolve2d, ("analytic",))
+
+
+# ---------------------------------------------------------------------------
+# stencil baselines (the Figure 5 competitors with functional kernels)
+# ---------------------------------------------------------------------------
+
+def _stencil2d_baseline_runner(fn):
+    def run(spec, workload, params, architecture, precision, engine):
+        iterations = params.get("iterations", 1)
+        if engine == "analytic":
+            return fn(None, spec, iterations, architecture, precision,
+                      functional=False, width=params["width"],
+                      height=params["height"])
+        return fn(workload, spec, iterations, architecture, precision,
+                  batch_size=ENGINE_BATCH_SIZE[engine])
+    return run
+
+
+for _label, _fn in (("original", original_stencil2d),
+                    ("ppcg", ppcg_like_stencil2d),
+                    ("halide", halide_like_stencil2d)):
+    register(Scenario(
+        name=f"stencil2d-{_label}",
+        family="stencil",
+        dims=2,
+        role="baseline",
+        runner=_stencil2d_baseline_runner(_fn),
+        spec_builder=lambda params: get_stencil(params["stencil"]),
+        workload_builder=lambda params, precision: random_image(
+            params["width"], params["height"], precision, seed=params["height"]),
+        oracle=lambda spec, workload, params: spec.reference(
+            workload, iterations=params.get("iterations", 1)),
+        sizes=_STENCIL2D_SIZES,
+        architectures=EVALUATED,
+        precisions=BOTH_PRECISIONS,
+        engines=ALL_ENGINES,
+        description=f"{_label} 2-D stencil baseline",
+    ))
+
+
+def _run_stencil3d_original(spec, workload, params, architecture, precision, engine):
+    iterations = params.get("iterations", 1)
+    if engine == "analytic":
+        return original_stencil3d(None, spec, iterations, architecture, precision,
+                                  functional=False, width=params["width"],
+                                  height=params["height"], depth=params["depth"])
+    return original_stencil3d(workload, spec, iterations, architecture, precision,
+                              batch_size=ENGINE_BATCH_SIZE[engine])
+
+
+register(Scenario(
+    name="stencil3d-original",
+    family="stencil",
+    dims=3,
+    role="baseline",
+    runner=_run_stencil3d_original,
+    spec_builder=lambda params: get_stencil(params["stencil"]),
+    workload_builder=lambda params, precision: random_grid_3d(
+        params["width"], params["height"], params["depth"], precision,
+        seed=params["depth"]),
+    oracle=lambda spec, workload, params: spec.reference(
+        workload, iterations=params.get("iterations", 1)),
+    sizes=_STENCIL3D_SIZES,
+    architectures=EVALUATED,
+    precisions=BOTH_PRECISIONS,
+    engines=ALL_ENGINES,
+    description="naive one-output-per-thread 3-D stencil baseline",
+))

@@ -1,0 +1,363 @@
+"""The scenario registry: every kernel/baseline declared once, as data.
+
+A :class:`Scenario` bundles everything the rest of the repository needs to
+exercise one implementation — a spec builder, a workload builder, a planner,
+a runner entry point, a CPU oracle and the supported
+(architecture x precision x engine) envelope.  Registering a scenario makes
+it visible to three consumers at once:
+
+* the sweep engine (:mod:`repro.scenarios.sweep`), which expands declarative
+  Cartesian matrices over the registry into cached simulation jobs;
+* the auto-generated differential test matrix (``tests/test_scenario_matrix``),
+  which derives oracle and engine-parity checks for every registered case;
+* the experiment modules, which look implementations up by name instead of
+  importing each kernel wrapper ad hoc.
+
+Adding a kernel therefore means one registration call — its sweep cells and
+its correctness suite exist immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..serialization import stable_digest
+
+#: execution engines a scenario may support: the legacy per-block SIMT loop,
+#: the vectorised multi-block engine, and the closed-form cost profile
+ENGINES: Tuple[str, ...] = ("scalar", "batched", "analytic")
+
+#: how each functional engine maps onto the kernels' ``batch_size`` parameter
+ENGINE_BATCH_SIZE: Dict[str, object] = {"scalar": 1, "batched": "auto"}
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One fully resolved cell of the scenario space.
+
+    The five axes mirror the paper's evaluation matrix: implementation,
+    GPU generation, precision, execution engine and problem size.
+    """
+
+    scenario: str
+    architecture: str
+    precision: str
+    engine: str
+    size: str
+
+    @property
+    def case_id(self) -> str:
+        """Deterministic identifier, e.g. ``"conv2d:p100:float32:batched:tiny"``."""
+        return (f"{self.scenario}:{self.architecture}:{self.precision}:"
+                f"{self.engine}:{self.size}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"scenario": self.scenario, "architecture": self.architecture,
+                "precision": self.precision, "engine": self.engine,
+                "size": self.size}
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this case (cache keys, artifacts)."""
+        return stable_digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered implementation and its declarative envelope.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"conv2d"`` or ``"conv2d-npp"``.
+    family:
+        Problem family (``"convolution"``, ``"stencil"``, ``"scan"``).
+    role:
+        ``"ssam"`` for the paper's kernels, ``"baseline"`` otherwise.
+    dims:
+        Dimensionality of the problem domain (1, 2 or 3).
+    runner:
+        ``runner(spec, workload, params, architecture, precision, engine)``
+        returning a :class:`~repro.kernels.KernelRunResult`.
+    sizes:
+        Named problem sizes; each value is the parameter mapping handed to
+        the builders and the runner.  A size may restrict the engines it is
+        feasible on with an ``"engines"`` entry (paper-scale domains are
+        analytic-only).
+    architectures / precisions / engines:
+        The supported envelope; case expansion silently skips combinations
+        outside it.
+    spec_builder:
+        ``spec_builder(params)`` returning the problem spec (or ``None`` for
+        spec-less scenarios like scan).
+    workload_builder:
+        ``workload_builder(params, precision)`` returning the input array;
+        not invoked for analytic cases.
+    planner:
+        Optional ``planner(spec, params, architecture, precision)`` returning
+        the :class:`~repro.core.plan.SSAMPlan` used by the kernel, exposed so
+        tests and cache keys can reason about register budgets.
+    oracle:
+        Optional ``oracle(spec, workload, params)`` returning the ground-truth
+        output on the host; scenarios without one (analytic-only baselines)
+        are excluded from functional validation.
+    """
+
+    name: str
+    family: str
+    dims: int
+    runner: Callable[..., object]
+    sizes: Mapping[str, Mapping[str, object]]
+    architectures: Tuple[str, ...]
+    precisions: Tuple[str, ...]
+    engines: Tuple[str, ...]
+    role: str = "ssam"
+    spec_builder: Optional[Callable[..., object]] = None
+    workload_builder: Optional[Callable[..., np.ndarray]] = None
+    planner: Optional[Callable[..., object]] = None
+    oracle: Optional[Callable[..., np.ndarray]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if not self.sizes:
+            raise ConfigurationError(f"scenario {self.name!r} declares no sizes")
+        for engine in self.engines:
+            if engine not in ENGINES:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} declares unknown engine {engine!r}; "
+                    f"expected one of {ENGINES}")
+        object.__setattr__(self, "architectures", tuple(self.architectures))
+        object.__setattr__(self, "precisions", tuple(self.precisions))
+        object.__setattr__(self, "engines", tuple(self.engines))
+        object.__setattr__(self, "sizes", dict(self.sizes))
+
+    # -- envelope -----------------------------------------------------------
+    def resolve_size(self, size: str) -> Dict[str, object]:
+        """Parameter mapping of a named size (without the engine restriction)."""
+        try:
+            params = dict(self.sizes[size])
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has no size {size!r}; "
+                f"available: {sorted(self.sizes)}") from exc
+        params.pop("engines", None)
+        return params
+
+    def engines_for(self, size: str) -> Tuple[str, ...]:
+        """Engines feasible at a named size (the size may restrict them)."""
+        restricted = self.sizes.get(size, {}).get("engines")
+        if restricted is None:
+            return self.engines
+        return tuple(e for e in restricted if e in self.engines)
+
+    def supports(self, architecture: str, precision: str, engine: str,
+                 size: Optional[str] = None) -> bool:
+        """True when the combination lies inside this scenario's envelope."""
+        if architecture not in self.architectures:
+            return False
+        if precision not in self.precisions:
+            return False
+        if engine not in self.engines:
+            return False
+        if size is not None:
+            if size not in self.sizes or engine not in self.engines_for(size):
+                return False
+        return True
+
+    def cases(self, architectures: Optional[Sequence[str]] = None,
+              precisions: Optional[Sequence[str]] = None,
+              engines: Optional[Sequence[str]] = None,
+              sizes: Optional[Sequence[str]] = None) -> List[ScenarioCase]:
+        """Expand the (filtered) envelope into concrete cases.
+
+        ``None`` for an axis means "everything the scenario supports";
+        requested values outside the envelope are silently skipped, so one
+        matrix can span scenarios with different envelopes.
+        """
+        archs = self.architectures if architectures is None else architectures
+        precs = self.precisions if precisions is None else precisions
+        engs = self.engines if engines is None else engines
+        names = tuple(self.sizes) if sizes is None else sizes
+        out: List[ScenarioCase] = []
+        for size in names:
+            if size not in self.sizes:
+                continue
+            for arch in archs:
+                for prec in precs:
+                    for engine in engs:
+                        if self.supports(arch, prec, engine, size):
+                            out.append(ScenarioCase(self.name, arch, prec,
+                                                    engine, size))
+        return out
+
+    # -- building blocks ----------------------------------------------------
+    def build_spec(self, size: str):
+        """The problem spec of a named size (``None`` for spec-less scenarios)."""
+        if self.spec_builder is None:
+            return None
+        return self.spec_builder(self.resolve_size(size))
+
+    def build_workload(self, size: str, precision: str) -> Optional[np.ndarray]:
+        """The input array of a named size (``None`` when not applicable)."""
+        if self.workload_builder is None:
+            return None
+        return self.workload_builder(self.resolve_size(size), precision)
+
+    def build_plan(self, size: str, architecture: str, precision: str):
+        """The SSAM plan of a named size, when the scenario has a planner."""
+        if self.planner is None:
+            return None
+        return self.planner(self.build_spec(size), self.resolve_size(size),
+                            architecture, precision)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, spec, workload, params: Mapping[str, object],
+            architecture: str, precision: str, engine: str):
+        """Low-level entry point: run with explicit spec/workload/params."""
+        if engine not in self.engines:
+            raise ConfigurationError(
+                f"scenario {self.name!r} does not support engine {engine!r}")
+        return self.runner(spec, workload, dict(params), architecture,
+                           precision, engine)
+
+    def run_case(self, case: ScenarioCase):
+        """Run one expanded case end to end (builds spec + workload)."""
+        if case.scenario != self.name:
+            raise ConfigurationError(
+                f"case {case.case_id!r} does not belong to scenario {self.name!r}")
+        if not self.supports(case.architecture, case.precision, case.engine,
+                             case.size):
+            raise ConfigurationError(
+                f"case {case.case_id!r} lies outside the scenario envelope")
+        params = self.resolve_size(case.size)
+        spec = self.build_spec(case.size)
+        workload = (None if case.engine == "analytic"
+                    else self.build_workload(case.size, case.precision))
+        return self.run(spec, workload, params, case.architecture,
+                        case.precision, case.engine)
+
+    def run_analytic(self, spec, params: Mapping[str, object],
+                     architecture: str, precision: str):
+        """Analytic evaluation with an explicit spec and domain parameters.
+
+        Used by the experiment modules, which sweep their own specs/domains
+        rather than the registry's named sizes.
+        """
+        return self.run(spec, None, params, architecture, precision, "analytic")
+
+    def oracle_output(self, case: ScenarioCase) -> np.ndarray:
+        """Ground-truth output of one case, computed on the host."""
+        if self.oracle is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has no CPU oracle")
+        params = self.resolve_size(case.size)
+        spec = self.build_spec(case.size)
+        workload = self.build_workload(case.size, case.precision)
+        return self.oracle(spec, workload, params)
+
+
+# ---------------------------------------------------------------------------
+# the registry proper
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Register a scenario; duplicate names are configuration errors."""
+    if scenario.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (tests registering throwaway scenarios clean up)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}") from exc
+
+
+def scenario_names(family: Optional[str] = None,
+                   role: Optional[str] = None) -> List[str]:
+    """Registered names in registration order, optionally filtered."""
+    return [s.name for s in all_scenarios(family=family, role=role)]
+
+
+def all_scenarios(family: Optional[str] = None,
+                  role: Optional[str] = None) -> List[Scenario]:
+    """Registered scenarios in registration order, optionally filtered."""
+    out = []
+    for scenario in _REGISTRY.values():
+        if family is not None and scenario.family != family:
+            continue
+        if role is not None and scenario.role != role:
+            continue
+        out.append(scenario)
+    return out
+
+
+def expand_matrix(matrix: Mapping[str, object]) -> List[ScenarioCase]:
+    """Expand a declarative Cartesian matrix into concrete cases.
+
+    The matrix is a JSON-style mapping with up to five axes::
+
+        {"scenarios": ["conv2d", "scan"],     # or "all", "ssam", a family name
+         "architectures": ["p100", "v100"],   # or "all"
+         "precisions": ["float32", "float64"],
+         "engines": ["scalar", "batched"],
+         "sizes": ["tiny"]}
+
+    Omitted axes (or ``"all"``) default to each scenario's full envelope;
+    combinations outside an envelope are skipped, so one matrix can span
+    scenarios with different capabilities.  Expansion order is deterministic:
+    registration order, then size, architecture, precision, engine.
+    """
+    selectors = matrix.get("scenarios", "all")
+    if isinstance(selectors, str):
+        selectors = [selectors]
+    chosen: List[Scenario] = []
+    for selector in selectors:
+        if selector == "all":
+            matched = all_scenarios()
+        elif selector in ("ssam", "baseline"):
+            matched = all_scenarios(role=selector)
+        elif any(s.family == selector for s in _REGISTRY.values()):
+            matched = all_scenarios(family=selector)
+        else:
+            matched = [get_scenario(selector)]
+        for scenario in matched:
+            if scenario not in chosen:
+                chosen.append(scenario)
+
+    def axis(key: str) -> Optional[Sequence[str]]:
+        value = matrix.get(key)
+        if value is None or value == "all":
+            return None
+        if isinstance(value, str):
+            return [value]
+        return list(value)
+
+    cases: List[ScenarioCase] = []
+    for scenario in chosen:
+        cases.extend(scenario.cases(architectures=axis("architectures"),
+                                    precisions=axis("precisions"),
+                                    engines=axis("engines"),
+                                    sizes=axis("sizes")))
+    if not cases:
+        raise ConfigurationError(
+            f"scenario matrix expands to zero cases: {dict(matrix)!r}")
+    return cases

@@ -1,0 +1,255 @@
+"""Generic sweep engine over the scenario registry.
+
+A sweep is a declarative Cartesian matrix — scenarios x architectures x
+precisions x engines x problem sizes — expanded through
+:func:`repro.scenarios.registry.expand_matrix` into independent
+:class:`~repro.experiments.jobs.SimulationJob` cells.  The cells run through
+the same executor as the paper experiments (sharded across workers, memoised
+in the persistent simulation cache) and fold into a typed
+:class:`~repro.experiments.results.ExperimentResult`, so sweeps get JSON
+artifacts, ``--jobs`` parallelism and warm-cache reruns for free::
+
+    ssam-repro --experiment sweep --matrix tier1 --jobs 4 --output-dir results
+    ssam-repro --experiment sweep --matrix my_matrix.json
+
+Named matrices live in :data:`MATRICES`; arbitrary matrices load from JSON
+files with the same axes.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..experiments.jobs import SimulationJob
+from ..experiments.results import ExperimentResult, Measurement
+from ..serialization import array_digest, load_json, stable_digest
+from .registry import ScenarioCase, expand_matrix, get_scenario
+
+# make sure the built-in scenarios are registered even when this module is
+# imported directly (worker processes import it by its dotted path)
+from . import builtin as _builtin  # noqa: F401  (import for side effect)
+
+#: named sweep matrices; "tier1" is the envelope the differential test
+#: matrix derives from, "smoke" is the CI quick path
+MATRICES: Dict[str, Dict[str, object]] = {
+    "tier1": {
+        "scenarios": "ssam",
+        "architectures": ["p100", "v100"],
+        "precisions": ["float32", "float64"],
+        "engines": ["scalar", "batched"],
+        "sizes": ["tiny"],
+    },
+    "smoke": {
+        "scenarios": ["conv2d", "scan"],
+        "architectures": ["p100"],
+        "precisions": ["float32"],
+        "engines": ["scalar", "batched"],
+        "sizes": ["tiny"],
+    },
+    "default": {
+        "scenarios": "all",
+        "architectures": ["p100", "v100"],
+        "precisions": ["float32", "float64"],
+        "engines": ["scalar", "batched", "analytic"],
+        "sizes": ["tiny", "small"],
+    },
+    "paper": {
+        "scenarios": "ssam",
+        "architectures": ["p100", "v100"],
+        "precisions": ["float32", "float64"],
+        "engines": ["analytic"],
+        "sizes": ["paper"],
+    },
+}
+
+
+def load_matrix(spec: "str | Mapping[str, object] | None") -> Dict[str, object]:
+    """Resolve a matrix argument: preset name, JSON file path, or mapping."""
+    if spec is None:
+        spec = "default"
+    if isinstance(spec, Mapping):
+        matrix = dict(copy.deepcopy(dict(spec)))
+        matrix.setdefault("name", "custom")
+        return matrix
+    if spec in MATRICES:
+        matrix = copy.deepcopy(MATRICES[spec])
+        matrix["name"] = spec
+        return matrix
+    if os.path.isfile(spec):
+        matrix = load_json(spec)
+        if not isinstance(matrix, Mapping):
+            raise ConfigurationError(
+                f"matrix file {spec!r} must contain a JSON object")
+        matrix = dict(matrix)
+        matrix.setdefault("name", os.path.splitext(os.path.basename(spec))[0])
+        return matrix
+    raise ConfigurationError(
+        f"unknown sweep matrix {spec!r}; presets: {sorted(MATRICES)}, "
+        f"or pass a path to an existing JSON matrix file")
+
+
+def _spec_fingerprint(spec) -> Optional[str]:
+    if spec is None:
+        return None
+    if isinstance(spec, np.ndarray):
+        return array_digest(spec)
+    return spec.fingerprint()
+
+
+def _case_cache_fields(case: ScenarioCase) -> Dict[str, object]:
+    """Cache-key fields of one cell: spec + plan fingerprints, envelope axes."""
+    scenario = get_scenario(case.scenario)
+    fields: Dict[str, object] = {
+        "kernel": case.scenario,
+        "spec": _spec_fingerprint(scenario.build_spec(case.size)),
+        "architecture": case.architecture,
+        "precision": case.precision,
+        "engine": case.engine,
+        "size": case.size,
+    }
+    plan = scenario.build_plan(case.size, case.architecture, case.precision)
+    if plan is not None:
+        fields["plan"] = plan.fingerprint()
+    return fields
+
+
+def _measure_case(scenario: str, architecture: str, precision: str,
+                  engine: str, size: str) -> Dict[str, object]:
+    """Worker: simulate one expanded scenario cell and describe the outcome.
+
+    The payload carries the modelled time, the full counter set, the launch
+    configuration, a content digest of the functional output and — when the
+    scenario has a CPU oracle — the max absolute error against it, so sweep
+    artifacts double as validation records.
+    """
+    case = ScenarioCase(scenario, architecture, precision, engine, size)
+    entry = get_scenario(scenario)
+    result = entry.run_case(case)
+    payload: Dict[str, object] = {
+        "case": case.to_dict(),
+        "milliseconds": result.milliseconds,
+        "counters": result.launch.counters.as_dict(),
+        "config": result.launch.config.to_dict(),
+        "kernel_name": result.launch.kernel_name,
+        "output_digest": (None if result.output is None
+                          else array_digest(result.output)),
+    }
+    if result.output is not None and entry.oracle is not None:
+        oracle = entry.oracle_output(case)
+        error = np.max(np.abs(np.asarray(result.output, dtype=np.float64)
+                              - np.asarray(oracle, dtype=np.float64)))
+        payload["oracle_max_abs_error"] = float(error)
+    return payload
+
+
+# --------------------------------------------------------------- pipeline
+
+def _job_key(case: ScenarioCase) -> str:
+    return f"sweep:{case.case_id}"
+
+
+def jobs(matrix: "str | Mapping[str, object] | None" = None) -> List[SimulationJob]:
+    """One independent job per expanded matrix cell."""
+    resolved = load_matrix(matrix)
+    return [
+        SimulationJob(
+            key=_job_key(case),
+            func="repro.scenarios.sweep:_measure_case",
+            params=case.to_dict(),
+            cache_fields=_case_cache_fields(case),
+        )
+        for case in expand_matrix(resolved)
+    ]
+
+
+def assemble(payloads: Mapping[str, Mapping[str, object]],
+             matrix: "str | Mapping[str, object] | None" = None,
+             quick: bool = False) -> ExperimentResult:
+    """Fold cell payloads into the typed sweep result (expansion order)."""
+    resolved = load_matrix(matrix)
+    cases = expand_matrix(resolved)
+    measurements: List[Measurement] = []
+    for case in cases:
+        payload = payloads[_job_key(case)]
+        ms = payload.get("milliseconds")
+        measurements.append(Measurement(
+            kernel=case.scenario,
+            architecture=case.architecture,
+            workload=f"{case.size}/{case.engine}/{case.precision}",
+            config=payload.get("config") or {},
+            counters=payload.get("counters"),
+            milliseconds=ms,
+            value=ms,
+            unit="ms",
+            extra={
+                "case_id": case.case_id,
+                "engine": case.engine,
+                "precision": case.precision,
+                "size": case.size,
+                "kernel_name": payload.get("kernel_name"),
+                "output_digest": payload.get("output_digest"),
+                "oracle_max_abs_error": payload.get("oracle_max_abs_error"),
+            },
+        ))
+    scenarios = []
+    for case in cases:
+        if case.scenario not in scenarios:
+            scenarios.append(case.scenario)
+    return ExperimentResult(
+        experiment="sweep",
+        title=f"Scenario sweep — matrix {resolved.get('name', 'custom')!r}",
+        quick=quick,
+        measurements=measurements,
+        metadata={
+            "matrix": resolved,
+            "cases": [case.case_id for case in cases],
+            "scenarios": scenarios,
+            "sweep_digest": stable_digest([case.case_id for case in cases]),
+        },
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    """Fixed-width sweep report (pure view over the typed result)."""
+    lines = [result.title,
+             f"{len(result.measurements)} cases over "
+             f"{len(result.metadata['scenarios'])} scenarios"]
+    header = (f"{'case':<44} {'time_ms':>12} {'fma':>14} {'dram_MB':>10} "
+              f"{'output':<16} {'oracle_err':>12}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for m in result.measurements:
+        counters = m.counters or {}
+        dram_mb = (counters.get("dram_read_bytes", 0.0)
+                   + counters.get("dram_write_bytes", 0.0)) / 1e6
+        digest = m.extra.get("output_digest") or "-"
+        error = m.extra.get("oracle_max_abs_error")
+        error_text = "-" if error is None else f"{error:.3e}"
+        ms_text = "-" if m.milliseconds is None else f"{m.milliseconds:.6f}"
+        lines.append(f"{m.extra['case_id']:<44} {ms_text:>12} "
+                     f"{counters.get('fma', 0):>14.0f} {dram_mb:>10.3f} "
+                     f"{digest[:16]:<16} {error_text:>12}")
+    lines.append(f"sweep digest: {result.metadata['sweep_digest']}")
+    return "\n".join(lines)
+
+
+def run_sweep(matrix: "str | Mapping[str, object] | None" = None,
+              quick: bool = False, workers: int = 1,
+              cache=None) -> ExperimentResult:
+    """Run one sweep end to end through the job pipeline."""
+    from ..experiments.parallel import execute_jobs
+
+    resolved = load_matrix(matrix)
+    payloads = execute_jobs(jobs(resolved), workers=workers, cache=cache)
+    return assemble(payloads, resolved, quick=quick)
+
+
+def report(matrix: "str | Mapping[str, object] | None" = None,
+           quick: bool = False, workers: int = 1, cache=None) -> str:
+    """Formatted sweep report."""
+    return render(run_sweep(matrix, quick=quick, workers=workers, cache=cache))

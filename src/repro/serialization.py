@@ -94,6 +94,12 @@ def atomic_write_json(path: str, value: Any, indent: "int | None" = None) -> str
     return path
 
 
+def load_json(path: str) -> Any:
+    """Read one JSON document (matrix specs, artifacts, cache entries)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def array_digest(array: np.ndarray, length: int = 16) -> str:
     """Content digest of a NumPy array (dtype + shape + bytes).
 

@@ -1,0 +1,114 @@
+"""Cache-invalidation tests: the code-version digest and stale entries.
+
+The persistent simulation cache folds a digest of every source file under
+``src/repro`` into each entry key; these tests pin down the two promises
+that digest makes — edits to the simulator always change it, and a changed
+digest means previously stored entries are never served again.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments import table1
+from repro.experiments.cache import SimulationCache, digest_source_tree
+from repro.experiments.parallel import execute_jobs
+
+
+def _write(root: pathlib.Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+def _tree(root: pathlib.Path, files: dict) -> str:
+    for rel, text in files.items():
+        _write(root, rel, text)
+    return digest_source_tree(str(root))
+
+
+BASE = {"pkg/__init__.py": "", "pkg/sim.py": "STATE = 1\n"}
+
+
+def test_digest_is_stable_for_identical_trees(tmp_path):
+    first = _tree(tmp_path / "a", BASE)
+    second = _tree(tmp_path / "b", BASE)
+    assert first == second
+    # and repeatable on the same tree
+    assert digest_source_tree(str(tmp_path / "a")) == first
+
+
+def test_digest_tracks_edits_additions_and_renames(tmp_path):
+    baseline = _tree(tmp_path / "base", BASE)
+    edited = _tree(tmp_path / "edited",
+                   {**BASE, "pkg/sim.py": "STATE = 2\n"})
+    added = _tree(tmp_path / "added",
+                  {**BASE, "pkg/extra.py": "STATE = 1\n"})
+    renamed = _tree(tmp_path / "renamed",
+                    {"pkg/__init__.py": "", "pkg/simulator.py": "STATE = 1\n"})
+    digests = {baseline, edited, added, renamed}
+    assert len(digests) == 4, "every source mutation must change the digest"
+
+
+def test_digest_ignores_non_python_files(tmp_path):
+    baseline = _tree(tmp_path / "a", BASE)
+    with_docs = _tree(tmp_path / "b", {**BASE, "pkg/README.md": "notes\n"})
+    assert baseline == with_docs
+
+
+def test_code_version_is_memoised_and_fed_from_the_package():
+    assert cache_mod.code_version() == cache_mod.code_version()
+    package_root = pathlib.Path(cache_mod.__file__).resolve().parent.parent
+    assert cache_mod.code_version() == digest_source_tree(str(package_root))
+
+
+def test_mutated_code_version_invalidates_stored_entries(tmp_path, monkeypatch):
+    cache = SimulationCache(str(tmp_path))
+    key = {"func": "worker", "params": {"x": 1}}
+    cache.store(key, {"value": 42})
+    assert cache.lookup(key) == {"value": 42}
+    before = cache.entry_path(key)
+
+    monkeypatch.setattr(cache_mod, "code_version", lambda: "f" * 16)
+    stale_cache = SimulationCache(str(tmp_path))
+    # the same logical key now addresses a different entry: a guaranteed miss
+    assert stale_cache.entry_path(key) != before
+    assert stale_cache.lookup(key) is None
+    assert stale_cache.stats()["misses"] == 1
+
+
+def test_stale_entries_are_never_served_by_the_pipeline(tmp_path, monkeypatch):
+    jobs = table1.jobs(quick=True)
+    cold = SimulationCache(str(tmp_path))
+    payloads = execute_jobs(jobs, cache=cold)
+    assert cold.stores == len(jobs)
+
+    warm = SimulationCache(str(tmp_path))
+    assert execute_jobs(jobs, cache=warm) == payloads
+    assert warm.hits == len(jobs) and warm.misses == 0
+
+    # a code change (simulated by mutating the digest) must force a full
+    # recomputation: zero hits, every job re-executed and re-stored
+    monkeypatch.setattr(cache_mod, "code_version", lambda: "0" * 16)
+    invalidated = SimulationCache(str(tmp_path))
+    assert execute_jobs(jobs, cache=invalidated) == payloads
+    assert invalidated.hits == 0
+    assert invalidated.misses == len(jobs)
+    assert invalidated.stores == len(jobs)
+
+
+def test_corrupted_entries_read_as_misses(tmp_path):
+    cache = SimulationCache(str(tmp_path))
+    key = {"func": "worker", "params": {}}
+    cache.store(key, {"value": 1})
+    path = pathlib.Path(cache.entry_path(key))
+    path.write_text("{not json", encoding="utf-8")
+    fresh = SimulationCache(str(tmp_path))
+    assert fresh.lookup(key) is None
+    # entries missing their payload are equally invalid
+    path.write_text('{"format": 1, "key": {}}', encoding="utf-8")
+    assert fresh.lookup(key) is None
+    assert fresh.stats()["misses"] == 2

@@ -1,0 +1,63 @@
+"""Golden-report regression tests.
+
+Committed ``--quick`` report fixtures for all seven experiments, asserted
+byte-identical against regeneration through the full job pipeline (cold
+cache, then a warm-cache second pass) — the PR-2 determinism promise as a
+regression suite.  Regenerate the fixtures after an intentional report
+change with::
+
+    SSAM_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_reports.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.cache import SimulationCache
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+EXPERIMENT_NAMES = sorted(runner.EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def pipeline_reports(tmp_path_factory):
+    """All seven quick reports, rendered twice through the cached pipeline."""
+    cache = SimulationCache(str(tmp_path_factory.mktemp("golden-cache")))
+    cold = runner.run_experiment_results("all", quick=True, cache=cache)
+    texts = {name: runner.render_result(name, result)
+             for name, result in cold.items()}
+    assert cache.misses > 0 and cache.hits == 0
+    # the warm pass must serve every payload from the cache and regenerate
+    # every report byte-identically
+    warm_cache = SimulationCache(cache.directory)
+    warm = runner.run_experiment_results("all", quick=True, cache=warm_cache)
+    assert warm_cache.misses == 0 and warm_cache.hits > 0
+    assert {name: runner.render_result(name, result)
+            for name, result in warm.items()} == texts
+    return texts
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_NAMES)
+def test_quick_report_matches_golden(name, pipeline_reports):
+    text = pipeline_reports[name] + "\n"
+    path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("SSAM_UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with SSAM_UPDATE_GOLDENS=1")
+    assert text == path.read_text(encoding="utf-8"), (
+        f"{name} quick report drifted from its committed golden fixture; "
+        f"if the change is intentional, regenerate with SSAM_UPDATE_GOLDENS=1")
+
+
+def test_golden_fixtures_are_committed_for_every_experiment():
+    if os.environ.get("SSAM_UPDATE_GOLDENS"):
+        pytest.skip("regenerating")
+    present = sorted(p.stem for p in GOLDEN_DIR.glob("*.txt"))
+    assert present == EXPERIMENT_NAMES

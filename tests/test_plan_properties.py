@@ -1,0 +1,140 @@
+"""Property-based tests for the plan arithmetic (hypothesis).
+
+Randomised register-cache plans must never exceed the architecture register
+budget, and the overlapped-blocking halo/coverage accounting must match
+brute-force counts over explicit tile enumerations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocking import OverlappedBlocking
+from repro.core.register_cache import (
+    RegisterCachePlan,
+    choose_plan,
+    max_outputs_per_thread,
+)
+from repro.errors import ResourceExhaustedError
+from repro.gpu.architecture import architecture_names, get_architecture
+
+ARCHITECTURES = st.sampled_from(architecture_names())
+PRECISIONS = st.sampled_from(["float32", "float64"])
+
+COMMON = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+# ------------------------------------------------------------- register budget
+
+@COMMON
+@given(filter_height=st.integers(1, 24), requested=st.integers(1, 64),
+       architecture=ARCHITECTURES, precision=PRECISIONS)
+def test_choose_plan_never_exceeds_the_register_budget(
+        filter_height, requested, architecture, precision):
+    arch = get_architecture(architecture)
+    plan = choose_plan(filter_height, architecture, precision,
+                       requested_outputs=requested)
+    assert plan.registers_per_thread <= arch.max_registers_per_thread
+    assert not plan.allocation(architecture).spills
+    assert 1 <= plan.outputs_per_thread <= max(1, requested)
+    # the chosen P is exactly the requested depth clamped to the spill limit
+    limit = max_outputs_per_thread(filter_height, architecture, precision)
+    assert plan.outputs_per_thread == max(1, min(requested, limit))
+
+
+@COMMON
+@given(filter_height=st.integers(1, 24), architecture=ARCHITECTURES,
+       precision=PRECISIONS)
+def test_max_outputs_limit_itself_fits(filter_height, architecture, precision):
+    limit = max_outputs_per_thread(filter_height, architecture, precision)
+    plan = RegisterCachePlan(filter_height=filter_height,
+                             outputs_per_thread=limit, precision=precision)
+    assert plan.fits(architecture)
+    plan.validate(architecture)  # must not raise
+
+
+@COMMON
+@given(filter_height=st.integers(1, 16), outputs=st.integers(1, 128),
+       architecture=ARCHITECTURES, precision=PRECISIONS)
+def test_validate_agrees_with_fits(filter_height, outputs, architecture,
+                                   precision):
+    plan = RegisterCachePlan(filter_height=filter_height,
+                             outputs_per_thread=outputs, precision=precision)
+    if plan.fits(architecture):
+        plan.validate(architecture)
+    else:
+        with pytest.raises(ResourceExhaustedError):
+            plan.validate(architecture)
+
+
+# ------------------------------------------------------------- halo accounting
+
+@COMMON
+@given(m=st.integers(1, 16), n=st.integers(1, 12), p=st.integers(1, 8))
+def test_halo_ratio_matches_brute_force_count(m, n, p):
+    """HR_rc (Section 5.3) against an explicit per-element tally.
+
+    With the paper's one-sided overlap convention, an element of the
+    ``S x C`` warp tile is halo iff it lies within the trailing ``M``
+    columns or the trailing ``N`` rows shared with the neighbouring tiles;
+    the closed form is (S*C - (S-M)*(C-N)) / (S*C).
+    """
+    blocking = OverlappedBlocking(filter_width=m, filter_height=n,
+                                  outputs_per_thread=p)
+    s, c = blocking.warp_size, blocking.cache_values
+    halo = sum(1 for x in range(s) for y in range(c)
+               if x >= s - m or y >= c - n)
+    assert blocking.halo_ratio == pytest.approx(halo / (s * c))
+    # the Section 5.3 bound must hold strictly
+    assert blocking.halo_ratio < blocking.halo_ratio_upper_bound
+
+
+@COMMON
+@given(m=st.integers(1, 8), n=st.integers(1, 6), p=st.integers(1, 5),
+       warps=st.integers(1, 4), width=st.integers(1, 70),
+       height=st.integers(1, 40))
+def test_grid_covers_every_output_exactly_once(m, n, p, warps, width, height):
+    """Brute force: the warps' valid-output tiles partition the domain."""
+    blocking = OverlappedBlocking(filter_width=m, filter_height=n,
+                                  outputs_per_thread=p,
+                                  block_threads=32 * warps)
+    grid_x, grid_y, _ = blocking.grid_dim(width, height)
+    cover = np.zeros((height, width), dtype=np.int64)
+    for bx in range(grid_x):
+        for warp in range(blocking.warps_per_block):
+            x0 = (bx * blocking.warps_per_block + warp) * blocking.valid_outputs_x
+            for by in range(grid_y):
+                y0 = by * blocking.valid_outputs_y
+                cover[y0:y0 + blocking.valid_outputs_y,
+                      x0:x0 + blocking.valid_outputs_x] += 1
+    assert (cover == 1).all()
+    # ... and the grid is minimal: dropping the last column/row of blocks
+    # leaves outputs uncovered
+    assert (grid_x - 1) * blocking.warps_per_block * blocking.valid_outputs_x \
+        < width
+    assert (grid_y - 1) * blocking.valid_outputs_y < height
+
+
+@COMMON
+@given(m=st.integers(1, 8), n=st.integers(1, 6), p=st.integers(1, 5),
+       warps=st.integers(1, 4), width=st.integers(1, 70),
+       height=st.integers(1, 40), precision=PRECISIONS)
+def test_loaded_elements_matches_per_warp_enumeration(m, n, p, warps, width,
+                                                      height, precision):
+    """Traffic accounting against an explicit per-warp tally."""
+    blocking = OverlappedBlocking(filter_width=m, filter_height=n,
+                                  outputs_per_thread=p,
+                                  block_threads=32 * warps)
+    grid_x, grid_y, _ = blocking.grid_dim(width, height)
+    loaded = sum(blocking.warp_size * blocking.cache_values
+                 for _ in range(grid_x * grid_y)
+                 for _ in range(blocking.warps_per_block))
+    assert blocking.loaded_elements(width, height) == loaded
+    summary = blocking.traffic_summary(width, height, precision)
+    itemsize = 8 if precision == "float64" else 4
+    assert summary["read_bytes"] == loaded * itemsize
+    assert summary["read_amplification"] == \
+        pytest.approx(loaded / (width * height))
+    assert summary["halo_ratio"] == blocking.halo_ratio

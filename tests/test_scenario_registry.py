@@ -1,0 +1,161 @@
+"""Unit tests for the scenario registry (envelopes, expansion, lookup)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.convolution.spec import ConvolutionSpec
+from repro.errors import ConfigurationError
+from repro.gpu.architecture import architecture_names
+from repro.scenarios import (
+    ENGINES,
+    Scenario,
+    ScenarioCase,
+    all_scenarios,
+    expand_matrix,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+
+
+def test_builtin_registrations_cover_the_paper():
+    names = scenario_names()
+    for kernel in ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan"):
+        assert kernel in names
+    assert scenario_names(role="ssam") == \
+        ["conv1d", "conv2d", "stencil2d", "stencil3d", "scan"]
+    assert "conv2d-npp" in scenario_names(role="baseline")
+    assert "stencil2d-original" in scenario_names(family="stencil")
+    assert architecture_names() == ("k40", "m40", "p100", "v100")
+
+
+def test_envelope_supports_and_size_restrictions():
+    conv2d = get_scenario("conv2d")
+    assert conv2d.supports("p100", "float32", "batched", "tiny")
+    assert not conv2d.supports("p100", "float32", "bogus")
+    assert not conv2d.supports("p100", "float16", "batched")
+    # paper-scale domains are analytic-only
+    assert conv2d.engines_for("paper") == ("analytic",)
+    assert not conv2d.supports("p100", "float32", "scalar", "paper")
+    assert conv2d.supports("p100", "float32", "analytic", "paper")
+    # the engine restriction never leaks into the runner parameters
+    assert "engines" not in conv2d.resolve_size("paper")
+    scan = get_scenario("scan")
+    assert "analytic" not in scan.engines
+
+
+def test_unknown_lookups_raise():
+    with pytest.raises(ConfigurationError):
+        get_scenario("warp-drive")
+    with pytest.raises(ConfigurationError):
+        get_scenario("conv2d").resolve_size("galactic")
+    with pytest.raises(ConfigurationError):
+        get_scenario("conv2d").run_case(
+            ScenarioCase("conv2d", "p100", "float32", "scalar", "paper"))
+    with pytest.raises(ConfigurationError):
+        get_scenario("conv2d-cudnn").oracle_output(
+            ScenarioCase("conv2d-cudnn", "p100", "float32", "analytic", "tiny"))
+
+
+def test_duplicate_and_invalid_registrations_raise():
+    donor = get_scenario("scan")
+    with pytest.raises(ConfigurationError):
+        register(donor)  # name already taken
+    with pytest.raises(ConfigurationError):
+        Scenario(name="bad", family="scan", dims=1, runner=donor.runner,
+                 sizes={"tiny": {}}, architectures=("p100",),
+                 precisions=("float32",), engines=("warp-speed",))
+    with pytest.raises(ConfigurationError):
+        Scenario(name="bad", family="scan", dims=1, runner=donor.runner,
+                 sizes={}, architectures=("p100",),
+                 precisions=("float32",), engines=("scalar",))
+
+
+def test_case_identity_is_stable():
+    case = ScenarioCase("conv2d", "p100", "float32", "batched", "tiny")
+    assert case.case_id == "conv2d:p100:float32:batched:tiny"
+    assert case.fingerprint() == \
+        ScenarioCase("conv2d", "p100", "float32", "batched", "tiny").fingerprint()
+    assert case.fingerprint() != \
+        ScenarioCase("conv2d", "v100", "float32", "batched", "tiny").fingerprint()
+
+
+def test_expand_matrix_selectors_and_order():
+    cases = expand_matrix({"scenarios": "convolution",
+                           "architectures": ["p100"],
+                           "precisions": ["float32"],
+                           "engines": ["analytic"],
+                           "sizes": ["paper"]})
+    names = [c.scenario for c in cases]
+    # registration order, analytic-only baselines included; conv1d has no
+    # analytic engine and no paper size, so it must be skipped
+    assert names == ["conv2d", "conv2d-npp", "conv2d-arrayfire",
+                     "conv2d-halide", "conv2d-cudnn", "conv2d-cufft"]
+    # duplicate selectors do not duplicate cases
+    doubled = expand_matrix({"scenarios": ["conv2d", "convolution"],
+                             "architectures": ["p100"],
+                             "precisions": ["float32"],
+                             "engines": ["analytic"],
+                             "sizes": ["paper"]})
+    assert [c.case_id for c in doubled] == [c.case_id for c in cases]
+
+
+def test_expand_matrix_rejects_empty_and_unknown():
+    with pytest.raises(ConfigurationError):
+        expand_matrix({"scenarios": ["conv2d"], "engines": ["scalar"],
+                       "sizes": ["paper"]})  # paper is analytic-only
+    with pytest.raises(ConfigurationError):
+        expand_matrix({"scenarios": ["warp-drive"]})
+
+
+def test_scenario_plan_respects_register_budget():
+    conv2d = get_scenario("conv2d")
+    for arch in ("p100", "v100"):
+        plan = conv2d.build_plan("small", arch, "float64")
+        assert plan is not None
+        assert plan.register_cache.registers_per_thread <= \
+            plan.architecture.max_registers_per_thread
+    assert get_scenario("scan").build_plan("tiny", "p100", "float32") is None
+
+
+def test_run_analytic_matches_direct_baseline_call():
+    """The registry path the experiments use is the direct call, verbatim."""
+    from repro.baselines.conv2d import npp_like_convolve2d
+
+    spec = ConvolutionSpec.gaussian(7)
+    direct = npp_like_convolve2d(None, spec, "v100", "float32",
+                                 functional=False, width=512, height=256)
+    routed = get_scenario("conv2d-npp").run_analytic(
+        spec, {"width": 512, "height": 256}, "v100", "float32")
+    assert routed.launch.counters.as_dict() == direct.launch.counters.as_dict()
+    assert routed.milliseconds == direct.milliseconds
+
+
+def test_register_unregister_round_trip():
+    donor = get_scenario("conv1d")
+    name = "conv1d-registry-test"
+    register(replace(donor, name=name))
+    try:
+        assert name in scenario_names()
+        copy = get_scenario(name)
+        result = copy.run_case(
+            ScenarioCase(name, "p100", "float32", "batched", "tiny"))
+        oracle = copy.oracle_output(
+            ScenarioCase(name, "p100", "float32", "batched", "tiny"))
+        assert np.max(np.abs(result.output - oracle)) < 1e-4
+    finally:
+        unregister(name)
+    assert name not in scenario_names()
+
+
+def test_engines_constant_matches_registry_vocabulary():
+    assert ENGINES == ("scalar", "batched", "analytic")
+    for scenario in all_scenarios():
+        assert set(scenario.engines) <= set(ENGINES)
+        for size in scenario.sizes:
+            assert set(scenario.engines_for(size)) <= set(scenario.engines)
