@@ -28,6 +28,34 @@ def speedup(baseline_seconds: float, improved_seconds: float) -> float:
     return baseline_seconds / improved_seconds
 
 
+def relative_error(predicted: float, measured: float) -> float:
+    """Signed relative prediction error ``(predicted - measured) / measured``.
+
+    Used by the cross-engine validation experiment to quantify how far the
+    Section 5 performance model sits from the counted simulation.
+    """
+    if measured == 0:
+        raise ConfigurationError("measured value must be non-zero")
+    return (predicted - measured) / measured
+
+
+def error_bounds(ratios: Sequence[float]) -> Dict[str, float]:
+    """Min/max/geomean bounds of a set of prediction ratios.
+
+    The summary reported per kernel by the model-validation table: ratios
+    are ``predicted / measured``, so 1.0 is a perfect prediction and the
+    min/max pair bounds every observed case.
+    """
+    cleaned = [float(v) for v in ratios]
+    if not cleaned:
+        raise ConfigurationError("error bounds need at least one ratio")
+    return {
+        "min": min(cleaned),
+        "max": max(cleaned),
+        "geomean": geometric_mean(cleaned),
+    }
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean (the paper's "on average 2.5x" style aggregation)."""
     cleaned = [v for v in values if v > 0]

@@ -46,6 +46,18 @@ def default_cache_dir() -> str:
     return os.path.join(base, "ssam-repro")
 
 
+def _relative_identity(path: str, root: str) -> str:
+    """Path component of a file's digest identity, always ``/``-separated.
+
+    ``os.path.relpath`` yields the native separator, so hashing it verbatim
+    would give the same tree a different digest per platform — silently
+    splitting (and invalidating) caches shared across machines.  Both
+    separators are normalised so the identity is platform-independent.
+    """
+    rel = os.path.relpath(path, root)
+    return rel.replace(os.sep, "/").replace("\\", "/")
+
+
 def digest_source_tree(root: str) -> str:
     """Digest of every Python source file under ``root`` (path + content).
 
@@ -60,7 +72,7 @@ def digest_source_tree(root: str) -> str:
             if not filename.endswith(".py"):
                 continue
             path = os.path.join(dirpath, filename)
-            hasher.update(os.path.relpath(path, root).encode())
+            hasher.update(_relative_identity(path, root).encode())
             with open(path, "rb") as handle:
                 hasher.update(handle.read())
     return hasher.hexdigest()[:16]

@@ -1,18 +1,25 @@
 """Validation of the Section 5 analytical performance model.
 
-Checks the two paper claims (Sections 5.2 and 5.3):
+Two layers of validation:
 
-* ``Dif_smem_reg = M*N*T_smem_read - (M-1)*T_shfl >> 0`` for M, N >= 2 on
-  both architectures (the register-cache scheme always saves latency per
-  output element);
-* the halo-overhead-adjusted advantage ``AvgDif`` grows with the filter size
-  and is positive for all practically relevant filters.
+* **Paper claims** (Sections 5.2 and 5.3) — ``Dif_smem_reg = M*N*T_smem_read
+  - (M-1)*T_shfl >> 0`` for M, N >= 2 on both architectures, and the
+  halo-overhead-adjusted advantage ``AvgDif`` grows with the filter size and
+  is positive for all practically relevant filters.
+* **Cross-engine validation** — now that the model is a first-class
+  execution engine (``engine="model"``), every registered scenario that
+  supports both the model and a functional engine is run through *both* at
+  a functional problem size, and the per-kernel prediction error bounds
+  (``model / simulated`` time ratios) are reported.  The simulation cells
+  reuse the sweep engine's workers and cache keys, so a sweep that already
+  ran leaves this experiment with only the closed-form halves to compute.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from ..analysis.metrics import error_bounds, relative_error
 from ..analysis.tables import format_table
 from ..core.performance_model import (
     advantage_table,
@@ -31,6 +38,13 @@ ARCHITECTURES = ("p100", "v100")
 #: reduced extent (the claims are monotone, so the booleans are unchanged)
 CLAIM_MAX_EXTENT = 21
 QUICK_CLAIM_MAX_EXTENT = 9
+
+#: functional engine the model predictions are validated against (the
+#: scalar engine is bit-identical, so one reference suffices)
+REFERENCE_ENGINE = "batched"
+#: problem size of the cross-engine cells; --quick shrinks it
+CROSS_SIZE = "small"
+QUICK_CROSS_SIZE = "tiny"
 
 
 def run(architectures: Sequence[str] = ARCHITECTURES,
@@ -82,10 +96,56 @@ def _measure_claims(architectures: List[str], max_extent: int) -> Dict[str, obje
     return {"claims": claims(tuple(architectures), max_extent)}
 
 
+# ------------------------------------------------------- cross-engine cells
+
+def cross_validation_cases(quick: bool = False) -> List[Tuple[object, object]]:
+    """(simulated case, model case) pairs for every model-capable scenario.
+
+    Derived entirely from the registry envelopes: a scenario contributes
+    when it supports both the reference engine and the model engine at the
+    validation size, on each evaluated architecture and every precision it
+    declares.  Registering a new kernel therefore extends this experiment
+    with no edits here.
+    """
+    from ..scenarios import all_scenarios
+    from ..scenarios.registry import ScenarioCase
+
+    size = QUICK_CROSS_SIZE if quick else CROSS_SIZE
+    pairs: List[Tuple[object, object]] = []
+    for scenario in all_scenarios():
+        for arch in ARCHITECTURES:
+            for precision in scenario.precisions:
+                if not (scenario.supports(arch, precision, REFERENCE_ENGINE, size)
+                        and scenario.supports(arch, precision, "model", size)):
+                    continue
+                pairs.append((
+                    ScenarioCase(scenario.name, arch, precision,
+                                 REFERENCE_ENGINE, size),
+                    ScenarioCase(scenario.name, arch, precision, "model", size),
+                ))
+    return pairs
+
+
+def _cross_jobs(quick: bool) -> List[SimulationJob]:
+    """One sweep-engine job per cross-validation cell (cache-shared)."""
+    from ..scenarios.sweep import case_cache_fields, case_job_key
+
+    jobs: List[SimulationJob] = []
+    for pair in cross_validation_cases(quick):
+        for case in pair:
+            jobs.append(SimulationJob(
+                key=case_job_key(case),
+                func="repro.scenarios.sweep:_measure_case",
+                params=case.to_dict(),
+                cache_fields=case_cache_fields(case),
+            ))
+    return jobs
+
+
 # --------------------------------------------------------------- pipeline
 
 def jobs(quick: bool = False) -> List[SimulationJob]:
-    """One advantage-sweep job per architecture plus one claims job."""
+    """Advantage sweeps + claim checks + the cross-engine cell matrix."""
     sizes = list(QUICK_FILTER_SIZES if quick else FILTER_SIZES)
     max_extent = QUICK_CLAIM_MAX_EXTENT if quick else CLAIM_MAX_EXTENT
     out = [
@@ -106,11 +166,14 @@ def jobs(quick: bool = False) -> List[SimulationJob]:
         cache_fields={"kernel": "performance_model:claims",
                       "engine": "closed_form"},
     ))
+    out.extend(_cross_jobs(quick))
     return out
 
 
 def assemble(payloads: Dict[str, Dict[str, object]],
              quick: bool = False) -> ExperimentResult:
+    from ..scenarios.sweep import case_job_key
+
     sizes = list(QUICK_FILTER_SIZES if quick else FILTER_SIZES)
     max_extent = QUICK_CLAIM_MAX_EXTENT if quick else CLAIM_MAX_EXTENT
     measurements = []
@@ -123,15 +186,63 @@ def assemble(payloads: Dict[str, Dict[str, object]],
                 config={"outputs_per_thread": 4},
                 value=row.get("dif_cycles"), unit="cycles", extra=row))
     claims_payload = payloads[f"model:claims:m{max_extent}"]["claims"]
+
+    # cross-engine validation: one measurement per (simulated, model) pair
+    ratios_by_kernel: Dict[str, List[float]] = {}
+    for sim_case, model_case in cross_validation_cases(quick):
+        simulated = payloads[case_job_key(sim_case)]["milliseconds"]
+        predicted = payloads[case_job_key(model_case)]["milliseconds"]
+        ratio = predicted / simulated
+        ratios_by_kernel.setdefault(sim_case.scenario, []).append(ratio)
+        measurements.append(Measurement(
+            kernel=sim_case.scenario,
+            architecture=sim_case.architecture,
+            workload=f"{sim_case.size}/{sim_case.precision}",
+            value=ratio, unit="x",
+            extra={
+                "kind": "cross_engine",
+                "scenario": sim_case.scenario,
+                "architecture": sim_case.architecture,
+                "precision": sim_case.precision,
+                "size": sim_case.size,
+                "simulated_ms": simulated,
+                "model_ms": predicted,
+                "ratio": ratio,
+                "relative_error": relative_error(predicted, simulated),
+            }))
+    bounds = {kernel: {"cases": len(ratios), **error_bounds(ratios)}
+              for kernel, ratios in sorted(ratios_by_kernel.items())}
     return ExperimentResult(
         experiment="model", title=TITLE, quick=quick,
         measurements=measurements,
-        metadata={"claims": claims_payload, "claim_max_extent": max_extent})
+        metadata={"claims": claims_payload, "claim_max_extent": max_extent,
+                  "cross_engine": {
+                      "reference_engine": REFERENCE_ENGINE,
+                      "size": QUICK_CROSS_SIZE if quick else CROSS_SIZE,
+                      "bounds": bounds,
+                  }})
 
 
 def render(result: ExperimentResult) -> str:
-    return (f"{TITLE}\n" + format_table(result.rows())
-            + "\n\nclaims: " + str(result.metadata["claims"]))
+    advantage_rows = result.rows(kernel="register_cache_advantage")
+    text = f"{TITLE}\n" + format_table(advantage_rows)
+    text += "\n\nclaims: " + str(result.metadata["claims"])
+    cross = result.metadata.get("cross_engine") or {}
+    bounds = cross.get("bounds") or {}
+    if bounds:
+        rows = [
+            {"kernel": kernel,
+             "cases": entry["cases"],
+             "ratio_min": entry["min"],
+             "ratio_max": entry["max"],
+             "ratio_geomean": entry["geomean"]}
+            for kernel, entry in bounds.items()
+        ]
+        text += ("\n\ncross-engine validation — model vs "
+                 f"{cross.get('reference_engine')} engine at size "
+                 f"{cross.get('size')!r} (ratio = model/simulated, 1.0 = exact)\n")
+        text += format_table(rows)
+    return text
 
 
 def report(quick: bool = False) -> str:

@@ -166,14 +166,17 @@ class ExperimentResult:
             object.__setattr__(self, "_series_index", index)
         return index.get((kernel, architecture, workload))
 
-    def rows(self) -> List[Dict[str, object]]:
+    def rows(self, kernel: Optional[str] = None) -> List[Dict[str, object]]:
         """The ``extra`` payload of every measurement, in order.
 
         Table-style experiments store their report columns in ``extra``, so
         this is exactly the row list :func:`repro.analysis.tables.format_table`
-        renders.
+        renders.  ``kernel`` filters to one measurement series — experiments
+        that mix row schemas (e.g. the model validation's advantage sweep
+        next to its cross-engine cells) render each series separately.
         """
-        return [dict(m.extra) for m in self.measurements]
+        return [dict(m.extra) for m in self.measurements
+                if kernel is None or m.kernel == kernel]
 
     # -- persistence -------------------------------------------------------
     def save(self, path: str) -> str:

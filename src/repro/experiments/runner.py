@@ -5,6 +5,10 @@ Installed as the ``ssam-repro`` console script::
     ssam-repro --experiment table1
     ssam-repro --experiment figure4
     ssam-repro --experiment all --quick --jobs 4 --output-dir results
+    ssam-repro --experiment sweep --matrix paper   # Section 5 model engine,
+                                                   # paper scale, closed form
+    ssam-repro --experiment model                  # claims + cross-engine
+                                                   # validation error bounds
 
 The runner is a thin orchestrator over the structured experiment pipeline:
 each experiment contributes independent simulation jobs

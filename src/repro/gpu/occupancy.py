@@ -40,9 +40,24 @@ class OccupancyResult:
 
 
 def _round_up(value: int, granularity: int) -> int:
-    if granularity <= 0:
-        return value
     return ((value + granularity - 1) // granularity) * granularity
+
+
+def _check_granularities(architecture: GPUArchitecture) -> None:
+    """Reject architectures with non-positive allocation granularities.
+
+    A granularity of zero or less would silently skip the hardware's
+    allocation rounding and overstate occupancy; a malformed architecture
+    variant must fail loudly instead.
+    """
+    for name in ("warp_allocation_granularity",
+                 "register_allocation_granularity",
+                 "shared_allocation_granularity"):
+        value = getattr(architecture, name)
+        if value <= 0:
+            raise ConfigurationError(
+                f"architecture {architecture.name!r}: {name} must be a "
+                f"positive integer, got {value!r}")
 
 
 def compute_occupancy(architecture: GPUArchitecture, block_threads: int,
@@ -54,6 +69,7 @@ def compute_occupancy(architecture: GPUArchitecture, block_threads: int,
     blocks is the minimum over the limits imposed by warp slots, thread
     slots, block slots, the register file and the shared-memory carve-out.
     """
+    _check_granularities(architecture)
     if block_threads <= 0:
         raise ConfigurationError("block size must be positive")
     if block_threads > architecture.max_threads_per_block:

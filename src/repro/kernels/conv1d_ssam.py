@@ -21,6 +21,11 @@ from ..gpu.kernel import Kernel, LaunchConfig, grid_1d
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 from .common import KernelRunResult, clamp
 
+#: measured register footprint / load parallelism of the 1-D kernel; shared
+#: with the Section 5 model engine so both describe the same launch
+CONV1D_REGISTERS_PER_THREAD = 22
+CONV1D_MEMORY_PARALLELISM = 2.0
+
 
 def _conv1d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
                        taps: tuple, length: int, anchor: int) -> None:
@@ -84,10 +89,10 @@ def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int
     config = LaunchConfig(
         grid_dim=grid_1d(length, per_block),
         block_threads=block_threads,
-        registers_per_thread=22,
+        registers_per_thread=CONV1D_REGISTERS_PER_THREAD,
         shared_bytes_per_block=0,
         precision=prec,
-        memory_parallelism=2.0,
+        memory_parallelism=CONV1D_MEMORY_PARALLELISM,
     )
     launch = CONV1D_SSAM_KERNEL.launch(
         config, args=(src, dst, tuple(float(t) for t in taps), length, anchor),

@@ -22,6 +22,11 @@ from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult, grid_1d
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 from .common import KernelRunResult
 
+#: measured register footprint / load parallelism of the scan kernel; shared
+#: with the Section 5 model engine so both describe the same launch
+SCAN_REGISTERS_PER_THREAD = 24
+SCAN_MEMORY_PARALLELISM = 2.0
+
 
 def _scan_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
                 block_sums: DeviceBuffer, length: int) -> None:
@@ -95,10 +100,10 @@ def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
     config = LaunchConfig(
         grid_dim=grid,
         block_threads=block_threads,
-        registers_per_thread=24,
+        registers_per_thread=SCAN_REGISTERS_PER_THREAD,
         shared_bytes_per_block=(block_threads // arch.warp_size) * prec.itemsize,
         precision=prec,
-        memory_parallelism=2.0,
+        memory_parallelism=SCAN_MEMORY_PARALLELISM,
     )
     launch = SCAN_SSAM_KERNEL.launch(config, args=(src, dst, block_sums, length),
                                      architecture=arch, max_blocks=max_blocks,

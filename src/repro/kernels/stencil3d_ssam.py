@@ -47,7 +47,7 @@ def _build_inplane_columns(spec: StencilSpec) -> ColumnGroups:
     return tuple(groups)
 
 
-def _split_out_of_plane(spec: StencilSpec):
+def split_out_of_plane(spec: StencilSpec):
     """Separate out-of-plane taps into axial (smem path) and general (global path)."""
     axial = []
     general = []
@@ -183,7 +183,7 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
     depth, height, width = grid.shape
     warps_per_block = block_threads // arch.warp_size
     columns = _build_inplane_columns(spec)
-    axial, general = _split_out_of_plane(spec)
+    axial, general = split_out_of_plane(spec)
     x_min, x_max = spec.x_range
     y_min, _ = spec.y_range
     cache_rows = spec.footprint_height + outputs_per_thread - 1
@@ -243,7 +243,7 @@ def analytic_counters(spec: StencilSpec, width: int, height: int, depth: int,
     total_warps = blocks * warps_per_block
     columns = spec.columns()
     in_plane_taps = sum(len(points) for points in columns.values())
-    axial, general = _split_out_of_plane(spec)
+    axial, general = split_out_of_plane(spec)
     r_z = max((abs(p.dz) for p in spec.points), default=0)
 
     counters = KernelCounters()

@@ -16,6 +16,7 @@ from . import builtin  # noqa: F401  (registers the built-in scenarios)
 from .registry import (
     ENGINE_BATCH_SIZE,
     ENGINES,
+    NON_EXECUTING_ENGINES,
     Scenario,
     ScenarioCase,
     all_scenarios,
@@ -29,6 +30,7 @@ from .registry import (
 __all__ = [
     "ENGINE_BATCH_SIZE",
     "ENGINES",
+    "NON_EXECUTING_ENGINES",
     "Scenario",
     "ScenarioCase",
     "all_scenarios",

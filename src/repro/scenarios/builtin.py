@@ -10,7 +10,10 @@ auto-generated differential test matrix.
 The named problem sizes deliberately produce partial blocks on every grid
 edge (domains indivisible by the tile extents) so functional runs exercise
 the masked boundary paths; ``"paper"`` sizes are the evaluation-scale
-domains of Section 6 and are analytic-only.
+domains of Section 6 and run only on the closed-form engines (the
+``analytic`` instruction/traffic profile and the Section 5 ``model``).
+Every scenario carries a ``model`` entry, so any registered kernel or
+baseline can be predicted at arbitrary scale without simulating it.
 """
 
 from __future__ import annotations
@@ -34,6 +37,15 @@ from ..baselines.stencil2d import (
 )
 from ..baselines.stencil3d import original_stencil3d
 from ..convolution.spec import ConvolutionSpec
+from ..core.performance_model import (
+    model_convolution1d,
+    model_convolution2d,
+    model_naive_3d,
+    model_scan,
+    model_shared_memory_2d,
+    model_stencil2d,
+    model_stencil3d,
+)
 from ..core.plan import plan_convolution, plan_stencil
 from ..gpu.architecture import EVALUATED_ARCHITECTURES, architecture_names
 from ..kernels import (
@@ -58,7 +70,9 @@ ALL_ARCHITECTURES = architecture_names()
 EVALUATED = tuple(arch.name.split()[-1].lower() for arch in EVALUATED_ARCHITECTURES)
 BOTH_PRECISIONS = ("float32", "float64")
 FUNCTIONAL_ENGINES = ("scalar", "batched")
-ALL_ENGINES = ("scalar", "batched", "analytic")
+#: functional engines + the Section 5 analytic performance model
+MODELED_ENGINES = ("scalar", "batched", "model")
+ALL_ENGINES = ("scalar", "batched", "analytic", "model")
 
 
 def binomial_taps(count: int) -> np.ndarray:
@@ -69,18 +83,21 @@ def binomial_taps(count: int) -> np.ndarray:
 
 # Named problem sizes are shared per family between the SSAM kernel and its
 # baselines, so paired scenarios always describe the same problem domain.
+# ``paper`` domains are closed-form only: both the instruction/traffic
+# profile (``analytic``) and the Section 5 performance model (``model``)
+# evaluate them in microseconds, while a functional run would be infeasible.
 _CONV2D_SIZES: Dict[str, Mapping[str, object]] = {
     "tiny": {"width": 49, "height": 37, "filter": 3},
     "small": {"width": 97, "height": 83, "filter": 5},
     "paper": {"width": 8192, "height": 8192, "filter": 9,
-              "engines": ("analytic",)},
+              "engines": ("analytic", "model")},
 }
 
 _STENCIL2D_SIZES: Dict[str, Mapping[str, object]] = {
     "tiny": {"stencil": "2d5pt", "width": 49, "height": 37, "iterations": 1},
     "small": {"stencil": "2d9pt", "width": 70, "height": 45, "iterations": 2},
     "paper": {"stencil": "2d9pt", "width": 8192, "height": 8192,
-              "iterations": 1, "engines": ("analytic",)},
+              "iterations": 1, "engines": ("analytic", "model")},
 }
 
 _STENCIL3D_SIZES: Dict[str, Mapping[str, object]] = {
@@ -89,7 +106,7 @@ _STENCIL3D_SIZES: Dict[str, Mapping[str, object]] = {
     "small": {"stencil": "3d27pt", "width": 25, "height": 17, "depth": 9,
               "iterations": 1},
     "paper": {"stencil": "3d7pt", "width": 512, "height": 512, "depth": 512,
-              "iterations": 1, "engines": ("analytic",)},
+              "iterations": 1, "engines": ("analytic", "model")},
 }
 
 
@@ -113,13 +130,16 @@ register(Scenario(
     workload_builder=lambda params, precision: sequence(
         params["length"], precision, seed=params["length"]),
     oracle=lambda spec, workload, params: reference_convolve1d(workload, spec),
+    model=lambda spec, params, architecture, precision: model_convolution1d(
+        params["taps"], params["length"], architecture, precision),
     sizes={
         "tiny": {"length": 193, "taps": 3},
         "small": {"length": 413, "taps": 5},
+        "paper": {"length": 1 << 26, "taps": 9, "engines": ("model",)},
     },
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=FUNCTIONAL_ENGINES,
+    engines=MODELED_ENGINES,
     description="SSAM 1-D convolution (Section 3.5 motivating example)",
 ))
 
@@ -144,6 +164,8 @@ register(Scenario(
     planner=lambda spec, params, architecture, precision: plan_convolution(
         spec, architecture, precision),
     oracle=lambda spec, workload, params: spec.reference(workload),
+    model=lambda spec, params, architecture, precision: model_convolution2d(
+        spec, params["width"], params["height"], architecture, precision),
     sizes=_CONV2D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -174,6 +196,9 @@ register(Scenario(
         spec, architecture, precision),
     oracle=lambda spec, workload, params: spec.reference(
         workload, iterations=params.get("iterations", 1)),
+    model=lambda spec, params, architecture, precision: model_stencil2d(
+        spec, params["width"], params["height"],
+        params.get("iterations", 1), architecture, precision),
     sizes=_STENCIL2D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -204,6 +229,9 @@ register(Scenario(
         seed=params["depth"]),
     oracle=lambda spec, workload, params: spec.reference(
         workload, iterations=params.get("iterations", 1)),
+    model=lambda spec, params, architecture, precision: model_stencil3d(
+        spec, params["width"], params["height"], params["depth"],
+        params.get("iterations", 1), architecture, precision),
     sizes=_STENCIL3D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -226,13 +254,16 @@ register(Scenario(
     workload_builder=lambda params, precision: sequence(
         params["length"], precision, seed=params["length"] + 1),
     oracle=lambda spec, workload, params: reference_scan(workload),
+    model=lambda spec, params, architecture, precision: model_scan(
+        params["length"], architecture, precision),
     sizes={
         "tiny": {"length": 193},
         "small": {"length": 1000},
+        "paper": {"length": 1 << 26, "engines": ("model",)},
     },
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=FUNCTIONAL_ENGINES,
+    engines=MODELED_ENGINES,
     description="SSAM Kogge-Stone scan (Figure 1e)",
 ))
 
@@ -258,6 +289,17 @@ def _conv2d_analytic_only_runner(fn):
     return run
 
 
+def _model_conv2d_shared(label: str):
+    """Section 5 shared-memory-scheme model of a convolution baseline."""
+    def model(spec, params, architecture, precision):
+        return model_shared_memory_2d(
+            spec.taps, spec.filter_width - 1, spec.filter_height - 1,
+            params["width"], params["height"], 1, architecture, precision,
+            weights_in_shared=True, kernel_name=f"{label}_conv2d_model",
+            extra_parameters={"baseline": label})
+    return model
+
+
 def _register_conv2d_baseline(label: str, fn, engines) -> None:
     functional = "scalar" in engines
     register(Scenario(
@@ -272,6 +314,7 @@ def _register_conv2d_baseline(label: str, fn, engines) -> None:
             params["width"], params["height"], precision, seed=params["width"]),
         oracle=(lambda spec, workload, params: spec.reference(workload))
         if functional else None,
+        model=_model_conv2d_shared(label),
         sizes=_CONV2D_SIZES,
         architectures=EVALUATED,
         precisions=BOTH_PRECISIONS,
@@ -283,8 +326,8 @@ def _register_conv2d_baseline(label: str, fn, engines) -> None:
 _register_conv2d_baseline("npp", npp_like_convolve2d, ALL_ENGINES)
 _register_conv2d_baseline("arrayfire", arrayfire_like_convolve2d, ALL_ENGINES)
 _register_conv2d_baseline("halide", halide_like_convolve2d, ALL_ENGINES)
-_register_conv2d_baseline("cudnn", cudnn_like_convolve2d, ("analytic",))
-_register_conv2d_baseline("cufft", cufft_like_convolve2d, ("analytic",))
+_register_conv2d_baseline("cudnn", cudnn_like_convolve2d, ("analytic", "model"))
+_register_conv2d_baseline("cufft", cufft_like_convolve2d, ("analytic", "model"))
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +346,18 @@ def _stencil2d_baseline_runner(fn):
     return run
 
 
+def _model_stencil2d_shared(label: str):
+    """Section 5 shared-memory-scheme model of a 2-D stencil baseline."""
+    def model(spec, params, architecture, precision):
+        return model_shared_memory_2d(
+            spec.num_points, spec.footprint_width - 1, spec.footprint_height - 1,
+            params["width"], params["height"], params.get("iterations", 1),
+            architecture, precision, weights_in_shared=False,
+            kernel_name=f"{label}_stencil2d_model",
+            extra_parameters={"baseline": label})
+    return model
+
+
 for _label, _fn in (("original", original_stencil2d),
                     ("ppcg", ppcg_like_stencil2d),
                     ("halide", halide_like_stencil2d)):
@@ -317,6 +372,7 @@ for _label, _fn in (("original", original_stencil2d),
             params["width"], params["height"], precision, seed=params["height"]),
         oracle=lambda spec, workload, params: spec.reference(
             workload, iterations=params.get("iterations", 1)),
+        model=_model_stencil2d_shared(_label),
         sizes=_STENCIL2D_SIZES,
         architectures=EVALUATED,
         precisions=BOTH_PRECISIONS,
@@ -347,6 +403,10 @@ register(Scenario(
         seed=params["depth"]),
     oracle=lambda spec, workload, params: spec.reference(
         workload, iterations=params.get("iterations", 1)),
+    model=lambda spec, params, architecture, precision: model_naive_3d(
+        spec.num_points, params["width"], params["height"], params["depth"],
+        params.get("iterations", 1), architecture, precision,
+        kernel_name="original_stencil3d_model"),
     sizes=_STENCIL3D_SIZES,
     architectures=EVALUATED,
     precisions=BOTH_PRECISIONS,

@@ -28,8 +28,13 @@ from ..errors import ConfigurationError
 from ..serialization import stable_digest
 
 #: execution engines a scenario may support: the legacy per-block SIMT loop,
-#: the vectorised multi-block engine, and the closed-form cost profile
-ENGINES: Tuple[str, ...] = ("scalar", "batched", "analytic")
+#: the vectorised multi-block engine, the closed-form instruction/traffic
+#: profile, and the Section 5 analytic performance model
+ENGINES: Tuple[str, ...] = ("scalar", "batched", "analytic", "model")
+
+#: engines that evaluate closed forms instead of executing the kernel; these
+#: never build a workload array and never produce a functional output
+NON_EXECUTING_ENGINES: Tuple[str, ...] = ("analytic", "model")
 
 #: how each functional engine maps onto the kernels' ``batch_size`` parameter
 ENGINE_BATCH_SIZE: Dict[str, object] = {"scalar": 1, "batched": "auto"}
@@ -104,6 +109,11 @@ class Scenario:
         Optional ``oracle(spec, workload, params)`` returning the ground-truth
         output on the host; scenarios without one (analytic-only baselines)
         are excluded from functional validation.
+    model:
+        Optional ``model(spec, params, architecture, precision)`` returning a
+        :class:`~repro.kernels.KernelRunResult` predicted by the Section 5
+        analytic performance model (:mod:`repro.core.performance_model`);
+        required when ``"model"`` appears in ``engines``.
     """
 
     name: str
@@ -119,6 +129,7 @@ class Scenario:
     workload_builder: Optional[Callable[..., np.ndarray]] = None
     planner: Optional[Callable[..., object]] = None
     oracle: Optional[Callable[..., np.ndarray]] = None
+    model: Optional[Callable[..., object]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -131,6 +142,10 @@ class Scenario:
                 raise ConfigurationError(
                     f"scenario {self.name!r} declares unknown engine {engine!r}; "
                     f"expected one of {ENGINES}")
+        if "model" in self.engines and self.model is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares the 'model' engine but "
+                f"provides no model evaluator")
         object.__setattr__(self, "architectures", tuple(self.architectures))
         object.__setattr__(self, "precisions", tuple(self.precisions))
         object.__setattr__(self, "engines", tuple(self.engines))
@@ -222,6 +237,8 @@ class Scenario:
         if engine not in self.engines:
             raise ConfigurationError(
                 f"scenario {self.name!r} does not support engine {engine!r}")
+        if engine == "model":
+            return self.model(spec, dict(params), architecture, precision)
         return self.runner(spec, workload, dict(params), architecture,
                            precision, engine)
 
@@ -236,7 +253,7 @@ class Scenario:
                 f"case {case.case_id!r} lies outside the scenario envelope")
         params = self.resolve_size(case.size)
         spec = self.build_spec(case.size)
-        workload = (None if case.engine == "analytic"
+        workload = (None if case.engine in NON_EXECUTING_ENGINES
                     else self.build_workload(case.size, case.precision))
         return self.run(spec, workload, params, case.architecture,
                         case.precision, case.engine)

@@ -55,14 +55,17 @@ MATRICES: Dict[str, Dict[str, object]] = {
         "scenarios": "all",
         "architectures": ["p100", "v100"],
         "precisions": ["float32", "float64"],
-        "engines": ["scalar", "batched", "analytic"],
+        "engines": ["scalar", "batched", "analytic", "model"],
         "sizes": ["tiny", "small"],
     },
+    # all five SSAM kernels at the evaluation-scale domains of Section 6,
+    # closed-form only: the instruction/traffic profile where one exists and
+    # the Section 5 performance model everywhere — seconds, not hours
     "paper": {
         "scenarios": "ssam",
         "architectures": ["p100", "v100"],
         "precisions": ["float32", "float64"],
-        "engines": ["analytic"],
+        "engines": ["analytic", "model"],
         "sizes": ["paper"],
     },
 }
@@ -101,8 +104,13 @@ def _spec_fingerprint(spec) -> Optional[str]:
     return spec.fingerprint()
 
 
-def _case_cache_fields(case: ScenarioCase) -> Dict[str, object]:
-    """Cache-key fields of one cell: spec + plan fingerprints, envelope axes."""
+def case_cache_fields(case: ScenarioCase) -> Dict[str, object]:
+    """Cache-key fields of one cell: spec + plan fingerprints, envelope axes.
+
+    Public contract: the cross-engine validation experiment builds jobs with
+    these exact fields (and :func:`case_job_key`) so its simulation cells
+    share cache entries — and dedupe — with sweep cells.
+    """
     scenario = get_scenario(case.scenario)
     fields: Dict[str, object] = {
         "kernel": case.scenario,
@@ -136,6 +144,7 @@ def _measure_case(scenario: str, architecture: str, precision: str,
         "counters": result.launch.counters.as_dict(),
         "config": result.launch.config.to_dict(),
         "kernel_name": result.launch.kernel_name,
+        "parameters": dict(result.parameters),
         "output_digest": (None if result.output is None
                           else array_digest(result.output)),
     }
@@ -149,7 +158,8 @@ def _measure_case(scenario: str, architecture: str, precision: str,
 
 # --------------------------------------------------------------- pipeline
 
-def _job_key(case: ScenarioCase) -> str:
+def case_job_key(case: ScenarioCase) -> str:
+    """Executor job key of one sweep cell (shared with model validation)."""
     return f"sweep:{case.case_id}"
 
 
@@ -158,10 +168,10 @@ def jobs(matrix: "str | Mapping[str, object] | None" = None) -> List[SimulationJ
     resolved = load_matrix(matrix)
     return [
         SimulationJob(
-            key=_job_key(case),
+            key=case_job_key(case),
             func="repro.scenarios.sweep:_measure_case",
             params=case.to_dict(),
-            cache_fields=_case_cache_fields(case),
+            cache_fields=case_cache_fields(case),
         )
         for case in expand_matrix(resolved)
     ]
@@ -175,7 +185,7 @@ def assemble(payloads: Mapping[str, Mapping[str, object]],
     cases = expand_matrix(resolved)
     measurements: List[Measurement] = []
     for case in cases:
-        payload = payloads[_job_key(case)]
+        payload = payloads[case_job_key(case)]
         ms = payload.get("milliseconds")
         measurements.append(Measurement(
             kernel=case.scenario,
@@ -192,6 +202,7 @@ def assemble(payloads: Mapping[str, Mapping[str, object]],
                 "precision": case.precision,
                 "size": case.size,
                 "kernel_name": payload.get("kernel_name"),
+                "scheme": (payload.get("parameters") or {}).get("scheme"),
                 "output_digest": payload.get("output_digest"),
                 "oracle_max_abs_error": payload.get("oracle_max_abs_error"),
             },

@@ -59,6 +59,41 @@ def test_digest_ignores_non_python_files(tmp_path):
     assert baseline == with_docs
 
 
+NESTED = {"pkg/__init__.py": "", "pkg/sub/__init__.py": "",
+          "pkg/sub/deep/mod.py": "STATE = 3\n", "top.py": "X = 0\n"}
+
+
+def test_digest_hashes_posix_relative_paths(tmp_path):
+    """The digest identity of a nested tree is its ``/``-separated paths.
+
+    Recomputing the hash by hand with explicit posix separators pins the
+    normalisation: a platform whose ``os.path.relpath`` yields another
+    separator must still produce this exact digest.
+    """
+    import hashlib
+
+    digest = _tree(tmp_path / "t", NESTED)
+    # walk order: each directory's files sorted, then subdirectories sorted
+    expected = hashlib.sha256()
+    for rel in ["top.py", "pkg/__init__.py", "pkg/sub/__init__.py",
+                "pkg/sub/deep/mod.py"]:
+        expected.update(rel.encode())
+        expected.update((tmp_path / "t" / rel).read_bytes())
+    assert digest == expected.hexdigest()[:16]
+
+
+def test_digest_normalises_windows_separators(tmp_path, monkeypatch):
+    """A native separator other than ``/`` must not change the digest."""
+    import os
+
+    baseline = _tree(tmp_path / "t", NESTED)
+    real_relpath = os.path.relpath
+    monkeypatch.setattr(
+        cache_mod.os.path, "relpath",
+        lambda path, start: real_relpath(path, start).replace("/", "\\"))
+    assert digest_source_tree(str(tmp_path / "t")) == baseline
+
+
 def test_code_version_is_memoised_and_fed_from_the_package():
     assert cache_mod.code_version() == cache_mod.code_version()
     package_root = pathlib.Path(cache_mod.__file__).resolve().parent.parent

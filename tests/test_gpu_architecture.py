@@ -94,3 +94,21 @@ def test_summary_keys():
     assert summary["name"] == "Tesla P100"
     assert summary["sm_count"] == 56
     assert summary["register_to_shared_ratio"] == pytest.approx(4.0, rel=0.01)
+
+
+@pytest.mark.parametrize("field", ["warp_allocation_granularity",
+                                   "register_allocation_granularity",
+                                   "shared_allocation_granularity"])
+@pytest.mark.parametrize("bad", [0, -1])
+def test_occupancy_rejects_invalid_granularities(field, bad):
+    """A non-positive granularity must raise, not silently skip rounding."""
+    from dataclasses import replace
+
+    from repro.gpu.occupancy import compute_occupancy
+
+    broken = replace(TESLA_P100, **{field: bad})
+    with pytest.raises(ConfigurationError, match=field):
+        compute_occupancy(broken, 128, 32, 1024)
+    # the pristine preset still computes
+    result = compute_occupancy(TESLA_P100, 128, 32, 1024)
+    assert result.active_blocks_per_sm > 0

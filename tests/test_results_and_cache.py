@@ -164,3 +164,29 @@ def test_execute_jobs_uses_cache_and_preserves_payloads(tmp_path):
     second = execute_jobs(jobs, workers=1, cache=cache)
     assert second == first
     assert cache.stats()["hits"] == 3
+
+
+def test_parallel_pool_payloads_store_back_under_the_correct_keys(tmp_path):
+    """Payloads computed by pool workers must land in the persistent cache.
+
+    The workers run in separate processes, so the store-back happens in the
+    parent after the pool drains; a warm rerun with ``workers > 1`` must be
+    a 100% hit, and every payload must be retrievable under its own job's
+    ``cache_key()``.
+    """
+    cache = SimulationCache(str(tmp_path / "c"))
+    jobs = [SimulationJob(key=f"p:{i}",
+                          func="tests.test_results_and_cache:_echo_worker",
+                          params={"i": i},
+                          cache_fields={"kernel": "echo", "cell": i})
+            for i in range(6)]
+    cold = execute_jobs(jobs, workers=3, cache=cache)
+    assert cache.stats() == {"hits": 0, "misses": 6, "stores": 6}
+    # each payload sits under its own key — not swapped, not merged
+    for job in jobs:
+        assert cache.lookup(job.cache_key()) == cold[job.key]
+
+    warm_cache = SimulationCache(str(tmp_path / "c"))
+    warm = execute_jobs(jobs, workers=3, cache=warm_cache)
+    assert warm == cold
+    assert warm_cache.stats() == {"hits": 6, "misses": 0, "stores": 0}

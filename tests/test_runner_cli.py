@@ -78,8 +78,10 @@ def test_quick_is_honored_by_every_experiment():
         runner.model_validation.QUICK_CLAIM_MAX_EXTENT
     assert all(results["model"].metadata["claims"].values())
     full_rows = runner.model_validation.run()
-    quick_rows = results["model"].rows()
+    quick_rows = results["model"].rows(kernel="register_cache_advantage")
     assert len(quick_rows) < len(full_rows)
+    # the cross-engine cells shrink too: tiny instead of small
+    assert results["model"].metadata["cross_engine"]["size"] == "tiny"
 
 
 def test_jobs_flag_produces_identical_output(capsys, tmp_path):

@@ -39,14 +39,16 @@ def test_envelope_supports_and_size_restrictions():
     assert conv2d.supports("p100", "float32", "batched", "tiny")
     assert not conv2d.supports("p100", "float32", "bogus")
     assert not conv2d.supports("p100", "float16", "batched")
-    # paper-scale domains are analytic-only
-    assert conv2d.engines_for("paper") == ("analytic",)
+    # paper-scale domains run only on the closed-form engines
+    assert conv2d.engines_for("paper") == ("analytic", "model")
     assert not conv2d.supports("p100", "float32", "scalar", "paper")
     assert conv2d.supports("p100", "float32", "analytic", "paper")
+    assert conv2d.supports("p100", "float32", "model", "paper")
     # the engine restriction never leaks into the runner parameters
     assert "engines" not in conv2d.resolve_size("paper")
     scan = get_scenario("scan")
     assert "analytic" not in scan.engines
+    assert scan.engines_for("paper") == ("model",)
 
 
 def test_unknown_lookups_raise():
@@ -154,8 +156,23 @@ def test_register_unregister_round_trip():
 
 
 def test_engines_constant_matches_registry_vocabulary():
-    assert ENGINES == ("scalar", "batched", "analytic")
+    assert ENGINES == ("scalar", "batched", "analytic", "model")
     for scenario in all_scenarios():
         assert set(scenario.engines) <= set(ENGINES)
         for size in scenario.sizes:
             assert set(scenario.engines_for(size)) <= set(scenario.engines)
+
+
+def test_every_builtin_scenario_has_a_model_entry():
+    """The Section 5 model engine covers every registered implementation."""
+    for scenario in all_scenarios():
+        assert "model" in scenario.engines, scenario.name
+        assert scenario.model is not None, scenario.name
+
+
+def test_model_engine_requires_an_evaluator():
+    donor = get_scenario("scan")
+    with pytest.raises(ConfigurationError):
+        Scenario(name="bad", family="scan", dims=1, runner=donor.runner,
+                 sizes={"tiny": {}}, architectures=("p100",),
+                 precisions=("float32",), engines=("scalar", "model"))

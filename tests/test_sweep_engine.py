@@ -88,15 +88,32 @@ def test_sweep_reuses_the_persistent_cache(tmp_path):
     assert render(warm) == render(cold)
 
 
-def test_paper_matrix_is_analytic_only_and_runs_closed_form():
+def test_paper_matrix_is_closed_form_and_covers_all_kernels():
     cases = expand_matrix(load_matrix("paper"))
-    assert cases and all(c.engine == "analytic" for c in cases)
+    assert cases and all(c.engine in ("analytic", "model") for c in cases)
+    # the model engine unlocks paper scale for every SSAM kernel
+    assert {c.scenario for c in cases} == \
+        {"conv1d", "conv2d", "stencil2d", "stencil3d", "scan"}
+    assert {c.scenario for c in cases if c.engine == "model"} == \
+        {"conv1d", "conv2d", "stencil2d", "stencil3d", "scan"}
     from repro.scenarios.sweep import _measure_case
 
     payload = _measure_case("conv2d", "p100", "float32", "analytic", "paper")
     assert payload["output_digest"] is None
     assert payload["milliseconds"] > 0
     assert "oracle_max_abs_error" not in payload
+
+
+def test_model_cells_run_closed_form_with_model_metadata():
+    from repro.scenarios.sweep import _measure_case
+
+    payload = _measure_case("scan", "v100", "float64", "model", "paper")
+    assert payload["output_digest"] is None
+    assert payload["milliseconds"] > 0
+    assert payload["kernel_name"] == "ssam_scan_model"
+    assert payload["parameters"]["engine"] == "model"
+    assert payload["parameters"]["scheme"] == "register_cache"
+    assert payload["parameters"]["occupancy"] > 0
 
 
 def test_functional_cells_record_oracle_error():
