@@ -33,7 +33,7 @@ from ..errors import ConfigurationError
 from ..gpu.architecture import GPUArchitecture, get_architecture
 from ..gpu.counters import KernelCounters
 from ..gpu.kernel import LaunchConfig, LaunchResult
-from ..gpu.occupancy import compute_occupancy
+from ..gpu.occupancy import compute_occupancy, validate_block_threads
 from ..gpu.profiler import (
     LAUNCH_OVERHEAD_SECONDS,
     SECTOR_SERVICE_CYCLES,
@@ -400,15 +400,26 @@ def _model_result(kernel_name: str, run_name: str, architecture: GPUArchitecture
 
 def model_convolution2d(spec, width: int, height: int,
                         architecture: object = "p100",
-                        precision: object = "float32") -> "object":
-    """Section 5 prediction of the SSAM 2-D convolution (register cache)."""
+                        precision: object = "float32",
+                        outputs_per_thread: "int | None" = None,
+                        block_threads: "int | None" = None) -> "object":
+    """Section 5 prediction of the SSAM 2-D convolution (register cache).
+
+    ``outputs_per_thread``/``block_threads`` override the paper's default
+    launch parameters (P=4, B=128) so the tuner can cost the whole Section
+    7.1 design space closed-form.
+    """
     from ..kernels import conv2d_ssam
-    from .plan import plan_convolution
+    from .plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD, plan_convolution
 
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    plan = plan_convolution(spec, arch, prec)
-    base = conv2d_ssam.analytic_launch(spec, width, height, arch, prec)
+    p_request = (DEFAULT_OUTPUTS_PER_THREAD if outputs_per_thread is None
+                 else outputs_per_thread)
+    b_request = DEFAULT_BLOCK_THREADS if block_threads is None else block_threads
+    plan = plan_convolution(spec, arch, prec, p_request, b_request)
+    base = conv2d_ssam.analytic_launch(spec, width, height, arch, prec,
+                                       p_request, b_request)
     blocking = plan.blocking
     compute = plan.outputs_per_thread * register_cache_latency(
         arch, spec.filter_width, spec.filter_height)
@@ -429,16 +440,21 @@ def model_convolution2d(spec, width: int, height: int,
 
 def model_stencil2d(spec, width: int, height: int, iterations: int = 1,
                     architecture: object = "p100",
-                    precision: object = "float32") -> "object":
+                    precision: object = "float32",
+                    outputs_per_thread: "int | None" = None,
+                    block_threads: "int | None" = None) -> "object":
     """Section 5 prediction of the SSAM 2-D stencil (immediate coefficients)."""
     from ..kernels import stencil2d_ssam
-    from .plan import plan_stencil
+    from .plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD, plan_stencil
 
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    plan = plan_stencil(spec, arch, prec)
+    p_request = (DEFAULT_OUTPUTS_PER_THREAD if outputs_per_thread is None
+                 else outputs_per_thread)
+    b_request = DEFAULT_BLOCK_THREADS if block_threads is None else block_threads
+    plan = plan_stencil(spec, arch, prec, p_request, b_request)
     base = stencil2d_ssam.analytic_launch(spec, width, height, iterations,
-                                          arch, prec)
+                                          arch, prec, p_request, b_request)
     blocking = plan.blocking
     compute = plan.outputs_per_thread * stencil_register_cache_latency(
         arch, spec.num_points, spec.footprint_width)
@@ -459,7 +475,9 @@ def model_stencil2d(spec, width: int, height: int, iterations: int = 1,
 
 def model_stencil3d(spec, width: int, height: int, depth: int,
                     iterations: int = 1, architecture: object = "p100",
-                    precision: object = "float32") -> "object":
+                    precision: object = "float32",
+                    outputs_per_thread: "int | None" = None,
+                    block_threads: "int | None" = None) -> "object":
     """Section 5 prediction of the SSAM 3-D stencil.
 
     The in-plane footprint follows the register-cache scheme; out-of-plane
@@ -471,10 +489,13 @@ def model_stencil3d(spec, width: int, height: int, depth: int,
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
     lat = arch.latencies
+    p_extent = (stencil3d_ssam.DEFAULT_OUTPUTS_PER_THREAD_3D
+                if outputs_per_thread is None else outputs_per_thread)
+    b_extent = 128 if block_threads is None else block_threads
     base = stencil3d_ssam.analytic_launch(spec, width, height, depth,
-                                          iterations, arch, prec)
+                                          iterations, arch, prec,
+                                          p_extent, b_extent)
     config = base.launch.config
-    p_extent = stencil3d_ssam.DEFAULT_OUTPUTS_PER_THREAD_3D
     columns = spec.columns()
     axial, general = stencil3d_ssam.split_out_of_plane(spec)
     out_of_plane = len(axial) + len(general)
@@ -508,6 +529,7 @@ def model_convolution1d(taps: int, length: int, architecture: object = "p100",
     """Section 5 prediction of the SSAM 1-D convolution (Section 3.5)."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
     if taps < 1 or taps > arch.warp_size:
         raise ConfigurationError(
             f"1-D filters must have 1..{arch.warp_size} taps, got {taps}")
@@ -559,6 +581,7 @@ def model_scan(length: int, architecture: object = "p100",
     """Section 5 prediction of the SSAM Kogge-Stone scan (Figure 1e)."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
     lat = arch.latencies
     warps_per_block = block_threads // arch.warp_size
     blocks = math.ceil(length / block_threads)

@@ -10,6 +10,7 @@ are always parameterised identically.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
@@ -18,11 +19,11 @@ from ..dtypes import Precision, resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import GPUArchitecture, get_architecture
 from ..gpu.kernel import LaunchConfig
-from ..gpu.occupancy import OccupancyResult, compute_occupancy
+from ..gpu.occupancy import OccupancyResult, compute_occupancy, validate_block_threads
 from ..stencils.spec import StencilSpec
 from .blocking import OverlappedBlocking
 from .model import SystolicProgram
-from .register_cache import RegisterCachePlan, choose_plan
+from .register_cache import RegisterCachePlan, choose_plan, resolve_outputs_per_thread
 
 #: the block size used throughout the paper's evaluation (Section 6.2)
 DEFAULT_BLOCK_THREADS = 128
@@ -38,9 +39,27 @@ class SSAMPlan:
     architecture: GPUArchitecture
     register_cache: RegisterCachePlan
     blocking: OverlappedBlocking
-    program: SystolicProgram
     precision: Precision
     block_threads: int
+
+    @property
+    def program(self) -> SystolicProgram:
+        """The systolic program J = (O, D, X, Y), built on first access.
+
+        Construction (and its dependency-DAG validation) allocates graph
+        structures that nothing on the launch/cache-key path needs, so it
+        is deferred until a consumer actually inspects the schedule.
+        """
+        cached = self.__dict__.get("_program")
+        if cached is None:
+            if isinstance(self.problem, ConvolutionSpec):
+                cached = SystolicProgram.from_convolution(self.problem,
+                                                          self.register_cache)
+            else:
+                cached = SystolicProgram.from_stencil(self.problem,
+                                                      self.register_cache)
+            object.__setattr__(self, "_program", cached)
+        return cached
 
     # -- geometry ---------------------------------------------------------------
     @property
@@ -128,8 +147,10 @@ class SSAMPlan:
 
 
 #: memoised plans: repeated launches of the same configuration (benchmark
-#: sweeps, iterative stencils) skip re-validating identical specs
-_PLAN_CACHE: Dict[object, SSAMPlan] = {}
+#: sweeps, iterative stencils, tuner cells) skip re-validating identical
+#: specs.  Keys are the *resolved* plan identity — the clamped P, not the
+#: requested one — so equivalent plans share an entry; eviction is LRU.
+_PLAN_CACHE: "OrderedDict[object, SSAMPlan]" = OrderedDict()
 _PLAN_CACHE_MAX = 512
 
 
@@ -143,19 +164,21 @@ def _spec_token(spec: Union[ConvolutionSpec, StencilSpec]) -> object:
     return spec.fingerprint()
 
 
-def _cached_plan(kind: str, spec, arch, prec, outputs_per_thread: int,
+def _cached_plan(kind: str, spec, arch, prec, resolved_outputs: int,
                  block_threads: int, build) -> SSAMPlan:
     try:
-        key = (kind, _spec_token(spec), arch, prec, outputs_per_thread, block_threads)
+        key = (kind, _spec_token(spec), arch, prec, resolved_outputs, block_threads)
         hash(key)
     except TypeError:
         return build()
     plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        plan = build()
-        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-            _PLAN_CACHE.clear()
-        _PLAN_CACHE[key] = plan
+    if plan is not None:
+        _PLAN_CACHE.move_to_end(key)
+        return plan
+    plan = build()
+    while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    _PLAN_CACHE[key] = plan
     return plan
 
 
@@ -165,23 +188,26 @@ def plan_convolution(spec: ConvolutionSpec, architecture: object = "p100",
                      block_threads: int = DEFAULT_BLOCK_THREADS) -> SSAMPlan:
     """Build an SSAM plan for a 2-D convolution (Listing 1 configuration).
 
-    Plans are memoised: repeated launches of the same (spec, architecture,
-    precision, P, B) configuration return the cached plan without
-    re-validating the spec.
+    Plans are memoised on their resolved identity: repeated launches of the
+    same (spec, architecture, precision, resolved P, B) configuration —
+    including requests that clamp to the same P — return the cached plan
+    without re-validating the spec.
     """
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
+    resolved = resolve_outputs_per_thread(spec.filter_height, arch, prec,
+                                          outputs_per_thread)
 
     def build() -> SSAMPlan:
         cache = choose_plan(spec.filter_height, arch, prec,
-                            requested_outputs=outputs_per_thread)
+                            requested_outputs=resolved)
         blocking = OverlappedBlocking.from_plan(cache, spec.filter_width, block_threads)
-        program = SystolicProgram.from_convolution(spec, cache)
         return SSAMPlan(problem=spec, architecture=arch, register_cache=cache,
-                        blocking=blocking, program=program, precision=prec,
+                        blocking=blocking, precision=prec,
                         block_threads=block_threads)
 
-    return _cached_plan("conv2d", spec, arch, prec, outputs_per_thread,
+    return _cached_plan("conv2d", spec, arch, prec, resolved,
                         block_threads, build)
 
 
@@ -195,15 +221,17 @@ def plan_stencil(spec: StencilSpec, architecture: object = "p100",
     """
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
+    resolved = resolve_outputs_per_thread(spec.footprint_height, arch, prec,
+                                          outputs_per_thread)
 
     def build() -> SSAMPlan:
         cache = choose_plan(spec.footprint_height, arch, prec,
-                            requested_outputs=outputs_per_thread)
+                            requested_outputs=resolved)
         blocking = OverlappedBlocking.from_plan(cache, spec.footprint_width, block_threads)
-        program = SystolicProgram.from_stencil(spec, cache)
         return SSAMPlan(problem=spec, architecture=arch, register_cache=cache,
-                        blocking=blocking, program=program, precision=prec,
+                        blocking=blocking, precision=prec,
                         block_threads=block_threads)
 
-    return _cached_plan("stencil", spec, arch, prec, outputs_per_thread,
+    return _cached_plan("stencil", spec, arch, prec, resolved,
                         block_threads, build)

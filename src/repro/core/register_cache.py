@@ -126,6 +126,22 @@ def max_outputs_per_thread(filter_height: int, architecture: object = "p100",
     return max(1, best)
 
 
+def resolve_outputs_per_thread(filter_height: int, architecture: object = "p100",
+                               precision: object = "float32",
+                               requested_outputs: int = 4,
+                               warp_size: int = 32) -> int:
+    """The P that :func:`choose_plan` will actually pick for a request.
+
+    Single source of truth for the clamp: callers that need the resolved
+    identity without building a plan (the plan memoisation key, the tuning
+    design space's duplicate detection) use this, so they can never drift
+    from what ``choose_plan`` builds.
+    """
+    limit = max_outputs_per_thread(filter_height, architecture, precision,
+                                   warp_size=warp_size)
+    return max(1, min(int(requested_outputs), limit))
+
+
 def choose_plan(filter_height: int, architecture: object = "p100",
                 precision: object = "float32",
                 requested_outputs: int = 4, warp_size: int = 32) -> RegisterCachePlan:
@@ -134,9 +150,8 @@ def choose_plan(filter_height: int, architecture: object = "p100",
     The paper uses P=4 for the convolution evaluation; deep filters at
     double precision may force a smaller P, which this helper handles.
     """
-    limit = max_outputs_per_thread(filter_height, architecture, precision,
-                                   warp_size=warp_size)
-    outputs = max(1, min(requested_outputs, limit))
+    outputs = resolve_outputs_per_thread(filter_height, architecture, precision,
+                                         requested_outputs, warp_size=warp_size)
     plan = RegisterCachePlan(filter_height=filter_height, outputs_per_thread=outputs,
                              precision=resolve_precision(precision), warp_size=warp_size)
     return plan.validate(architecture)

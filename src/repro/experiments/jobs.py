@@ -68,23 +68,25 @@ def resolve_worker(path: str) -> Callable[..., Mapping[str, object]]:
             f"worker {func_name!r} not found in {module_name!r}") from exc
 
 
-def execute_job(job: "SimulationJob | Tuple[str, str, dict]") -> Tuple[str, Dict[str, object]]:
+def execute_job(job: SimulationJob) -> Tuple[str, Dict[str, object]]:
     """Run one job and return ``(key, payload)``.
 
-    The payload is normalised to JSON types so a payload served from the
-    on-disk cache is indistinguishable from a freshly computed one.  Also
-    accepts a pickled-down ``(key, func, params)`` tuple so worker
-    processes do not need the dataclass.
+    This is the single execution contract: both the inline path and the
+    process-pool path of :func:`repro.experiments.parallel.execute_jobs`
+    call it with a :class:`SimulationJob` (the dataclass holds only JSON
+    types, so it pickles cheaply into worker processes).  The payload is
+    normalised to JSON types so a payload served from the on-disk cache is
+    indistinguishable from a freshly computed one.
     """
-    if isinstance(job, SimulationJob):
-        key, func, params = job.key, job.func, dict(job.params)
-    else:
-        key, func, params = job[0], job[1], dict(job[2])
-    payload = resolve_worker(func)(**params)
+    if not isinstance(job, SimulationJob):
+        raise ConfigurationError(
+            f"execute_job expects a SimulationJob, got {type(job).__name__}")
+    payload = resolve_worker(job.func)(**dict(job.params))
     if not isinstance(payload, Mapping):
         raise ConfigurationError(
-            f"job {key!r} worker returned {type(payload).__name__}, expected a mapping")
-    return key, jsonify(payload)
+            f"job {job.key!r} worker returned {type(payload).__name__}, "
+            f"expected a mapping")
+    return job.key, jsonify(payload)
 
 
 def dedupe_jobs(jobs: List[SimulationJob]) -> List[SimulationJob]:

@@ -58,15 +58,17 @@ def execute_jobs(jobs: List[SimulationJob], workers: int = 1,
             payloads[job.key] = cached
 
     if misses:
+        # one execution contract for both paths: execute_job(SimulationJob).
+        # A single miss skips the pool on purpose (spawning workers costs
+        # more than the job), but it runs through the same contract, so the
+        # two paths cannot diverge.
         if workers <= 1 or len(misses) <= 1:
             results = map(execute_job, misses)
         else:
-            # ship plain tuples: cheap to pickle, no dataclass import needed
-            work = [(job.key, job.func, dict(job.params)) for job in misses]
-            chunksize = max(1, len(work) // (4 * workers))
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(work)))
+            chunksize = max(1, len(misses) // (4 * workers))
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
             try:
-                results = list(pool.map(execute_job, work, chunksize=chunksize))
+                results = list(pool.map(execute_job, misses, chunksize=chunksize))
             finally:
                 pool.shutdown(wait=True)
         fresh = dict(results)

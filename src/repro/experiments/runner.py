@@ -9,6 +9,8 @@ Installed as the ``ssam-repro`` console script::
                                                    # paper scale, closed form
     ssam-repro --experiment model                  # claims + cross-engine
                                                    # validation error bounds
+    ssam-repro --experiment tune                   # Section 7.1 launch-config
+                                                   # design-space autotuner
 
 The runner is a thin orchestrator over the structured experiment pipeline:
 each experiment contributes independent simulation jobs
@@ -51,7 +53,7 @@ def _select(name: str) -> List[str]:
         return list(EXPERIMENTS)
     if name not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {name!r}; choose from "
-                         f"{sorted(EXPERIMENTS) + ['all', 'sweep']}")
+                         f"{sorted(EXPERIMENTS) + ['all', 'sweep', 'tune']}")
     return [name]
 
 
@@ -63,10 +65,19 @@ def _sweep_module():
     return sweep
 
 
+def _tuning_module():
+    """The launch-configuration autotuner (lazy, like the sweep engine)."""
+    from .. import tuning
+
+    return tuning
+
+
 def render_result(name: str, result: ExperimentResult) -> str:
-    """Render one experiment result by name (including ``"sweep"``)."""
+    """Render one experiment result by name (including ``"sweep"``/``"tune"``)."""
     if name == "sweep":
         return _sweep_module().render(result)
+    if name == "tune":
+        return _tuning_module().render(result)
     return EXPERIMENTS[name].render(result)
 
 
@@ -74,6 +85,7 @@ def run_experiment_results(name: str = "all", quick: bool = False,
                            jobs: int = 1,
                            cache: Optional[SimulationCache] = None,
                            matrix: Optional[str] = None,
+                           tune_stage: str = "full",
                            ) -> Dict[str, ExperimentResult]:
     """Run one or all experiments through the pipeline.
 
@@ -82,7 +94,9 @@ def run_experiment_results(name: str = "all", quick: bool = False,
     assembles its typed result from the keyed payloads.  ``name="sweep"``
     runs the scenario-registry sweep engine instead; ``matrix`` names a
     preset or a JSON matrix file (default ``"smoke"`` under ``--quick``,
-    ``"default"`` otherwise).
+    ``"default"`` otherwise).  ``name="tune"`` runs the launch-configuration
+    autotuner; ``tune_stage="model"`` stops after the closed-form explore
+    stage (the CI smoke path).
     """
     if name == "sweep":
         sweep = _sweep_module()
@@ -90,6 +104,11 @@ def run_experiment_results(name: str = "all", quick: bool = False,
             matrix if matrix is not None else ("smoke" if quick else "default"))
         payloads = execute_jobs(sweep.jobs(resolved), workers=jobs, cache=cache)
         return {"sweep": sweep.assemble(payloads, resolved, quick=quick)}
+    if name == "tune":
+        tuning = _tuning_module()
+        return {"tune": tuning.run_tuning(quick=quick, workers=jobs,
+                                          cache=cache,
+                                          confirm=tune_stage != "model")}
     names = _select(name)
     pending = []
     for key in names:
@@ -120,15 +139,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the SSAM paper's tables and figures on the simulated GPUs")
     parser.add_argument("--experiment", "-e", default="all",
-                        choices=sorted(EXPERIMENTS) + ["all", "sweep"],
-                        help="which table/figure to regenerate, or 'sweep' for "
-                             "a scenario-registry sweep")
+                        choices=sorted(EXPERIMENTS) + ["all", "sweep", "tune"],
+                        help="which table/figure to regenerate, 'sweep' for a "
+                             "scenario-registry sweep, or 'tune' for the "
+                             "launch-configuration autotuner")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced sweeps for a fast smoke run")
     parser.add_argument("--matrix", default=None, metavar="SPEC",
                         help="sweep matrix: a preset name or a JSON file with "
                              "scenarios/architectures/precisions/engines/sizes "
                              "axes (only with --experiment sweep)")
+    parser.add_argument("--tune-stage", default="full",
+                        choices=["full", "model"],
+                        help="'model' runs the autotuner's exhaustive "
+                             "closed-form stage only, skipping the batched "
+                             "confirmation (only with --experiment tune)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the simulation jobs "
                              "(0 = all CPUs; default 1)")
@@ -147,10 +172,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(str(exc))
     if args.matrix is not None and args.experiment != "sweep":
         parser.error("--matrix requires --experiment sweep")
+    if args.tune_stage != "full" and args.experiment != "tune":
+        parser.error("--tune-stage requires --experiment tune")
     cache = None if args.no_cache else SimulationCache(args.cache_dir)
     results = run_experiment_results(args.experiment, quick=args.quick,
                                      jobs=workers, cache=cache,
-                                     matrix=args.matrix)
+                                     matrix=args.matrix,
+                                     tune_stage=args.tune_stage)
     print("\n\n".join(render_result(key, result)
                       for key, result in results.items()))
     if args.output_dir:

@@ -11,15 +11,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..errors import ConfigurationError
 from .architecture import GPUArchitecture
 
 
+#: tie-breaking priority of ``limiting_factor`` when several limits bind at
+#: the same block count: resource limits first (registers, then the shared
+#: memory carve-out), then the hardware slot limits (warp slots, thread
+#: slots, block slots).  The order is part of the public contract — reports
+#: and the tuner's explanations depend on it being deterministic.
+LIMIT_PRIORITY: Tuple[str, ...] = (
+    "registers", "shared_memory", "warps", "threads", "blocks")
+
+
 @dataclass(frozen=True)
 class OccupancyResult:
-    """Resident blocks/warps per SM for one kernel configuration."""
+    """Resident blocks/warps per SM for one kernel configuration.
+
+    ``active_warps_per_sm`` and ``active_threads_per_sm`` are always derived
+    from ``active_blocks_per_sm`` (blocks are resident as a whole), so the
+    triple is self-consistent by construction.
+    """
 
     active_blocks_per_sm: int
     active_warps_per_sm: int
@@ -60,6 +74,34 @@ def _check_granularities(architecture: GPUArchitecture) -> None:
                 f"positive integer, got {value!r}")
 
 
+def validate_block_threads(architecture: GPUArchitecture, block_threads: int,
+                           warp_multiple: bool = True) -> int:
+    """Validate a launch's block size against the architecture limits.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the block size is
+    not a positive integer, exceeds ``max_threads_per_block``, or (for the
+    SSAM kernels, whose warps each own a whole tile) is not a multiple of
+    the warp size.  Called at plan time so a bad ``block_threads`` fails
+    with a clear message instead of deep inside the simulator.
+    """
+    if not isinstance(block_threads, (int,)) or isinstance(block_threads, bool):
+        raise ConfigurationError(
+            f"block size must be an integer, got {block_threads!r}")
+    if block_threads <= 0:
+        raise ConfigurationError(
+            f"block size must be positive, got {block_threads}")
+    if block_threads > architecture.max_threads_per_block:
+        raise ConfigurationError(
+            f"block of {block_threads} threads exceeds the architecture limit of "
+            f"{architecture.max_threads_per_block}"
+        )
+    if warp_multiple and block_threads % architecture.warp_size != 0:
+        raise ConfigurationError(
+            f"block size {block_threads} is not a multiple of the warp size "
+            f"{architecture.warp_size}")
+    return block_threads
+
+
 def compute_occupancy(architecture: GPUArchitecture, block_threads: int,
                       registers_per_thread: int,
                       shared_bytes_per_block: int) -> OccupancyResult:
@@ -68,15 +110,11 @@ def compute_occupancy(architecture: GPUArchitecture, block_threads: int,
     Follows the standard CUDA occupancy calculation: the number of resident
     blocks is the minimum over the limits imposed by warp slots, thread
     slots, block slots, the register file and the shared-memory carve-out.
+    When several limits tie, ``limiting_factor`` reports the highest-priority
+    one according to :data:`LIMIT_PRIORITY`.
     """
     _check_granularities(architecture)
-    if block_threads <= 0:
-        raise ConfigurationError("block size must be positive")
-    if block_threads > architecture.max_threads_per_block:
-        raise ConfigurationError(
-            f"block of {block_threads} threads exceeds the architecture limit of "
-            f"{architecture.max_threads_per_block}"
-        )
+    validate_block_threads(architecture, block_threads, warp_multiple=False)
     warp_size = architecture.warp_size
     warps_per_block = math.ceil(block_threads / warp_size)
     warps_per_block = _round_up(warps_per_block, architecture.warp_allocation_granularity)
@@ -108,10 +146,14 @@ def compute_occupancy(architecture: GPUArchitecture, block_threads: int,
         limits["shared_memory"] = architecture.max_blocks_per_sm
 
     active_blocks = max(0, min(limits.values()))
-    limiting_factor = min(limits, key=lambda key: limits[key])
+    limiting_factor = min(
+        limits, key=lambda key: (limits[key], LIMIT_PRIORITY.index(key)))
+    # derive the whole triple from the resident block count: blocks are
+    # resident as a unit, so warps and threads can never disagree with them
+    # (``limits["warps"]``/``limits["threads"]`` already encode the per-SM
+    # warp- and thread-slot caps, making further clamping redundant)
     active_warps = active_blocks * warps_per_block
-    active_warps = min(active_warps, architecture.max_warps_per_sm)
-    active_threads = min(active_blocks * block_threads, architecture.max_threads_per_sm)
+    active_threads = active_blocks * block_threads
     occupancy = active_warps / architecture.max_warps_per_sm
 
     return OccupancyResult(

@@ -19,6 +19,7 @@ from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
 from ..gpu.kernel import Kernel, LaunchConfig, grid_1d
 from ..gpu.memory import DeviceBuffer, GlobalMemory
+from ..gpu.occupancy import validate_block_threads
 from .common import KernelRunResult, clamp
 
 #: measured register footprint / load parallelism of the 1-D kernel; shared
@@ -77,6 +78,7 @@ def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int
     if taps.size > arch.warp_size:
         raise ConfigurationError("1-D filters longer than the warp size are unsupported")
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
     anchor = taps.size // 2 if anchor is None else int(anchor)
     if not 0 <= anchor < taps.size:
         raise ConfigurationError("anchor must lie inside the filter")

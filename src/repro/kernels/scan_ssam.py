@@ -20,6 +20,7 @@ from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
 from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult, grid_1d
 from ..gpu.memory import DeviceBuffer, GlobalMemory
+from ..gpu.occupancy import validate_block_threads
 from .common import KernelRunResult
 
 #: measured register footprint / load parallelism of the scan kernel; shared
@@ -91,6 +92,7 @@ def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
         raise ConfigurationError("ssam_scan expects a non-empty 1-D sequence")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
     length = int(sequence.size)
     memory = GlobalMemory()
     src = memory.to_device(sequence.astype(prec.numpy_dtype), name="sequence")

@@ -26,6 +26,7 @@ from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
 from ..gpu.counters import KernelCounters
 from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
+from ..gpu.occupancy import validate_block_threads
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 from ..gpu.register_file import registers_for_cache
 from ..stencils.spec import StencilSpec
@@ -180,6 +181,7 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
         raise ConfigurationError("iterations must be >= 1")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
     depth, height, width = grid.shape
     warps_per_block = block_threads // arch.warp_size
     columns = _build_inplane_columns(spec)
@@ -279,6 +281,7 @@ def analytic_launch(spec: StencilSpec, width: int, height: int, depth: int,
     """Paper-scale cost estimate of the SSAM 3-D stencil without execution."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    validate_block_threads(arch, block_threads)
     warps_per_block = block_threads // arch.warp_size
     cache_rows = spec.footprint_height + outputs_per_thread - 1
     counters = analytic_counters(spec, width, height, depth, arch, prec,

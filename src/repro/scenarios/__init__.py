@@ -17,6 +17,7 @@ from .registry import (
     ENGINE_BATCH_SIZE,
     ENGINES,
     NON_EXECUTING_ENGINES,
+    TUNABLE_PARAMETERS,
     Scenario,
     ScenarioCase,
     all_scenarios,
@@ -31,6 +32,7 @@ __all__ = [
     "ENGINE_BATCH_SIZE",
     "ENGINES",
     "NON_EXECUTING_ENGINES",
+    "TUNABLE_PARAMETERS",
     "Scenario",
     "ScenarioCase",
     "all_scenarios",

@@ -46,7 +46,12 @@ from ..core.performance_model import (
     model_stencil2d,
     model_stencil3d,
 )
-from ..core.plan import plan_convolution, plan_stencil
+from ..core.plan import (
+    DEFAULT_BLOCK_THREADS,
+    DEFAULT_OUTPUTS_PER_THREAD,
+    plan_convolution,
+    plan_stencil,
+)
 from ..gpu.architecture import EVALUATED_ARCHITECTURES, architecture_names
 from ..kernels import (
     reference_convolve1d,
@@ -79,6 +84,27 @@ def binomial_taps(count: int) -> np.ndarray:
     """Normalised binomial filter taps (the 1-D Gaussian approximation)."""
     row = np.array([math.comb(count - 1, k) for k in range(count)], dtype=np.float64)
     return row / row.sum()
+
+
+#: tunable envelopes of the SSAM kernels: the 2-D/3-D register-cache kernels
+#: expose the full Section 7.1 design space (sliding-window depth P and
+#: block size B); the 1-D kernels have no sliding window, so only B tunes
+TUNABLES_2D = ("outputs_per_thread", "block_threads")
+TUNABLES_1D = ("block_threads",)
+
+
+def _plan_overrides(params: Mapping[str, object]) -> Dict[str, int]:
+    """Launch-parameter overrides present in a merged parameter mapping.
+
+    The registry merges a case's validated ``plan_kwargs`` into the size
+    parameters before calling a runner/model/planner; this picks them back
+    out so they can be forwarded to the kernel entry points as keyword
+    arguments.  Size mappings never define these keys, so an absent key
+    always means "use the paper's default".
+    """
+    return {key: int(params[key])
+            for key in ("outputs_per_thread", "block_threads")
+            if key in params}
 
 
 # Named problem sizes are shared per family between the SSAM kernel and its
@@ -117,7 +143,8 @@ _STENCIL3D_SIZES: Dict[str, Mapping[str, object]] = {
 def _run_conv1d(spec, workload, params, architecture, precision, engine):
     return ssam_convolve1d(workload, spec, architecture=architecture,
                            precision=precision,
-                           batch_size=ENGINE_BATCH_SIZE[engine])
+                           batch_size=ENGINE_BATCH_SIZE[engine],
+                           **_plan_overrides(params))
 
 
 register(Scenario(
@@ -131,7 +158,9 @@ register(Scenario(
         params["length"], precision, seed=params["length"]),
     oracle=lambda spec, workload, params: reference_convolve1d(workload, spec),
     model=lambda spec, params, architecture, precision: model_convolution1d(
-        params["taps"], params["length"], architecture, precision),
+        params["taps"], params["length"], architecture, precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_1D,
     sizes={
         "tiny": {"length": 193, "taps": 3},
         "small": {"length": 413, "taps": 5},
@@ -145,11 +174,12 @@ register(Scenario(
 
 
 def _run_conv2d(spec, workload, params, architecture, precision, engine):
+    overrides = _plan_overrides(params)
     if engine == "analytic":
         return conv2d_analytic_launch(spec, params["width"], params["height"],
-                                      architecture, precision)
+                                      architecture, precision, **overrides)
     return ssam_convolve2d(workload, spec, architecture, precision,
-                           batch_size=ENGINE_BATCH_SIZE[engine])
+                           batch_size=ENGINE_BATCH_SIZE[engine], **overrides)
 
 
 register(Scenario(
@@ -162,10 +192,14 @@ register(Scenario(
     workload_builder=lambda params, precision: random_image(
         params["width"], params["height"], precision, seed=params["width"]),
     planner=lambda spec, params, architecture, precision: plan_convolution(
-        spec, architecture, precision),
+        spec, architecture, precision,
+        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
+        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
     oracle=lambda spec, workload, params: spec.reference(workload),
     model=lambda spec, params, architecture, precision: model_convolution2d(
-        spec, params["width"], params["height"], architecture, precision),
+        spec, params["width"], params["height"], architecture, precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_2D,
     sizes=_CONV2D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -176,11 +210,13 @@ register(Scenario(
 
 def _run_stencil2d(spec, workload, params, architecture, precision, engine):
     iterations = params.get("iterations", 1)
+    overrides = _plan_overrides(params)
     if engine == "analytic":
         return stencil2d_analytic_launch(spec, params["width"], params["height"],
-                                         iterations, architecture, precision)
+                                         iterations, architecture, precision,
+                                         **overrides)
     return ssam_stencil2d(workload, spec, iterations, architecture, precision,
-                          batch_size=ENGINE_BATCH_SIZE[engine])
+                          batch_size=ENGINE_BATCH_SIZE[engine], **overrides)
 
 
 register(Scenario(
@@ -193,12 +229,16 @@ register(Scenario(
     workload_builder=lambda params, precision: random_image(
         params["width"], params["height"], precision, seed=params["height"]),
     planner=lambda spec, params, architecture, precision: plan_stencil(
-        spec, architecture, precision),
+        spec, architecture, precision,
+        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
+        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
     oracle=lambda spec, workload, params: spec.reference(
         workload, iterations=params.get("iterations", 1)),
     model=lambda spec, params, architecture, precision: model_stencil2d(
         spec, params["width"], params["height"],
-        params.get("iterations", 1), architecture, precision),
+        params.get("iterations", 1), architecture, precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_2D,
     sizes=_STENCIL2D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -209,12 +249,26 @@ register(Scenario(
 
 def _run_stencil3d(spec, workload, params, architecture, precision, engine):
     iterations = params.get("iterations", 1)
+    overrides = _plan_overrides(params)
     if engine == "analytic":
         return stencil3d_analytic_launch(spec, params["width"], params["height"],
                                          params["depth"], iterations,
-                                         architecture, precision)
+                                         architecture, precision, **overrides)
     return ssam_stencil3d(workload, spec, iterations, architecture, precision,
-                          batch_size=ENGINE_BATCH_SIZE[engine])
+                          batch_size=ENGINE_BATCH_SIZE[engine], **overrides)
+
+
+def _plan_stencil3d(spec, params, architecture, precision):
+    """In-plane register-cache plan of the 3-D kernel.
+
+    The 3-D kernel keeps a few extra bookkeeping registers on top of the
+    in-plane C = N + P - 1 cache, but its sliding window and blocking follow
+    the same arithmetic, so the in-plane plan is the identity the tuner and
+    the cache key reason about.
+    """
+    return plan_stencil(spec, architecture, precision,
+                        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
+                        params.get("block_threads", DEFAULT_BLOCK_THREADS))
 
 
 register(Scenario(
@@ -227,11 +281,14 @@ register(Scenario(
     workload_builder=lambda params, precision: random_grid_3d(
         params["width"], params["height"], params["depth"], precision,
         seed=params["depth"]),
+    planner=_plan_stencil3d,
     oracle=lambda spec, workload, params: spec.reference(
         workload, iterations=params.get("iterations", 1)),
     model=lambda spec, params, architecture, precision: model_stencil3d(
         spec, params["width"], params["height"], params["depth"],
-        params.get("iterations", 1), architecture, precision),
+        params.get("iterations", 1), architecture, precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_2D,
     sizes=_STENCIL3D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -242,7 +299,8 @@ register(Scenario(
 
 def _run_scan(spec, workload, params, architecture, precision, engine):
     return ssam_scan(workload, architecture, precision,
-                     batch_size=ENGINE_BATCH_SIZE[engine])
+                     batch_size=ENGINE_BATCH_SIZE[engine],
+                     **_plan_overrides(params))
 
 
 register(Scenario(
@@ -255,7 +313,9 @@ register(Scenario(
         params["length"], precision, seed=params["length"] + 1),
     oracle=lambda spec, workload, params: reference_scan(workload),
     model=lambda spec, params, architecture, precision: model_scan(
-        params["length"], architecture, precision),
+        params["length"], architecture, precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_1D,
     sizes={
         "tiny": {"length": 193},
         "small": {"length": 1000},

@@ -39,13 +39,34 @@ NON_EXECUTING_ENGINES: Tuple[str, ...] = ("analytic", "model")
 #: how each functional engine maps onto the kernels' ``batch_size`` parameter
 ENGINE_BATCH_SIZE: Dict[str, object] = {"scalar": 1, "batched": "auto"}
 
+#: the launch parameters a scenario may declare tunable: the sliding-window
+#: depth P and the CUDA block size B of Section 7.1's design-space study
+TUNABLE_PARAMETERS: Tuple[str, ...] = ("outputs_per_thread", "block_threads")
+
+
+def _normalise_plan_kwargs(plan_kwargs: object) -> Tuple[Tuple[str, int], ...]:
+    """Canonical (hashable, sorted) form of a launch-parameter override set."""
+    if not plan_kwargs:
+        return ()
+    items = dict(plan_kwargs).items()
+    try:
+        return tuple(sorted((str(k), int(v)) for k, v in items))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"plan_kwargs values must be integers, got {dict(plan_kwargs)!r}"
+        ) from exc
+
 
 @dataclass(frozen=True)
 class ScenarioCase:
     """One fully resolved cell of the scenario space.
 
     The five axes mirror the paper's evaluation matrix: implementation,
-    GPU generation, precision, execution engine and problem size.
+    GPU generation, precision, execution engine and problem size.  A sixth,
+    optional axis — ``plan_kwargs`` — carries launch-parameter overrides
+    (``outputs_per_thread``/``block_threads``), making the Section 7.1
+    design space a first-class sweep dimension; it is stored canonically as
+    a sorted tuple of pairs so cases stay hashable and deduplicable.
     """
 
     scenario: str
@@ -53,17 +74,39 @@ class ScenarioCase:
     precision: str
     engine: str
     size: str
+    plan_kwargs: object = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "plan_kwargs",
+                           _normalise_plan_kwargs(self.plan_kwargs))
+
+    @property
+    def plan_overrides(self) -> Dict[str, int]:
+        """The launch-parameter overrides as a plain mapping."""
+        return dict(self.plan_kwargs)
 
     @property
     def case_id(self) -> str:
-        """Deterministic identifier, e.g. ``"conv2d:p100:float32:batched:tiny"``."""
-        return (f"{self.scenario}:{self.architecture}:{self.precision}:"
+        """Deterministic identifier, e.g. ``"conv2d:p100:float32:batched:tiny"``.
+
+        Launch-parameter overrides append a deterministic suffix
+        (``...:tiny:block_threads=256,outputs_per_thread=2``); cases without
+        overrides keep their historical five-part identifier.
+        """
+        base = (f"{self.scenario}:{self.architecture}:{self.precision}:"
                 f"{self.engine}:{self.size}")
+        if self.plan_kwargs:
+            base += ":" + ",".join(f"{k}={v}" for k, v in self.plan_kwargs)
+        return base
 
     def to_dict(self) -> Dict[str, object]:
-        return {"scenario": self.scenario, "architecture": self.architecture,
-                "precision": self.precision, "engine": self.engine,
-                "size": self.size}
+        out: Dict[str, object] = {
+            "scenario": self.scenario, "architecture": self.architecture,
+            "precision": self.precision, "engine": self.engine,
+            "size": self.size}
+        if self.plan_kwargs:
+            out["plan_kwargs"] = dict(self.plan_kwargs)
+        return out
 
     def fingerprint(self) -> str:
         """Stable content hash of this case (cache keys, artifacts)."""
@@ -114,6 +157,13 @@ class Scenario:
         :class:`~repro.kernels.KernelRunResult` predicted by the Section 5
         analytic performance model (:mod:`repro.core.performance_model`);
         required when ``"model"`` appears in ``engines``.
+    tunables:
+        The launch parameters this scenario accepts as overrides (subset of
+        :data:`TUNABLE_PARAMETERS`).  A tunable scenario's runner, model and
+        planner all read the overrides from the parameter mapping they are
+        handed (the registry merges a case's ``plan_kwargs`` into the size
+        parameters), so the whole Section 7.1 design space flows through one
+        code path.  Scenarios with no tunables reject any override.
     """
 
     name: str
@@ -130,6 +180,7 @@ class Scenario:
     planner: Optional[Callable[..., object]] = None
     oracle: Optional[Callable[..., np.ndarray]] = None
     model: Optional[Callable[..., object]] = None
+    tunables: Tuple[str, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -146,9 +197,15 @@ class Scenario:
             raise ConfigurationError(
                 f"scenario {self.name!r} declares the 'model' engine but "
                 f"provides no model evaluator")
+        for tunable in self.tunables:
+            if tunable not in TUNABLE_PARAMETERS:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} declares unknown tunable "
+                    f"{tunable!r}; expected a subset of {TUNABLE_PARAMETERS}")
         object.__setattr__(self, "architectures", tuple(self.architectures))
         object.__setattr__(self, "precisions", tuple(self.precisions))
         object.__setattr__(self, "engines", tuple(self.engines))
+        object.__setattr__(self, "tunables", tuple(self.tunables))
         object.__setattr__(self, "sizes", dict(self.sizes))
 
     # -- envelope -----------------------------------------------------------
@@ -184,20 +241,40 @@ class Scenario:
                 return False
         return True
 
+    def validate_plan_kwargs(self, plan_kwargs: Mapping[str, object]) -> Dict[str, int]:
+        """Check launch-parameter overrides against the tunable envelope."""
+        overrides = dict(_normalise_plan_kwargs(plan_kwargs))
+        unknown = sorted(set(overrides) - set(self.tunables))
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} does not tune {unknown}; "
+                f"tunable parameters: {list(self.tunables) or 'none'}")
+        return overrides
+
+    def supports_plan_kwargs(self, plan_kwargs: Mapping[str, object]) -> bool:
+        """True when every override key lies inside the tunable envelope."""
+        return not plan_kwargs or set(dict(plan_kwargs)) <= set(self.tunables)
+
     def cases(self, architectures: Optional[Sequence[str]] = None,
               precisions: Optional[Sequence[str]] = None,
               engines: Optional[Sequence[str]] = None,
-              sizes: Optional[Sequence[str]] = None) -> List[ScenarioCase]:
+              sizes: Optional[Sequence[str]] = None,
+              plan_kwargs: Optional[Sequence[Mapping[str, object]]] = None,
+              ) -> List[ScenarioCase]:
         """Expand the (filtered) envelope into concrete cases.
 
         ``None`` for an axis means "everything the scenario supports";
         requested values outside the envelope are silently skipped, so one
-        matrix can span scenarios with different envelopes.
+        matrix can span scenarios with different envelopes.  ``plan_kwargs``
+        is a sequence of launch-parameter override mappings (default: the
+        single empty override); override sets naming parameters a scenario
+        does not tune are skipped like any other out-of-envelope value.
         """
         archs = self.architectures if architectures is None else architectures
         precs = self.precisions if precisions is None else precisions
         engs = self.engines if engines is None else engines
         names = tuple(self.sizes) if sizes is None else sizes
+        overrides = [{}] if plan_kwargs is None else list(plan_kwargs)
         out: List[ScenarioCase] = []
         for size in names:
             if size not in self.sizes:
@@ -205,9 +282,13 @@ class Scenario:
             for arch in archs:
                 for prec in precs:
                     for engine in engs:
-                        if self.supports(arch, prec, engine, size):
+                        if not self.supports(arch, prec, engine, size):
+                            continue
+                        for kwargs in overrides:
+                            if not self.supports_plan_kwargs(kwargs):
+                                continue
                             out.append(ScenarioCase(self.name, arch, prec,
-                                                    engine, size))
+                                                    engine, size, kwargs))
         return out
 
     # -- building blocks ----------------------------------------------------
@@ -223,23 +304,41 @@ class Scenario:
             return None
         return self.workload_builder(self.resolve_size(size), precision)
 
-    def build_plan(self, size: str, architecture: str, precision: str):
-        """The SSAM plan of a named size, when the scenario has a planner."""
+    def build_plan(self, size: str, architecture: str, precision: str,
+                   plan_kwargs: Optional[Mapping[str, object]] = None):
+        """The SSAM plan of a named size, when the scenario has a planner.
+
+        ``plan_kwargs`` overrides the launch parameters (P, B) exactly as
+        the runner sees them, so cache keys and tests reason about the same
+        plan the kernel will execute.
+        """
         if self.planner is None:
             return None
-        return self.planner(self.build_spec(size), self.resolve_size(size),
+        params = self.resolve_size(size)
+        if plan_kwargs:
+            params.update(self.validate_plan_kwargs(plan_kwargs))
+        return self.planner(self.build_spec(size), params,
                             architecture, precision)
 
     # -- execution -----------------------------------------------------------
     def run(self, spec, workload, params: Mapping[str, object],
-            architecture: str, precision: str, engine: str):
-        """Low-level entry point: run with explicit spec/workload/params."""
+            architecture: str, precision: str, engine: str,
+            plan_kwargs: Optional[Mapping[str, object]] = None):
+        """Low-level entry point: run with explicit spec/workload/params.
+
+        ``plan_kwargs`` (validated against the tunable envelope) is merged
+        into the parameter mapping handed to the runner or model, which
+        thread the overrides into the kernel entry points.
+        """
         if engine not in self.engines:
             raise ConfigurationError(
                 f"scenario {self.name!r} does not support engine {engine!r}")
+        params = dict(params)
+        if plan_kwargs:
+            params.update(self.validate_plan_kwargs(plan_kwargs))
         if engine == "model":
-            return self.model(spec, dict(params), architecture, precision)
-        return self.runner(spec, workload, dict(params), architecture,
+            return self.model(spec, params, architecture, precision)
+        return self.runner(spec, workload, params, architecture,
                            precision, engine)
 
     def run_case(self, case: ScenarioCase):
@@ -256,7 +355,8 @@ class Scenario:
         workload = (None if case.engine in NON_EXECUTING_ENGINES
                     else self.build_workload(case.size, case.precision))
         return self.run(spec, workload, params, case.architecture,
-                        case.precision, case.engine)
+                        case.precision, case.engine,
+                        plan_kwargs=case.plan_overrides)
 
     def run_analytic(self, spec, params: Mapping[str, object],
                      architecture: str, precision: str):
@@ -336,12 +436,16 @@ def expand_matrix(matrix: Mapping[str, object]) -> List[ScenarioCase]:
          "architectures": ["p100", "v100"],   # or "all"
          "precisions": ["float32", "float64"],
          "engines": ["scalar", "batched"],
-         "sizes": ["tiny"]}
+         "sizes": ["tiny"],
+         "plan_kwargs": [{}, {"block_threads": 256}]}   # optional sixth axis
 
     Omitted axes (or ``"all"``) default to each scenario's full envelope;
     combinations outside an envelope are skipped, so one matrix can span
-    scenarios with different capabilities.  Expansion order is deterministic:
-    registration order, then size, architecture, precision, engine.
+    scenarios with different capabilities.  ``plan_kwargs`` is a list of
+    launch-parameter override mappings (default: one empty override);
+    scenarios that do not tune a named parameter skip that override set.
+    Expansion order is deterministic: registration order, then size,
+    architecture, precision, engine, override.
     """
     selectors = matrix.get("scenarios", "all")
     if isinstance(selectors, str):
@@ -368,12 +472,19 @@ def expand_matrix(matrix: Mapping[str, object]) -> List[ScenarioCase]:
             return [value]
         return list(value)
 
+    overrides = matrix.get("plan_kwargs")
+    if overrides is not None:
+        if isinstance(overrides, Mapping):
+            overrides = [overrides]
+        overrides = [dict(entry) for entry in overrides]
+
     cases: List[ScenarioCase] = []
     for scenario in chosen:
         cases.extend(scenario.cases(architectures=axis("architectures"),
                                     precisions=axis("precisions"),
                                     engines=axis("engines"),
-                                    sizes=axis("sizes")))
+                                    sizes=axis("sizes"),
+                                    plan_kwargs=overrides))
     if not cases:
         raise ConfigurationError(
             f"scenario matrix expands to zero cases: {dict(matrix)!r}")

@@ -107,9 +107,10 @@ def _spec_fingerprint(spec) -> Optional[str]:
 def case_cache_fields(case: ScenarioCase) -> Dict[str, object]:
     """Cache-key fields of one cell: spec + plan fingerprints, envelope axes.
 
-    Public contract: the cross-engine validation experiment builds jobs with
-    these exact fields (and :func:`case_job_key`) so its simulation cells
-    share cache entries — and dedupe — with sweep cells.
+    Public contract: the cross-engine validation experiment and the launch
+    tuner build jobs with these exact fields (and :func:`case_job_key`) so
+    their simulation cells share cache entries — and dedupe — with sweep
+    cells.
     """
     scenario = get_scenario(case.scenario)
     fields: Dict[str, object] = {
@@ -120,14 +121,19 @@ def case_cache_fields(case: ScenarioCase) -> Dict[str, object]:
         "engine": case.engine,
         "size": case.size,
     }
-    plan = scenario.build_plan(case.size, case.architecture, case.precision)
+    if case.plan_kwargs:
+        fields["plan_kwargs"] = case.plan_overrides
+    plan = scenario.build_plan(case.size, case.architecture, case.precision,
+                               plan_kwargs=case.plan_overrides)
     if plan is not None:
         fields["plan"] = plan.fingerprint()
     return fields
 
 
 def _measure_case(scenario: str, architecture: str, precision: str,
-                  engine: str, size: str) -> Dict[str, object]:
+                  engine: str, size: str,
+                  plan_kwargs: Optional[Mapping[str, object]] = None,
+                  ) -> Dict[str, object]:
     """Worker: simulate one expanded scenario cell and describe the outcome.
 
     The payload carries the modelled time, the full counter set, the launch
@@ -135,7 +141,8 @@ def _measure_case(scenario: str, architecture: str, precision: str,
     scenario has a CPU oracle — the max absolute error against it, so sweep
     artifacts double as validation records.
     """
-    case = ScenarioCase(scenario, architecture, precision, engine, size)
+    case = ScenarioCase(scenario, architecture, precision, engine, size,
+                        plan_kwargs or {})
     entry = get_scenario(scenario)
     result = entry.run_case(case)
     payload: Dict[str, object] = {

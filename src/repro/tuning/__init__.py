@@ -1,0 +1,46 @@
+"""Launch-configuration autotuning (the Section 7.1 design-space study).
+
+The paper evaluates every kernel at one launch configuration — sliding-window
+depth P = 4 and block size B = 128 — and Section 7.1 argues this sits at the
+sweet spot of the registers-per-thread vs. occupancy trade-off.  This package
+turns that argument into an experiment:
+
+* :mod:`~repro.tuning.space` declares the design space (P in 1..8, B in
+  {64, 128, 256, 512}) and pre-filters it by register-file and occupancy
+  validity per architecture;
+* :mod:`~repro.tuning.tuner` runs a two-stage search — an exhaustive
+  closed-form evaluation of every valid point on the Section 5 model engine,
+  then a top-k confirmation on the batched simulator — entirely through the
+  cached/sharded :class:`~repro.experiments.jobs.SimulationJob` pipeline, so
+  ``ssam-repro --experiment tune`` is deterministic, parallel and 100%
+  cache-hits on a warm rerun.
+"""
+
+from .space import (
+    DEFAULT_BLOCK_THREADS_CHOICES,
+    DEFAULT_OUTPUTS_PER_THREAD_RANGE,
+    FULL_SPACE,
+    PAPER_DEFAULT,
+    QUICK_SPACE,
+    DesignSpace,
+    paper_default_for,
+    point_is_valid,
+    valid_points,
+)
+from .tuner import TuneCell, render, run_tuning, tune_cells
+
+__all__ = [
+    "DEFAULT_BLOCK_THREADS_CHOICES",
+    "DEFAULT_OUTPUTS_PER_THREAD_RANGE",
+    "FULL_SPACE",
+    "PAPER_DEFAULT",
+    "QUICK_SPACE",
+    "DesignSpace",
+    "TuneCell",
+    "paper_default_for",
+    "point_is_valid",
+    "render",
+    "run_tuning",
+    "tune_cells",
+    "valid_points",
+]

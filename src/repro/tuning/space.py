@@ -1,0 +1,140 @@
+"""The declarative launch-parameter design space of Section 7.1.
+
+A :class:`DesignSpace` is a plain Cartesian grid over the tunable launch
+parameters — the sliding-window depth P (``outputs_per_thread``) and the
+CUDA block size B (``block_threads``).  Candidate points are projected onto
+each scenario's declared tunable envelope and then pre-filtered by *launch
+validity* on the target architecture:
+
+* the block size must be positive, a warp-size multiple and within
+  ``max_threads_per_block`` (:func:`repro.gpu.occupancy.validate_block_threads`);
+* a register-cache plan built with the requested P must not clamp — a
+  clamped request resolves to the identical plan as the smaller request, so
+  keeping it would only duplicate a point;
+* the resulting plan must keep at least one block resident per SM
+  (occupancy validity: a configuration whose register/shared footprint
+  leaves zero resident blocks cannot launch).
+
+The filtered point list is deterministic (sorted by parameter values), so
+tuning runs enumerate — and cache — the same jobs in the same order on every
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD
+from ..errors import ConfigurationError, ResourceExhaustedError
+from ..gpu.architecture import get_architecture
+from ..gpu.occupancy import validate_block_threads
+from ..scenarios.registry import Scenario
+
+#: the Section 7.1 sweep of the sliding-window depth P
+DEFAULT_OUTPUTS_PER_THREAD_RANGE: Tuple[int, ...] = tuple(range(1, 9))
+#: the Section 7.1 sweep of the CUDA block size B
+DEFAULT_BLOCK_THREADS_CHOICES: Tuple[int, ...] = (64, 128, 256, 512)
+
+#: the paper's evaluation configuration (Section 6.2): P=4, B=128
+PAPER_DEFAULT: Dict[str, int] = {
+    "outputs_per_thread": DEFAULT_OUTPUTS_PER_THREAD,
+    "block_threads": DEFAULT_BLOCK_THREADS,
+}
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A Cartesian grid over the tunable launch parameters."""
+
+    outputs_per_thread: Tuple[int, ...] = DEFAULT_OUTPUTS_PER_THREAD_RANGE
+    block_threads: Tuple[int, ...] = DEFAULT_BLOCK_THREADS_CHOICES
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "outputs_per_thread",
+                           tuple(sorted(set(int(p) for p in self.outputs_per_thread))))
+        object.__setattr__(self, "block_threads",
+                           tuple(sorted(set(int(b) for b in self.block_threads))))
+        if not self.outputs_per_thread or not self.block_threads:
+            raise ConfigurationError("a design space needs at least one value per axis")
+
+    @property
+    def size(self) -> int:
+        return len(self.outputs_per_thread) * len(self.block_threads)
+
+    def describe(self) -> Dict[str, object]:
+        return {"outputs_per_thread": list(self.outputs_per_thread),
+                "block_threads": list(self.block_threads)}
+
+    def candidates(self, tunables: Sequence[str]) -> List[Dict[str, int]]:
+        """Candidate override mappings projected onto a tunable envelope.
+
+        Axes the scenario does not tune are dropped (not fixed at a value:
+        the kernel's own default applies), and the projection deduplicates,
+        so a B-only kernel sees each block size exactly once.
+        """
+        axes: List[List[Tuple[str, int]]] = []
+        if "outputs_per_thread" in tunables:
+            axes.append([("outputs_per_thread", p) for p in self.outputs_per_thread])
+        if "block_threads" in tunables:
+            axes.append([("block_threads", b) for b in self.block_threads])
+        if not axes:
+            return [{}]
+        points: List[Dict[str, int]] = [{}]
+        for axis in axes:
+            points = [dict(point, **{key: value})
+                      for point in points for key, value in axis]
+        return points
+
+
+#: the full Section 7.1 grid (up to 32 points per cell)
+FULL_SPACE = DesignSpace()
+#: reduced grid for ``--quick`` runs and golden fixtures (4 points per cell)
+QUICK_SPACE = DesignSpace(outputs_per_thread=(2, 4), block_threads=(128, 256))
+
+
+def paper_default_for(scenario: Scenario) -> Dict[str, int]:
+    """The paper's default configuration projected onto a scenario's envelope."""
+    return {key: value for key, value in PAPER_DEFAULT.items()
+            if key in scenario.tunables}
+
+
+def point_is_valid(scenario: Scenario, size: str, architecture: str,
+                   precision: str, plan_kwargs: Dict[str, int]) -> bool:
+    """Launch validity of one candidate point (see the module docstring)."""
+    arch = get_architecture(architecture)
+    block = int(plan_kwargs.get("block_threads", DEFAULT_BLOCK_THREADS))
+    try:
+        validate_block_threads(arch, block)
+    except ConfigurationError:
+        return False
+    try:
+        plan = scenario.build_plan(size, architecture, precision, plan_kwargs)
+    except (ConfigurationError, ResourceExhaustedError):
+        return False
+    if plan is not None:
+        requested = plan_kwargs.get("outputs_per_thread")
+        if requested is not None and plan.outputs_per_thread != int(requested):
+            return False  # clamped: duplicates the resolved smaller point
+        if plan.occupancy().active_blocks_per_sm < 1:
+            return False
+    return True
+
+
+def valid_points(scenario: Scenario, size: str, architecture: str,
+                 precision: str, space: DesignSpace = FULL_SPACE,
+                 ) -> List[Dict[str, int]]:
+    """The pre-filtered candidate list of one tuning cell, paper default included.
+
+    The paper's default configuration is always part of the evaluated set
+    (even for reduced spaces) so every tuning report can state "best found
+    vs. paper default" from points that went through the identical pipeline.
+    """
+    points = [point for point in space.candidates(scenario.tunables)
+              if point_is_valid(scenario, size, architecture, precision, point)]
+    default = paper_default_for(scenario)
+    if default not in points and point_is_valid(scenario, size, architecture,
+                                                precision, default):
+        points.append(default)
+    points.sort(key=lambda kw: tuple(sorted(kw.items())))
+    return points

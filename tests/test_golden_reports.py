@@ -60,4 +60,5 @@ def test_golden_fixtures_are_committed_for_every_experiment():
     if os.environ.get("SSAM_UPDATE_GOLDENS"):
         pytest.skip("regenerating")
     present = sorted(p.stem for p in GOLDEN_DIR.glob("*.txt"))
-    assert present == EXPERIMENT_NAMES
+    # the tune fixture is produced by tests/test_tuning.py, same protocol
+    assert present == sorted(EXPERIMENT_NAMES + ["tune"])

@@ -241,3 +241,47 @@ def test_chain_validation():
         DependentChain("bogus_op")
     with pytest.raises(ConfigurationError):
         IndependentStream("fma", 0)
+
+
+def test_occupancy_triple_is_self_consistent():
+    """blocks/warps/threads always describe the same resident set: warps and
+    threads are exact multiples of the block count, and no derived value can
+    exceed its hardware cap."""
+    for arch in (TESLA_P100, TESLA_V100):
+        for block_threads in (32, 64, 96, 128, 256, 512, 1024):
+            for regs in (0, 24, 32, 64, 128, 255):
+                for smem in (0, 1024, 16 * 1024, 48 * 1024):
+                    if smem > arch.shared_memory_per_block:
+                        continue
+                    occ = compute_occupancy(arch, block_threads, regs, smem)
+                    # warps allocate in granules (cf. warp_allocation_granularity)
+                    raw = -(-block_threads // arch.warp_size)
+                    gran = arch.warp_allocation_granularity
+                    warps_per_block = -(-raw // gran) * gran
+                    assert occ.active_warps_per_sm == \
+                        occ.active_blocks_per_sm * warps_per_block
+                    assert occ.active_threads_per_sm == \
+                        occ.active_blocks_per_sm * block_threads
+                    assert occ.active_warps_per_sm <= arch.max_warps_per_sm
+                    assert occ.active_threads_per_sm <= arch.max_threads_per_sm
+                    assert occ.limits[occ.limiting_factor] == occ.active_blocks_per_sm
+
+
+def test_occupancy_tie_break_follows_the_documented_priority():
+    """When several limits bind at the same block count, the reported factor
+    is the highest-priority one (resource limits before slot limits), not
+    whatever dict insertion order happens to produce."""
+    from repro.gpu.occupancy import LIMIT_PRIORITY
+
+    assert LIMIT_PRIORITY == ("registers", "shared_memory", "warps",
+                              "threads", "blocks")
+    # P100, 128 threads, 32 regs: warps, threads and registers all limit at
+    # 16 resident blocks; the documented priority picks registers
+    occ = compute_occupancy(TESLA_P100, 128, 32, 0)
+    assert occ.limits["warps"] == occ.limits["threads"] == occ.limits["registers"] == 16
+    assert occ.limiting_factor == "registers"
+    # with no register pressure the tie between warps and threads resolves
+    # to warps (higher priority than threads)
+    occ = compute_occupancy(TESLA_P100, 128, 0, 0)
+    assert occ.limits["warps"] == occ.limits["threads"] == 16
+    assert occ.limiting_factor == "warps"

@@ -138,3 +138,82 @@ def test_loaded_elements_matches_per_warp_enumeration(m, n, p, warps, width,
     assert summary["read_amplification"] == \
         pytest.approx(loaded / (width * height))
     assert summary["halo_ratio"] == blocking.halo_ratio
+
+
+# ------------------------------------------------------------- plan memoisation
+
+def test_clamped_request_returns_the_cached_plan_object():
+    """The plan cache keys on the *resolved* identity: a request that clamps
+    to the same P as a smaller request must return the identical object."""
+    from repro.convolution.spec import ConvolutionSpec
+    from repro.core.plan import _PLAN_CACHE, plan_convolution
+
+    spec = ConvolutionSpec.gaussian(9)
+    limit = max_outputs_per_thread(9, "p100", "float64")
+    resolved = plan_convolution(spec, "p100", "float64", outputs_per_thread=limit)
+    clamped = plan_convolution(spec, "p100", "float64", outputs_per_thread=limit + 40)
+    assert clamped is resolved
+    assert clamped.outputs_per_thread == limit
+    # both requests occupy exactly one cache entry for this configuration
+    matching = [key for key in _PLAN_CACHE
+                if key[0] == "conv2d" and key[1] == spec.fingerprint()
+                and key[4] == limit]
+    assert len(matching) == 1
+
+
+def test_plan_cache_evicts_lru_not_everything(monkeypatch):
+    """Filling the cache evicts the oldest entries one by one (LRU), not the
+    whole table at once."""
+    import repro.core.plan as plan_mod
+    from repro.convolution.spec import ConvolutionSpec
+
+    monkeypatch.setattr(plan_mod, "_PLAN_CACHE_MAX", 4)
+    plan_mod._PLAN_CACHE.clear()
+    specs = [ConvolutionSpec.gaussian(size) for size in (3, 5, 7, 9)]
+    plans = [plan_mod.plan_convolution(spec, "p100", "float32") for spec in specs]
+    assert len(plan_mod._PLAN_CACHE) == 4
+    # touch the oldest so it becomes most recently used
+    assert plan_mod.plan_convolution(specs[0], "p100", "float32") is plans[0]
+    # a fifth insert evicts exactly one entry — the least recently used
+    plan_mod.plan_convolution(ConvolutionSpec.gaussian(11), "p100", "float32")
+    assert len(plan_mod._PLAN_CACHE) == 4
+    assert plan_mod.plan_convolution(specs[0], "p100", "float32") is plans[0]
+    # specs[1] was evicted: a rebuild yields an equivalent but distinct object
+    rebuilt = plan_mod.plan_convolution(specs[1], "p100", "float32")
+    assert rebuilt is not plans[1]
+    assert rebuilt.fingerprint() == plans[1].fingerprint()
+
+
+# ------------------------------------------------------- block-size validation
+
+@pytest.mark.parametrize("bad_block", [0, -128, 100, 2048])
+def test_plans_reject_invalid_block_sizes(bad_block):
+    """Bad block sizes fail at plan time with a ConfigurationError, not deep
+    inside the simulator."""
+    from repro.convolution.spec import ConvolutionSpec
+    from repro.core.plan import plan_convolution, plan_stencil
+    from repro.errors import ConfigurationError
+    from repro.stencils.catalog import get_stencil
+
+    with pytest.raises(ConfigurationError):
+        plan_convolution(ConvolutionSpec.gaussian(3), "p100", "float32",
+                         block_threads=bad_block)
+    with pytest.raises(ConfigurationError):
+        plan_stencil(get_stencil("2d5pt"), "v100", "float32",
+                     block_threads=bad_block)
+
+
+@pytest.mark.parametrize("bad_block", [0, 100, 2048])
+def test_kernel_entry_points_reject_invalid_block_sizes(bad_block):
+    from repro.errors import ConfigurationError
+    from repro.kernels import ssam_convolve1d, ssam_scan, ssam_stencil3d
+    from repro.stencils.catalog import get_stencil
+
+    data = np.arange(64, dtype=np.float64)
+    with pytest.raises(ConfigurationError):
+        ssam_scan(data, block_threads=bad_block)
+    with pytest.raises(ConfigurationError):
+        ssam_convolve1d(data, np.ones(3) / 3.0, block_threads=bad_block)
+    with pytest.raises(ConfigurationError):
+        ssam_stencil3d(np.zeros((5, 5, 5)), get_stencil("3d7pt"),
+                       block_threads=bad_block)

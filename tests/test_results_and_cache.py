@@ -190,3 +190,35 @@ def test_parallel_pool_payloads_store_back_under_the_correct_keys(tmp_path):
     warm = execute_jobs(jobs, workers=3, cache=warm_cache)
     assert warm == cold
     assert warm_cache.stats() == {"hits": 6, "misses": 0, "stores": 0}
+
+
+# ------------------------------------------------- execute_job contract
+
+def test_execute_job_accepts_only_simulation_jobs():
+    """One calling convention: the legacy ``(key, func, params)`` tuple is
+    rejected, so the inline and pool paths cannot silently diverge."""
+    with pytest.raises(ConfigurationError):
+        execute_job(("t:1", "tests.test_results_and_cache:_echo_worker", {}))
+
+
+def test_single_miss_with_many_workers_runs_through_the_same_contract(tmp_path):
+    """``workers > 1`` with exactly one miss skips the pool on purpose —
+    but the inline shortcut must produce the same payload (and store it
+    back) as the pool path would."""
+    cache = SimulationCache(str(tmp_path / "c"))
+    jobs = [SimulationJob(key=f"s:{i}",
+                          func="tests.test_results_and_cache:_echo_worker",
+                          params={"i": i}) for i in range(2)]
+    # prime one of the two jobs so the next run has a single miss
+    first = execute_jobs(jobs[:1], workers=1, cache=cache)
+    assert cache.stats()["stores"] == 1
+
+    mixed = execute_jobs(jobs, workers=4, cache=cache)
+    assert mixed["s:0"] == first["s:0"]
+    assert mixed["s:1"] == {"echo": {"i": 1}}
+    assert cache.stats()["hits"] == 1 and cache.stats()["stores"] == 2
+
+    # the warm rerun serves both from the cache regardless of worker count
+    warm_cache = SimulationCache(str(tmp_path / "c"))
+    assert execute_jobs(jobs, workers=4, cache=warm_cache) == mixed
+    assert warm_cache.stats() == {"hits": 2, "misses": 0, "stores": 0}

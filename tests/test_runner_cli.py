@@ -129,3 +129,24 @@ def test_cache_dir_controls(capsys, tmp_path):
     _main(["--experiment", "table2", "--quick", "--no-cache",
            "--cache-dir", str(no_cache_dir)], capsys)
     assert not no_cache_dir.exists()
+
+
+def test_tune_experiment_cli_path(capsys, tmp_path):
+    """``--experiment tune`` runs the two-stage autotuner end to end: report
+    on stdout, JSON artifact on disk, warm rerun served from the cache."""
+    out_dir = tmp_path / "artifacts"
+    cache_dir = tmp_path / "cache"
+    code, out, _ = _main(["--experiment", "tune", "--quick",
+                          "--cache-dir", str(cache_dir),
+                          "--output-dir", str(out_dir)], capsys)
+    assert code == 0
+    assert "Launch-configuration autotuner" in out
+    assert "tune digest:" in out
+    artifact = load_result(str(out_dir / "tune.json"))
+    assert artifact.experiment == "tune"
+    assert len(artifact.measurements) == 20
+    _, warm_out, warm_err = _main(["--experiment", "tune", "--quick",
+                                   "--cache-dir", str(cache_dir)], capsys)
+    # artifact emission goes to stderr, so stdout is byte-identical warm
+    assert warm_out == out
+    assert "0 misses" in warm_err

@@ -176,3 +176,79 @@ def test_model_engine_requires_an_evaluator():
         Scenario(name="bad", family="scan", dims=1, runner=donor.runner,
                  sizes={"tiny": {}}, architectures=("p100",),
                  precisions=("float32",), engines=("scalar", "model"))
+
+
+# ------------------------------------------------- launch-parameter overrides
+
+def test_plan_kwargs_case_identity_and_normalisation():
+    plain = ScenarioCase("conv2d", "p100", "float32", "batched", "tiny")
+    assert plain.case_id == "conv2d:p100:float32:batched:tiny"
+    assert "plan_kwargs" not in plain.to_dict()
+    tuned = ScenarioCase("conv2d", "p100", "float32", "batched", "tiny",
+                         {"outputs_per_thread": 2, "block_threads": 256})
+    # canonical order (sorted), independent of the mapping's insertion order
+    swapped = ScenarioCase("conv2d", "p100", "float32", "batched", "tiny",
+                           {"block_threads": 256, "outputs_per_thread": 2})
+    assert tuned == swapped
+    assert tuned.case_id == ("conv2d:p100:float32:batched:tiny:"
+                             "block_threads=256,outputs_per_thread=2")
+    assert tuned.fingerprint() == swapped.fingerprint()
+    assert tuned.fingerprint() != plain.fingerprint()
+    assert tuned.plan_overrides == {"outputs_per_thread": 2, "block_threads": 256}
+    with pytest.raises(ConfigurationError):
+        ScenarioCase("conv2d", "p100", "float32", "batched", "tiny",
+                     {"block_threads": "many"})
+
+
+def test_plan_kwargs_validated_against_the_tunable_envelope():
+    conv2d = get_scenario("conv2d")
+    assert conv2d.tunables == ("outputs_per_thread", "block_threads")
+    scan = get_scenario("scan")
+    assert scan.tunables == ("block_threads",)
+    # scan has no sliding window: requesting P is a configuration error
+    with pytest.raises(ConfigurationError):
+        scan.run_case(ScenarioCase("scan", "p100", "float32", "batched",
+                                   "tiny", {"outputs_per_thread": 2}))
+    # baselines declare no tunables at all
+    npp = get_scenario("conv2d-npp")
+    assert npp.tunables == ()
+    with pytest.raises(ConfigurationError):
+        npp.validate_plan_kwargs({"block_threads": 256})
+
+
+def test_plan_kwargs_flow_into_plans_and_results():
+    conv2d = get_scenario("conv2d")
+    plan = conv2d.build_plan("tiny", "p100", "float32",
+                             {"outputs_per_thread": 2, "block_threads": 256})
+    assert plan.outputs_per_thread == 2
+    assert plan.block_threads == 256
+    default = conv2d.build_plan("tiny", "p100", "float32")
+    assert default.outputs_per_thread == 4 and default.block_threads == 128
+    result = conv2d.run_case(ScenarioCase(
+        "conv2d", "p100", "float32", "batched", "tiny",
+        {"outputs_per_thread": 2, "block_threads": 256}))
+    assert result.parameters["P"] == 2
+    assert result.launch.config.block_threads == 256
+    # overridden launches still produce the exact reference output
+    oracle = conv2d.oracle_output(ScenarioCase(
+        "conv2d", "p100", "float32", "batched", "tiny"))
+    assert np.max(np.abs(result.output.astype(np.float64) - oracle)) < 1e-5
+
+
+def test_expand_matrix_plan_kwargs_axis():
+    cases = expand_matrix({"scenarios": ["conv2d", "scan"],
+                           "architectures": ["p100"],
+                           "precisions": ["float32"],
+                           "engines": ["batched"],
+                           "sizes": ["tiny"],
+                           "plan_kwargs": [{}, {"block_threads": 256},
+                                           {"outputs_per_thread": 2}]})
+    ids = [c.case_id for c in cases]
+    # conv2d tunes both parameters; scan skips the P-only override
+    assert ids == [
+        "conv2d:p100:float32:batched:tiny",
+        "conv2d:p100:float32:batched:tiny:block_threads=256",
+        "conv2d:p100:float32:batched:tiny:outputs_per_thread=2",
+        "scan:p100:float32:batched:tiny",
+        "scan:p100:float32:batched:tiny:block_threads=256",
+    ]

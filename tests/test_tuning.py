@@ -1,0 +1,179 @@
+"""Tests for the launch-configuration autotuner (design space + tuner).
+
+Covers the space pre-filtering invariants, the two-stage pipeline's
+determinism across worker counts and cache states, the acceptance property
+that the best-found configuration never predicts slower than the paper's
+default, and a golden ``--quick`` tune report fixture (regenerate with
+``SSAM_UPDATE_GOLDENS=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cache import SimulationCache
+from repro.scenarios import get_scenario
+from repro.tuning import (
+    FULL_SPACE,
+    PAPER_DEFAULT,
+    QUICK_SPACE,
+    DesignSpace,
+    paper_default_for,
+    point_is_valid,
+    valid_points,
+)
+from repro.tuning.tuner import render, run_tuning, tune_cells
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+# ------------------------------------------------------------- design space
+
+def test_space_candidates_project_onto_the_tunable_envelope():
+    space = DesignSpace(outputs_per_thread=(4, 2), block_threads=(256, 128))
+    both = space.candidates(("outputs_per_thread", "block_threads"))
+    assert len(both) == 4
+    assert {"outputs_per_thread": 2, "block_threads": 128} in both
+    # a B-only kernel sees each block size exactly once, with no P axis
+    b_only = space.candidates(("block_threads",))
+    assert b_only == [{"block_threads": 128}, {"block_threads": 256}]
+    assert space.candidates(()) == [{}]
+    with pytest.raises(ConfigurationError):
+        DesignSpace(outputs_per_thread=(), block_threads=(128,))
+
+
+def test_invalid_block_sizes_are_filtered_out():
+    conv2d = get_scenario("conv2d")
+    bad = DesignSpace(outputs_per_thread=(4,), block_threads=(100, 2048, 128))
+    points = valid_points(conv2d, "tiny", "p100", "float32", bad)
+    # 100 (not a warp multiple) and 2048 (over the limit) are dropped
+    assert points == [{"block_threads": 128, "outputs_per_thread": 4}]
+    assert not point_is_valid(conv2d, "tiny", "p100", "float32",
+                              {"outputs_per_thread": 4, "block_threads": 100})
+
+
+def test_clamped_register_requests_are_filtered_out():
+    """A P that the register budget clamps resolves to the same plan as the
+    smaller request, so the space must not enumerate it twice."""
+    conv2d = get_scenario("conv2d")
+    huge = DesignSpace(outputs_per_thread=(4, 64), block_threads=(128,))
+    points = valid_points(conv2d, "tiny", "p100", "float64", huge)
+    assert {"outputs_per_thread": 64, "block_threads": 128} not in points
+    assert {"outputs_per_thread": 4, "block_threads": 128} in points
+
+
+def test_paper_default_is_always_part_of_the_evaluated_set():
+    for name in ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan"):
+        scenario = get_scenario(name)
+        default = paper_default_for(scenario)
+        assert set(default) == set(scenario.tunables) & set(PAPER_DEFAULT)
+        # even a space that does not contain the default must evaluate it
+        narrow = DesignSpace(outputs_per_thread=(8,), block_threads=(512,))
+        points = valid_points(scenario, "tiny", "p100", "float32", narrow)
+        assert default in points
+
+
+def test_full_space_is_the_section_7_1_grid():
+    assert FULL_SPACE.outputs_per_thread == (1, 2, 3, 4, 5, 6, 7, 8)
+    assert FULL_SPACE.block_threads == (64, 128, 256, 512)
+    assert FULL_SPACE.size == 32
+    assert QUICK_SPACE.size == 4
+
+
+# ------------------------------------------------------------------- tuner
+
+def test_tune_cells_cover_the_paper_matrix():
+    cells = tune_cells()
+    ids = [cell.cell_id for cell in cells]
+    assert len(ids) == 20  # 5 kernels x 2 architectures x 2 precisions
+    for kernel in ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan"):
+        for arch in ("p100", "v100"):
+            for prec in ("float32", "float64"):
+                assert f"{kernel}:{arch}:{prec}" in ids
+    with pytest.raises(ConfigurationError):
+        tune_cells(scenarios=["conv2d-npp"])  # baselines declare no tunables
+
+
+@pytest.fixture(scope="module")
+def quick_tuning(tmp_path_factory):
+    """One quick tune through the cached pipeline: cold, warm and sharded."""
+    cache = SimulationCache(str(tmp_path_factory.mktemp("tune-cache")))
+    cold = run_tuning(quick=True, workers=1, cache=cache)
+    assert cache.misses > 0 and cache.hits == 0
+
+    warm_cache = SimulationCache(cache.directory)
+    warm = run_tuning(quick=True, workers=1, cache=warm_cache)
+    # the warm rerun is 100% cache hits across both stages
+    assert warm_cache.misses == 0 and warm_cache.hits == cache.misses
+
+    sharded_cache = SimulationCache(str(tmp_path_factory.mktemp("tune-cache-p")))
+    sharded = run_tuning(quick=True, workers=3, cache=sharded_cache)
+    return cold, warm, sharded
+
+
+def test_quick_tune_is_deterministic_across_workers_and_cache(quick_tuning):
+    cold, warm, sharded = quick_tuning
+    assert warm == cold
+    assert sharded == cold
+    assert render(sharded) == render(cold)
+
+
+def test_best_found_never_predicts_slower_than_the_paper_default(quick_tuning):
+    cold, _, _ = quick_tuning
+    assert len(cold.measurements) == 20
+    for measurement in cold.measurements:
+        extra = measurement.extra
+        assert extra["best_model_ms"] <= extra["default_model_ms"], extra["cell_id"]
+        assert extra["model_speedup"] >= 1.0
+        assert extra["points"] >= 1
+
+
+def test_model_and_simulator_agree_on_an_unambiguous_space(tmp_path):
+    """On a space where the ranking is clear-cut (P=4 vs the reuse-free
+    P=1), the model stage's winner must also win the batched confirmation."""
+    cache = SimulationCache(str(tmp_path / "c"))
+    result = run_tuning(scenarios=["conv2d"], architectures=["p100"],
+                        precisions=["float32"],
+                        space=DesignSpace(outputs_per_thread=(1, 4),
+                                          block_threads=(128,)),
+                        confirm_size="small", top_k=2, cache=cache)
+    (measurement,) = result.measurements
+    assert measurement.extra["best"] == "P4,B128"
+    assert measurement.extra["confirm_best"] == "P4,B128"
+    assert measurement.extra["confirm_agrees"] is True
+    (cell,) = result.metadata["cells"]
+    # both stages rank the sliding-window configuration first
+    assert [row["label"] for row in cell["explored"]][0] == "P4,B128"
+    assert [row["label"] for row in cell["confirmed"]][0] == "P4,B128"
+    # the confirmation runs are functionally correct, not just fast
+    for row in cell["confirmed"]:
+        assert row["oracle_max_abs_error"] < 1e-5
+
+
+def test_tune_artifact_round_trips(quick_tuning, tmp_path):
+    from repro.experiments.results import load_result
+
+    cold, _, _ = quick_tuning
+    path = cold.save(str(tmp_path / "tune.json"))
+    assert load_result(path) == cold
+
+
+# ------------------------------------------------------------------- golden
+
+def test_quick_tune_report_matches_golden(quick_tuning):
+    cold, _, _ = quick_tuning
+    text = render(cold) + "\n"
+    path = GOLDEN_DIR / "tune.txt"
+    if os.environ.get("SSAM_UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with SSAM_UPDATE_GOLDENS=1")
+    assert text == path.read_text(encoding="utf-8"), (
+        "quick tune report drifted from its committed golden fixture; "
+        "if the change is intentional, regenerate with SSAM_UPDATE_GOLDENS=1")
