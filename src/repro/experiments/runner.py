@@ -86,6 +86,7 @@ def run_experiment_results(name: str = "all", quick: bool = False,
                            cache: Optional[SimulationCache] = None,
                            matrix: Optional[str] = None,
                            tune_stage: str = "full",
+                           confirm_engine: str = "batched",
                            ) -> Dict[str, ExperimentResult]:
     """Run one or all experiments through the pipeline.
 
@@ -96,7 +97,8 @@ def run_experiment_results(name: str = "all", quick: bool = False,
     preset or a JSON matrix file (default ``"smoke"`` under ``--quick``,
     ``"default"`` otherwise).  ``name="tune"`` runs the launch-configuration
     autotuner; ``tune_stage="model"`` stops after the closed-form explore
-    stage (the CI smoke path).
+    stage (the CI smoke path) and ``confirm_engine`` picks the simulator
+    the confirmation stage runs on (``"batched"`` or ``"replay"``).
     """
     if name == "sweep":
         sweep = _sweep_module()
@@ -108,7 +110,8 @@ def run_experiment_results(name: str = "all", quick: bool = False,
         tuning = _tuning_module()
         return {"tune": tuning.run_tuning(quick=quick, workers=jobs,
                                           cache=cache,
-                                          confirm=tune_stage != "model")}
+                                          confirm=tune_stage != "model",
+                                          confirm_engine=confirm_engine)}
     names = _select(name)
     pending = []
     for key in names:
@@ -154,6 +157,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="'model' runs the autotuner's exhaustive "
                              "closed-form stage only, skipping the batched "
                              "confirmation (only with --experiment tune)")
+    parser.add_argument("--confirm-engine", default="batched",
+                        choices=["batched", "replay"],
+                        help="engine for the autotuner's confirmation stage: "
+                             "the batched simulator or the compiled "
+                             "trace-replay engine (identical counters, "
+                             "faster; only with --experiment tune)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the simulation jobs "
                              "(0 = all CPUs; default 1)")
@@ -174,11 +183,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--matrix requires --experiment sweep")
     if args.tune_stage != "full" and args.experiment != "tune":
         parser.error("--tune-stage requires --experiment tune")
+    if args.confirm_engine != "batched" and args.experiment != "tune":
+        parser.error("--confirm-engine requires --experiment tune")
     cache = None if args.no_cache else SimulationCache(args.cache_dir)
     results = run_experiment_results(args.experiment, quick=args.quick,
                                      jobs=workers, cache=cache,
                                      matrix=args.matrix,
-                                     tune_stage=args.tune_stage)
+                                     tune_stage=args.tune_stage,
+                                     confirm_engine=args.confirm_engine)
     print("\n\n".join(render_result(key, result)
                       for key, result in results.items()))
     if args.output_dir:

@@ -115,10 +115,25 @@ class BatchedTrafficTracker:
     the total number of recorded accesses.  Kernels with many counted loads
     per block therefore hold O(batch * (compact_columns + unique_lines))
     instead of O(batch * threads * loads).
+
+    Compaction *work* is bounded too.  Folding into a single compact matrix
+    would re-sort the whole accumulated working set on every fold — on an
+    adversarial pattern where every load touches fresh lines (zero reuse,
+    so the working set never stops growing) that is quadratic in the number
+    of recorded columns.  Instead, folds append *segments* that merge
+    size-tiered, LSM style: a segment is only merged into its neighbour
+    when it has grown to a comparable width, so each recorded column is
+    re-sorted O(log columns) times and total compaction work is
+    O(columns * log columns) with O(log columns) live segments.
+    ``compaction_work`` counts the cells every fold/merge sorts — the
+    regression benchmark pins its growth on the adversarial pattern.
     """
 
     #: pending columns per buffer before folding into the compact form
     COMPACT_COLUMNS = 1024
+    #: a segment at least this many times wider than the one folded after
+    #: it is left alone; smaller neighbours merge (amortization factor)
+    MERGE_FACTOR = 2
 
     def __init__(self, num_blocks: int, line_bytes: int = 128,
                  compact_columns: Optional[int] = None) -> None:
@@ -127,7 +142,10 @@ class BatchedTrafficTracker:
         self.compact_columns = int(compact_columns or self.COMPACT_COLUMNS)
         self._pending: Dict[int, List[np.ndarray]] = {}
         self._pending_columns: Dict[int, int] = {}
-        self._compact: Dict[int, np.ndarray] = {}
+        #: per-buffer compacted segments, widest first
+        self._segments: Dict[int, List[np.ndarray]] = {}
+        #: total cells (rows x columns) sorted by folds and merges
+        self.compaction_work: int = 0
 
     def record_read(self, buffer: DeviceBuffer, lines: np.ndarray,
                     mask: Optional[np.ndarray]) -> None:
@@ -142,23 +160,38 @@ class BatchedTrafficTracker:
         if self._pending_columns[key] >= self.compact_columns:
             self._fold(key)
 
+    def _unique(self, chunks: List[np.ndarray]) -> np.ndarray:
+        stacked = chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=1)
+        self.compaction_work += stacked.size
+        return rowwise_unique_pad(stacked)
+
     def _fold(self, key: int) -> None:
+        """Compact the pending run into a new segment; merge size tiers."""
         chunks = self._pending.pop(key, [])
         self._pending_columns[key] = 0
-        compact = self._compact.get(key)
-        if compact is not None:
-            chunks.append(compact)
-        if chunks:
-            self._compact[key] = rowwise_unique_pad(np.concatenate(chunks, axis=1))
+        if not chunks:
+            return
+        segments = self._segments.setdefault(key, [])
+        segments.append(self._unique(chunks))
+        # size-tiered merge: fold the newest segment into its neighbour
+        # until the neighbour is comfortably wider (binary-counter style)
+        while (len(segments) >= 2 and segments[-2].shape[1]
+               < self.MERGE_FACTOR * segments[-1].shape[1]):
+            tail = segments.pop()
+            segments[-1] = self._unique([segments[-1], tail])
 
     def finalize(self) -> float:
         """Total DRAM read bytes: unique lines per block, summed over blocks."""
         total = 0
-        for key in set(self._pending) | set(self._compact):
+        for key in set(self._pending) | set(self._segments):
             self._fold(key)
-            compact = self._compact.get(key)
-            if compact is not None:
-                total += int((compact != _SENTINEL).sum()) * self.line_bytes
+            segments = self._segments.get(key)
+            if not segments:
+                continue
+            compact = (segments[0] if len(segments) == 1
+                       else self._unique(segments))
+            self._segments[key] = [compact]
+            total += int((compact != _SENTINEL).sum()) * self.line_bytes
         return float(total)
 
 
@@ -305,7 +338,8 @@ class BatchedBlockContext(_SIMTContextBase):
             self.architecture.cache_line_bytes,
             None if mask is None else self._warp_matrix(mask))
         active = flat_indices.size if mask is None else int(mask.sum())
-        self.counters.dram_write_bytes += float(active * itemsize)
+        if not buffer.cached:
+            self.counters.dram_write_bytes += float(active * itemsize)
         values = np.broadcast_to(np.asarray(values), self._register_shape)
         if mask is None:
             buffer.flat[flat_indices] = values.astype(buffer.dtype, copy=False)

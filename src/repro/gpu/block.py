@@ -266,7 +266,8 @@ class BlockContext(_SIMTContextBase):
                                                    self.architecture.cache_line_bytes)
         self.counters.gmem_store_transactions += transactions
         active_indices = flat_indices[lane_mask]
-        self.counters.dram_write_bytes += float(active_indices.size * itemsize)
+        if not buffer.cached:
+            self.counters.dram_write_bytes += float(active_indices.size * itemsize)
         buffer.flat[flat_indices[lane_mask]] = values[lane_mask].astype(buffer.dtype, copy=False)
 
     # ----------------------------------------------------------- shared mem

@@ -206,6 +206,8 @@ class Kernel:
     def __init__(self, func: Callable[..., None], name: Optional[str] = None) -> None:
         self.func = func
         self.name = name or getattr(func, "__name__", "kernel")
+        #: compiled replay programs keyed by (arch, plan, precision, args)
+        self._trace_cache: dict = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Kernel({self.name})"
@@ -241,8 +243,17 @@ class Kernel:
             Blocks executed per vectorized batch.  ``"auto"`` (default)
             bounds the batch by a memory budget (:func:`auto_batch_size`);
             ``1`` selects the legacy per-block loop, which produces
-            bit-identical results and counters.
+            bit-identical results and counters.  ``"replay"`` records the
+            kernel body once as a dataflow trace and executes subsequent
+            chunks through the compiled replay engine
+            (:mod:`repro.trace.replay`), bit-identical to ``"auto"``.
         """
+        if batch_size == "replay":
+            from ..trace.replay import replay_launch
+
+            return replay_launch(self, config, args, architecture=architecture,
+                                 max_blocks=max_blocks,
+                                 count_traffic=count_traffic)
         arch = get_architecture(architecture)
         if config.block_threads % arch.warp_size != 0:
             raise LaunchError(

@@ -163,6 +163,92 @@ def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
     )
 
 
+def ssam_convolve2d_chain(image: np.ndarray, spec: ConvolutionSpec,
+                          passes: int = 2,
+                          architecture: object = "p100",
+                          precision: object = "float32",
+                          outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
+                          block_threads: int = DEFAULT_BLOCK_THREADS,
+                          fused: bool = False,
+                          lead_blocks: Optional[int] = None) -> KernelRunResult:
+    """Apply ``spec`` ``passes`` times (e.g. a two-pass Gaussian blur).
+
+    ``fused=False`` runs the chain the conventional way: one launch per
+    pass, the intermediate image round-tripping through DRAM between them.
+    ``fused=True`` runs every pass as one fused launch
+    (:func:`repro.trace.fusion.fused_launch`): producer blocks stay a
+    halo's worth of rows ahead of consumer blocks, the intermediates are
+    held on chip, and their DRAM writes and re-reads disappear from the
+    traffic counters.  Outputs are bit-identical either way.
+    """
+    if passes < 2:
+        raise ConfigurationError("a convolution chain needs at least 2 passes")
+    image = check_image(image)
+    require_edge_boundary(spec.boundary, "the SSAM convolution kernel")
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    plan = plan_convolution(spec, arch, prec, outputs_per_thread, block_threads)
+    height, width = image.shape
+    config = plan.launch_config(width, height)
+    anchor_x, anchor_y = spec.anchor
+
+    memory = GlobalMemory()
+    src = memory.to_device(image.astype(prec.numpy_dtype, copy=True),
+                           name="src")
+    weights = memory.to_device(spec.weights.astype(prec.numpy_dtype),
+                               name="weights", cached=True)
+    # intermediates of the fused pipeline never leave the cache hierarchy
+    bufs = [src]
+    for i in range(passes - 1):
+        bufs.append(memory.to_device(
+            np.zeros((height, width), dtype=prec.numpy_dtype),
+            name=f"tmp{i}", cached=fused))
+    bufs.append(memory.allocate((height, width), prec, name="dst"))
+
+    def stage_args(i: int):
+        return (bufs[i], bufs[i + 1], weights, width, height,
+                spec.filter_width, spec.filter_height,
+                plan.outputs_per_thread, anchor_x, anchor_y)
+
+    if fused:
+        from ..trace.fusion import FusedStage, fused_launch
+
+        if lead_blocks is None:
+            # a consumer block needs the producer rows covering its
+            # bottom halo: ceil((N-1)/P) block-rows ahead, plus one more
+            # block-row so the column halo is covered as well
+            grid_x = config.grid_dim[0]
+            halo_rows = math.ceil(
+                max(0, spec.filter_height - 1) / plan.outputs_per_thread)
+            lead_blocks = (halo_rows + 1) * grid_x
+        launch = fused_launch(
+            [FusedStage(CONV2D_SSAM_KERNEL, config, stage_args(i))
+             for i in range(passes)],
+            architecture=arch, lead_blocks=lead_blocks)
+    else:
+        launch = CONV2D_SSAM_KERNEL.launch(config, stage_args(0),
+                                           architecture=arch)
+        for i in range(1, passes):
+            launch = launch.merged_with(
+                CONV2D_SSAM_KERNEL.launch(config, stage_args(i),
+                                          architecture=arch))
+    return KernelRunResult(
+        name="ssam_chain_fused" if fused else "ssam_chain",
+        output=bufs[-1].to_host(),
+        launch=launch,
+        parameters={
+            "M": spec.filter_width,
+            "N": spec.filter_height,
+            "P": plan.outputs_per_thread,
+            "B": plan.block_threads,
+            "passes": passes,
+            "fused": fused,
+            "architecture": arch.name,
+            "precision": prec.name,
+        },
+    )
+
+
 def analytic_counters(spec: ConvolutionSpec, width: int, height: int,
                       plan: SSAMPlan) -> KernelCounters:
     """Closed-form warp-instruction / traffic profile of the SSAM kernel.

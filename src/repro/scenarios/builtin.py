@@ -78,6 +78,11 @@ FUNCTIONAL_ENGINES = ("scalar", "batched")
 #: functional engines + the Section 5 analytic performance model
 MODELED_ENGINES = ("scalar", "batched", "model")
 ALL_ENGINES = ("scalar", "batched", "analytic", "model")
+#: the SSAM kernels additionally run through the compiled trace-replay
+#: engine (baseline scenarios keep the legacy tuples: their kernels are not
+#: traced)
+SSAM_MODELED_ENGINES = ("scalar", "batched", "replay", "model")
+SSAM_ALL_ENGINES = ("scalar", "batched", "replay", "analytic", "model")
 
 
 def binomial_taps(count: int) -> np.ndarray:
@@ -168,7 +173,7 @@ register(Scenario(
     },
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=MODELED_ENGINES,
+    engines=SSAM_MODELED_ENGINES,
     description="SSAM 1-D convolution (Section 3.5 motivating example)",
 ))
 
@@ -203,7 +208,7 @@ register(Scenario(
     sizes=_CONV2D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=ALL_ENGINES,
+    engines=SSAM_ALL_ENGINES,
     description="SSAM 2-D convolution (Listing 1)",
 ))
 
@@ -242,7 +247,7 @@ register(Scenario(
     sizes=_STENCIL2D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=ALL_ENGINES,
+    engines=SSAM_ALL_ENGINES,
     description="SSAM 2-D stencil (Listing 2, generalised)",
 ))
 
@@ -292,7 +297,7 @@ register(Scenario(
     sizes=_STENCIL3D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=ALL_ENGINES,
+    engines=SSAM_ALL_ENGINES,
     description="SSAM 3-D stencil (in-plane register cache + out-of-plane taps)",
 ))
 
@@ -323,7 +328,7 @@ register(Scenario(
     },
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
-    engines=MODELED_ENGINES,
+    engines=SSAM_MODELED_ENGINES,
     description="SSAM Kogge-Stone scan (Figure 1e)",
 ))
 

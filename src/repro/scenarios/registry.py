@@ -28,16 +28,18 @@ from ..errors import ConfigurationError
 from ..serialization import stable_digest
 
 #: execution engines a scenario may support: the legacy per-block SIMT loop,
-#: the vectorised multi-block engine, the closed-form instruction/traffic
-#: profile, and the Section 5 analytic performance model
-ENGINES: Tuple[str, ...] = ("scalar", "batched", "analytic", "model")
+#: the vectorised multi-block engine, the compiled trace-replay engine, the
+#: closed-form instruction/traffic profile, and the Section 5 analytic
+#: performance model
+ENGINES: Tuple[str, ...] = ("scalar", "batched", "replay", "analytic", "model")
 
 #: engines that evaluate closed forms instead of executing the kernel; these
 #: never build a workload array and never produce a functional output
 NON_EXECUTING_ENGINES: Tuple[str, ...] = ("analytic", "model")
 
 #: how each functional engine maps onto the kernels' ``batch_size`` parameter
-ENGINE_BATCH_SIZE: Dict[str, object] = {"scalar": 1, "batched": "auto"}
+ENGINE_BATCH_SIZE: Dict[str, object] = {"scalar": 1, "batched": "auto",
+                                        "replay": "replay"}
 
 #: the launch parameters a scenario may declare tunable: the sliding-window
 #: depth P and the CUDA block size B of Section 7.1's design-space study

@@ -41,21 +41,21 @@ MATRICES: Dict[str, Dict[str, object]] = {
         "scenarios": "ssam",
         "architectures": ["p100", "v100"],
         "precisions": ["float32", "float64"],
-        "engines": ["scalar", "batched"],
+        "engines": ["scalar", "batched", "replay"],
         "sizes": ["tiny"],
     },
     "smoke": {
         "scenarios": ["conv2d", "scan"],
         "architectures": ["p100"],
         "precisions": ["float32"],
-        "engines": ["scalar", "batched"],
+        "engines": ["scalar", "batched", "replay"],
         "sizes": ["tiny"],
     },
     "default": {
         "scenarios": "all",
         "architectures": ["p100", "v100"],
         "precisions": ["float32", "float64"],
-        "engines": ["scalar", "batched", "analytic", "model"],
+        "engines": ["scalar", "batched", "replay", "analytic", "model"],
         "sizes": ["tiny", "small"],
     },
     # all five SSAM kernels at the evaluation-scale domains of Section 6,

@@ -175,11 +175,12 @@ def _ranked_points(cell: TuneCell, points: Sequence[Mapping[str, int]],
 
 def _confirm_points(cell: TuneCell, scenario: Scenario,
                     ranked: Sequence[Mapping[str, object]], top_k: int,
-                    confirm_size: str) -> List[Dict[str, int]]:
+                    confirm_size: str,
+                    confirm_engine: str = "batched") -> List[Dict[str, int]]:
     """The top-k model candidates plus the paper default, re-validated at
     the confirmation size (filter extents can differ between sizes)."""
-    if not scenario.supports(cell.architecture, cell.precision, "batched",
-                             confirm_size):
+    if not scenario.supports(cell.architecture, cell.precision,
+                             confirm_engine, confirm_size):
         return []
     candidates = [dict(row["plan_kwargs"]) for row in ranked[:max(1, top_k)]]
     default = paper_default_for(scenario)
@@ -192,19 +193,23 @@ def _confirm_points(cell: TuneCell, scenario: Scenario,
 
 def confirm_jobs(cells: Sequence[TuneCell],
                  candidates_by_cell: Mapping[str, Sequence[Mapping[str, int]]],
-                 confirm_size: str = CONFIRM_SIZE) -> List[SimulationJob]:
-    """Stage 2: batched-simulator jobs for each cell's confirm candidates.
+                 confirm_size: str = CONFIRM_SIZE,
+                 confirm_engine: str = "batched") -> List[SimulationJob]:
+    """Stage 2: simulator jobs for each cell's confirm candidates.
 
-    Cells with no candidates (the scenario cannot run the batched engine at
-    the confirmation size) contribute no jobs; the report then shows the
+    ``confirm_engine`` selects the executing engine: ``"batched"`` (the
+    default) or ``"replay"`` — the compiled trace-replay engine produces
+    bit-identical counters, so the confirmation verdicts are the same, only
+    faster.  Cells with no candidates (the scenario cannot run the engine
+    at the confirmation size) contribute no jobs; the report then shows the
     model stage only for them.
     """
     jobs: List[SimulationJob] = []
     for cell in cells:
         for point in candidates_by_cell.get(cell.cell_id, ()):
             jobs.append(_case_job(ScenarioCase(
-                cell.scenario, cell.architecture, cell.precision, "batched",
-                confirm_size, point)))
+                cell.scenario, cell.architecture, cell.precision,
+                confirm_engine, confirm_size, point)))
     return jobs
 
 
@@ -218,11 +223,14 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
                top_k: Optional[int] = None,
                model_size: str = MODEL_SIZE,
                confirm_size: Optional[str] = None,
-               confirm: bool = True) -> ExperimentResult:
+               confirm: bool = True,
+               confirm_engine: str = "batched") -> ExperimentResult:
     """Run the two-stage search end to end through the job pipeline.
 
     ``confirm=False`` stops after the exhaustive model stage (the CI smoke
     path): the report then shows the closed-form ranking only.
+    ``confirm_engine="replay"`` confirms on the compiled trace-replay
+    engine instead of the batched simulator (identical verdicts, faster).
     """
     from ..experiments.parallel import execute_jobs
 
@@ -247,15 +255,18 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
         candidates_by_cell = {
             cell.cell_id: _confirm_points(cell, get_scenario(cell.scenario),
                                           rankings[cell.cell_id],
-                                          resolved_top_k, resolved_confirm)
+                                          resolved_top_k, resolved_confirm,
+                                          confirm_engine)
             for cell in cells}
         confirm_payloads = execute_jobs(
-            confirm_jobs(cells, candidates_by_cell, resolved_confirm),
+            confirm_jobs(cells, candidates_by_cell, resolved_confirm,
+                         confirm_engine),
             workers=workers, cache=cache)
     return assemble(cells, resolved_space, rankings, candidates_by_cell,
                     confirm_payloads, quick=quick, top_k=resolved_top_k,
                     model_size=model_size,
-                    confirm_size=resolved_confirm if confirm else None)
+                    confirm_size=resolved_confirm if confirm else None,
+                    confirm_engine=confirm_engine)
 
 
 def assemble(cells: Sequence[TuneCell], space: DesignSpace,
@@ -264,7 +275,8 @@ def assemble(cells: Sequence[TuneCell], space: DesignSpace,
              confirm_payloads: Mapping[str, Mapping[str, object]],
              quick: bool = False, top_k: int = TOP_K,
              model_size: str = MODEL_SIZE,
-             confirm_size: "str | None" = CONFIRM_SIZE) -> ExperimentResult:
+             confirm_size: "str | None" = CONFIRM_SIZE,
+             confirm_engine: str = "batched") -> ExperimentResult:
     """Fold both stages into the typed tuning result (cell order)."""
     measurements: List[Measurement] = []
     cell_records: List[Dict[str, object]] = []
@@ -290,7 +302,8 @@ def assemble(cells: Sequence[TuneCell], space: DesignSpace,
                               candidates_by_cell.get(cell.cell_id, ()))
         for point in confirm_candidates:
             case = ScenarioCase(cell.scenario, cell.architecture,
-                                cell.precision, "batched", confirm_size, point)
+                                cell.precision, confirm_engine, confirm_size,
+                                point)
             payload = confirm_payloads.get(case_job_key(case))
             if payload is None:
                 continue
@@ -345,6 +358,7 @@ def assemble(cells: Sequence[TuneCell], space: DesignSpace,
             "space": space.describe(),
             "model_size": model_size,
             "confirm_size": confirm_size,
+            "confirm_engine": confirm_engine,
             "top_k": top_k,
             "cells": cell_records,
             "tune_digest": stable_digest(
@@ -359,7 +373,8 @@ def render(result: ExperimentResult) -> str:
     meta = result.metadata
     confirm_text = ("confirm stage skipped (model stage only)"
                     if meta["confirm_size"] is None else
-                    f"confirm: engine=batched at size {meta['confirm_size']!r} "
+                    f"confirm: engine={meta.get('confirm_engine', 'batched')} "
+                    f"at size {meta['confirm_size']!r} "
                     f"(top-{meta['top_k']} + default)")
     lines = [result.title,
              f"explore: engine=model at size {meta['model_size']!r} "

@@ -1,0 +1,132 @@
+"""Stage fusion: the two-pass blur chain as one software-pipelined launch.
+
+The ISSUE-level acceptance criterion lives here: the fused blur pipeline
+runs as a *single* launch (zero ``Kernel.launch`` dispatches — the fused
+driver interleaves replay chunks itself) and moves strictly less DRAM
+traffic than the two-pass chain, while producing bit-identical output and
+identical instruction counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.convolution.spec import ConvolutionSpec
+from repro.errors import LaunchError
+from repro.gpu.kernel import Kernel
+from repro.kernels.conv2d_ssam import CONV2D_SSAM_KERNEL, ssam_convolve2d_chain
+from repro.trace.fusion import FusedStage, fused_launch
+
+
+@pytest.fixture
+def image():
+    return np.random.default_rng(7).random((96, 160), dtype=np.float32)
+
+
+@pytest.fixture
+def spec():
+    return ConvolutionSpec.gaussian(9)
+
+
+def test_fused_blur_is_one_launch(image, spec, monkeypatch):
+    """The fused pipeline never goes through the per-kernel launch path."""
+    calls = []
+    original = Kernel.launch
+
+    def counting_launch(self, *args, **kwargs):
+        calls.append(self.name)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Kernel, "launch", counting_launch)
+
+    chain = ssam_convolve2d_chain(image, spec, fused=False)
+    assert len(calls) == 2  # the unfused chain: one launch per pass
+
+    calls.clear()
+    fused = ssam_convolve2d_chain(image, spec, fused=True)
+    assert calls == []  # fused: zero kernel dispatches, one fused launch
+    assert fused.launch.kernel_name == "ssam_conv2d+ssam_conv2d"
+    # both stages' blocks ran inside the single fused launch
+    assert fused.launch.blocks_executed == 2 * chain.launch.blocks_executed / 2
+
+
+def test_fused_blur_bit_identical_with_less_dram(image, spec):
+    chain = ssam_convolve2d_chain(image, spec, fused=False)
+    fused = ssam_convolve2d_chain(image, spec, fused=True)
+
+    # bit-identical output: fusion only reorders whole blocks across stages
+    np.testing.assert_array_equal(fused.output, chain.output)
+
+    c, f = chain.launch.counters, fused.launch.counters
+    # identical work: every instruction counter matches exactly
+    for field in ("fma", "add", "mul", "shfl", "gmem_load", "gmem_store",
+                  "smem_broadcast", "gmem_load_transactions",
+                  "gmem_store_transactions", "blocks_executed"):
+        assert getattr(f, field) == getattr(c, field), field
+
+    # strictly less DRAM traffic: the intermediate stays on chip, so its
+    # write-out and read-back both disappear
+    assert f.dram_write_bytes < c.dram_write_bytes
+    assert f.dram_read_bytes < c.dram_read_bytes
+    assert f.dram_bytes < c.dram_bytes
+    # the intermediate is exactly one image: its write is half the chain's
+    assert f.dram_write_bytes == pytest.approx(c.dram_write_bytes / 2)
+
+
+def test_fused_blur_warm_path_stable(image, spec):
+    """A second fused run (warm trace cache) is bit-identical to the first."""
+    first = ssam_convolve2d_chain(image, spec, fused=True)
+    second = ssam_convolve2d_chain(image, spec, fused=True)
+    np.testing.assert_array_equal(first.output, second.output)
+    assert second.launch.counters.as_dict() == first.launch.counters.as_dict()
+
+
+def test_three_pass_chain_fuses(image, spec):
+    chain = ssam_convolve2d_chain(image, spec, passes=3, fused=False)
+    fused = ssam_convolve2d_chain(image, spec, passes=3, fused=True)
+    np.testing.assert_array_equal(fused.output, chain.output)
+    c, f = chain.launch.counters, fused.launch.counters
+    assert f.fma == c.fma
+    # two intermediates stay on chip: write traffic drops to one third
+    assert f.dram_write_bytes == pytest.approx(c.dram_write_bytes / 3)
+
+
+def test_fused_launch_rejects_mismatched_plans(image, spec):
+    from repro.core.plan import plan_convolution
+    from repro.gpu.architecture import get_architecture
+    from repro.gpu.memory import GlobalMemory
+    from repro.dtypes import resolve_precision
+
+    arch = get_architecture("p100")
+    prec = resolve_precision("float32")
+    plan_a = plan_convolution(spec, arch, prec, 4, 128)
+    plan_b = plan_convolution(spec, arch, prec, 4, 256)
+    height, width = image.shape
+    config_a = plan_a.launch_config(width, height)
+    config_b = plan_b.launch_config(width, height)
+
+    memory = GlobalMemory()
+    src = memory.to_device(image, name="src")
+    weights = memory.to_device(spec.weights.astype(np.float32),
+                               name="weights", cached=True)
+    tmp = memory.allocate((height, width), prec, name="tmp")
+    dst = memory.allocate((height, width), prec, name="dst")
+    ax, ay = spec.anchor
+
+    def args(a, b, plan):
+        return (a, b, weights, width, height, spec.filter_width,
+                spec.filter_height, plan.outputs_per_thread, ax, ay)
+
+    with pytest.raises(LaunchError, match="share one blocking plan"):
+        fused_launch([
+            FusedStage(CONV2D_SSAM_KERNEL, config_a, args(src, tmp, plan_a)),
+            FusedStage(CONV2D_SSAM_KERNEL, config_b, args(tmp, dst, plan_b)),
+        ])
+
+
+def test_fused_launch_needs_two_stages(image, spec):
+    with pytest.raises(LaunchError, match="at least two stages"):
+        fused_launch([])
+    with pytest.raises(Exception):
+        ssam_convolve2d_chain(image, spec, passes=1)

@@ -40,7 +40,7 @@ ORACLE_TOLERANCE = {"float32": 1e-4, "float64": 1e-9}
 TIER1_KERNELS = ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan")
 TIER1_ARCHITECTURES = ("p100", "v100")
 TIER1_PRECISIONS = ("float32", "float64")
-TIER1_ENGINES = ("scalar", "batched")
+TIER1_ENGINES = ("scalar", "batched", "replay")
 
 
 def derive_differential_cells() -> List[ScenarioCase]:
@@ -73,23 +73,36 @@ def derive_differential_cells() -> List[ScenarioCase]:
 DIFFERENTIAL_CELLS = derive_differential_cells()
 
 
+def _assert_engine_parity(reference, other, label):
+    """Bit-identical outputs and field-by-field identical counters."""
+    assert reference.output is not None and other.output is not None
+    assert reference.output.dtype == other.output.dtype
+    np.testing.assert_array_equal(reference.output, other.output)
+    ref_counters = reference.launch.counters.as_dict()
+    other_counters = other.launch.counters.as_dict()
+    mismatched = {name: (ref_counters[name], other_counters[name])
+                  for name in ref_counters
+                  if ref_counters[name] != other_counters[name]}
+    assert not mismatched, f"{label} counter mismatch: {mismatched}"
+
+
 @pytest.mark.parametrize("case", DIFFERENTIAL_CELLS, ids=lambda c: c.case_id)
 def test_differential_matrix(case):
     scenario = get_scenario(case.scenario)
     scalar = scenario.run_case(replace(case, engine="scalar"))
     batched = scenario.run_case(case)
 
-    # engine parity: bit-identical outputs ...
-    assert scalar.output is not None and batched.output is not None
-    assert scalar.output.dtype == batched.output.dtype
-    np.testing.assert_array_equal(scalar.output, batched.output)
-    # ... and identical counters, field by field
-    scalar_counters = scalar.launch.counters.as_dict()
-    batched_counters = batched.launch.counters.as_dict()
-    mismatched = {name: (scalar_counters[name], batched_counters[name])
-                  for name in scalar_counters
-                  if scalar_counters[name] != batched_counters[name]}
-    assert not mismatched, f"counter mismatch: {mismatched}"
+    # engine parity: scalar vs batched
+    _assert_engine_parity(scalar, batched, "scalar/batched")
+
+    # replay parity where the scenario supports the trace-replay engine:
+    # run twice so both the cold (record + compile) path and the warm
+    # (cached program, memoized counters) path are checked against batched
+    if "replay" in scenario.engines:
+        cold = scenario.run_case(replace(case, engine="replay"))
+        _assert_engine_parity(batched, cold, "batched/replay-cold")
+        warm = scenario.run_case(replace(case, engine="replay"))
+        _assert_engine_parity(batched, warm, "batched/replay-warm")
 
     # functional correctness against the CPU oracle
     oracle = np.asarray(scenario.oracle_output(case), dtype=np.float64)
@@ -100,14 +113,16 @@ def test_differential_matrix(case):
 
 
 def test_matrix_covers_acceptance_envelope():
-    """The derived matrix spans all 5 SSAM kernels x 2 engines x 2
-    precisions x >= 2 architectures (each cell runs both engines)."""
+    """The derived matrix spans all 5 SSAM kernels x 3 engines x 2
+    precisions x >= 2 architectures (each cell runs every engine)."""
     covered = {(c.scenario, c.architecture, c.precision)
                for c in DIFFERENTIAL_CELLS}
     for kernel in TIER1_KERNELS:
         for arch in TIER1_ARCHITECTURES:
             for precision in TIER1_PRECISIONS:
                 assert (kernel, arch, precision) in covered
+        # every SSAM kernel runs the replay leg of the differential test
+        assert "replay" in get_scenario(kernel).engines
 
 
 def test_tier1_matrix_expands_to_full_envelope():

@@ -156,7 +156,7 @@ def test_register_unregister_round_trip():
 
 
 def test_engines_constant_matches_registry_vocabulary():
-    assert ENGINES == ("scalar", "batched", "analytic", "model")
+    assert ENGINES == ("scalar", "batched", "replay", "analytic", "model")
     for scenario in all_scenarios():
         assert set(scenario.engines) <= set(ENGINES)
         for size in scenario.sizes:

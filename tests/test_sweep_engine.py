@@ -48,7 +48,7 @@ def test_load_matrix_presets_and_files(tmp_path):
 def test_jobs_have_unique_keys_and_scenario_cache_fields():
     pending = jobs("tier1")
     keys = [job.key for job in pending]
-    assert len(keys) == len(set(keys)) == 40  # 5 kernels x 2 x 2 x 2
+    assert len(keys) == len(set(keys)) == 60  # 5 kernels x 2 x 2 x 3 engines
     for job in pending:
         assert job.func == "repro.scenarios.sweep:_measure_case"
         fields = dict(job.cache_fields)

@@ -1,0 +1,124 @@
+"""Trace-derived instruction counts vs the Section 5 ``model_*`` evaluators.
+
+The trace IR records the kernel *implementation*; the performance model is a
+set of *hand-written* closed-form formulas.  These tests derive static
+instruction counts from each SSAM kernel's trace (recorded on a small
+domain — the per-block profile is grid-independent) and check them against
+the model evaluators at paper-scale problem sizes, within the bounds
+documented in :data:`repro.trace.counts.MODEL_AGREEMENT_BOUNDS`.
+
+A formula drifting from the code (or vice versa) fails here with the exact
+counter named.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.convolution.spec import ConvolutionSpec
+from repro.core.performance_model import (
+    model_convolution1d,
+    model_convolution2d,
+    model_scan,
+    model_stencil2d,
+    model_stencil3d,
+)
+from repro.kernels.conv1d_ssam import CONV1D_SSAM_KERNEL, ssam_convolve1d
+from repro.kernels.conv2d_ssam import CONV2D_SSAM_KERNEL, ssam_convolve2d
+from repro.kernels.scan_ssam import SCAN_SSAM_KERNEL, ssam_scan
+from repro.kernels.stencil2d_ssam import STENCIL2D_SSAM_KERNEL, ssam_stencil2d
+from repro.kernels.stencil3d_ssam import STENCIL3D_SSAM_KERNEL, ssam_stencil3d
+from repro.stencils.catalog import get_stencil
+from repro.trace.counts import (
+    MODEL_AGREEMENT_BOUNDS,
+    block_counts,
+    check_against_model,
+    launch_counts,
+    relative_errors,
+)
+
+
+def _trace_of(kernel):
+    """Latest compiled replay program's trace for ``kernel``."""
+    programs = [p for p in kernel._trace_cache.values() if p is not None]
+    assert programs, f"no compiled trace for {kernel.name!r}"
+    return programs[-1].trace
+
+
+def _check(name, kernel, model_result):
+    counters = model_result.launch.counters
+    trace = _trace_of(kernel)
+    derived = launch_counts(trace, int(counters.blocks_executed))
+    bounds = MODEL_AGREEMENT_BOUNDS[name]
+    errors = check_against_model(derived, counters, bounds, label=name)
+    # at least the core arithmetic field must be compared for every kernel
+    assert ("fma" in errors) or ("add" in errors)
+    return derived, counters
+
+
+def test_conv2d_counts_match_model():
+    spec = ConvolutionSpec.gaussian(9)
+    image = np.random.default_rng(0).random((160, 192), dtype=np.float32)
+    ssam_convolve2d(image, spec, batch_size="replay")
+    derived, model = _check("convolution2d", CONV2D_SSAM_KERNEL,
+                            model_convolution2d(spec, 8192, 8192))
+    # the paper's headline term: P*M*N mads per thread, exactly
+    assert derived.fma == model.fma > 0
+
+
+def test_stencil2d_counts_match_model():
+    spec = get_stencil("2d9pt")
+    grid = np.random.default_rng(1).random((160, 192), dtype=np.float32)
+    ssam_stencil2d(grid, spec, batch_size="replay")
+    derived, model = _check("stencil2d", STENCIL2D_SSAM_KERNEL,
+                            model_stencil2d(spec, 8192, 8192))
+    assert derived.gmem_load_transactions == model.gmem_load_transactions > 0
+
+
+def test_stencil3d_counts_match_model():
+    spec = get_stencil("3d7pt")
+    grid = np.random.default_rng(2).random((24, 40, 64), dtype=np.float32)
+    ssam_stencil3d(grid, spec, batch_size="replay")
+    _check("stencil3d", STENCIL3D_SSAM_KERNEL,
+           model_stencil3d(spec, 512, 512, 512))
+
+
+def test_conv1d_counts_match_model():
+    rng = np.random.default_rng(3)
+    taps = rng.random(7).astype(np.float32)
+    sequence = rng.random(4096, dtype=np.float32)
+    ssam_convolve1d(sequence, taps, batch_size="replay")
+    derived, model = _check("convolution1d", CONV1D_SSAM_KERNEL,
+                            model_convolution1d(7, 1 << 22))
+    # conv1d is fully unmasked: static derivation is exact on every field
+    errors = relative_errors(derived, model)
+    for field in ("fma", "shfl", "gmem_load", "gmem_store"):
+        assert errors[field] == 0.0
+
+
+def test_scan_counts_match_model():
+    sequence = np.random.default_rng(4).random(4096, dtype=np.float32)
+    ssam_scan(sequence, batch_size="replay")
+    _check("scan", SCAN_SSAM_KERNEL, model_scan(1 << 22))
+
+
+def test_block_counts_are_grid_independent():
+    """The same trace scales exactly: launch = per-block x total_blocks."""
+    spec = get_stencil("2d5pt")
+    grid = np.random.default_rng(5).random((96, 128), dtype=np.float32)
+    ssam_stencil2d(grid, spec, batch_size="replay")
+    trace = _trace_of(STENCIL2D_SSAM_KERNEL)
+    per_block = block_counts(trace)
+    assert per_block.blocks_executed == 1
+    scaled = launch_counts(trace, 1000)
+    assert scaled.blocks_executed == 1000
+    assert scaled.fma == pytest.approx(1000 * per_block.fma)
+    assert scaled.warps_executed == 1000 * trace.num_warps
+
+
+def test_bounds_cover_all_five_kernels():
+    assert set(MODEL_AGREEMENT_BOUNDS) == {
+        "convolution2d", "stencil2d", "stencil3d", "convolution1d", "scan"}
+    for bounds in MODEL_AGREEMENT_BOUNDS.values():
+        assert bounds, "every kernel must compare at least one counter"

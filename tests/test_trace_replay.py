@@ -1,0 +1,193 @@
+"""Unit tests for the compiled replay engine's internals.
+
+The differential matrix (``test_scenario_matrix.py``) proves whole-launch
+bit-identity; this file pins the replay engine's *internal* fast paths
+against their exact reference implementations and the engine-level
+contracts the fast paths must preserve: transaction counting against the
+segmented-sort primitive, interval-union traffic finalization against a
+brute-force set union, counter memoization, and the untraceable-kernel
+fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.kernel import Kernel, LaunchConfig
+from repro.gpu.memory import GlobalMemory, rowwise_unique_counts
+from repro.kernels.conv2d_ssam import CONV2D_SSAM_KERNEL, ssam_convolve2d
+from repro.convolution.spec import ConvolutionSpec
+from repro.trace.replay import (
+    _block_index_matrix,
+    _interval_union_sum,
+    _line_shift,
+    _transactions,
+)
+
+
+# --------------------------------------------------------------- _transactions
+
+def _reference_transactions(wm, mm):
+    return int(rowwise_unique_counts(wm, mm).sum())
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_transactions_sorted_unmasked(seed):
+    rng = np.random.default_rng(seed)
+    wm = np.sort(rng.integers(0, 40, size=(23, 32)), axis=1)
+    trans, d, ok = _transactions(wm, None)
+    assert ok and d is not None
+    assert trans == _reference_transactions(wm, None)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_transactions_contiguous_run_masks(seed):
+    """The SSAM mask shape: each row's active lanes form one run 0*1*0*."""
+    rng = np.random.default_rng(100 + seed)
+    rows, width = 17, 32
+    wm = np.sort(rng.integers(0, 60, size=(rows, width)), axis=1)
+    mm = np.zeros((rows, width), dtype=bool)
+    for r in range(rows):
+        start = int(rng.integers(0, width))
+        stop = int(rng.integers(start, width + 1))
+        mm[r, start:stop] = True
+    trans, _, ok = _transactions(wm, mm)
+    assert ok
+    assert trans == _reference_transactions(wm, mm)
+
+
+def test_transactions_arbitrary_masks_match_reference():
+    rng = np.random.default_rng(7)
+    wm = np.sort(rng.integers(0, 25, size=(31, 32)), axis=1)
+    mm = rng.random((31, 32)) < 0.6  # scattered runs: not contiguous
+    trans, _, ok = _transactions(wm, mm)
+    assert ok
+    assert trans == _reference_transactions(wm, mm)
+
+
+def test_transactions_unsorted_falls_back_exactly():
+    rng = np.random.default_rng(8)
+    wm = rng.integers(0, 25, size=(19, 32))
+    assert np.any(wm[:, 1:] < wm[:, :-1])  # genuinely unsorted
+    mm = rng.random((19, 32)) < 0.5
+    trans, d, ok = _transactions(wm, mm)
+    assert not ok and d is None
+    assert trans == _reference_transactions(wm, mm)
+
+
+def test_transactions_single_lane():
+    wm = np.arange(6).reshape(6, 1)
+    assert _transactions(wm, None)[0] == 6
+    mm = np.array([[True], [False], [True], [False], [True], [False]])
+    assert _transactions(wm, mm)[0] == 3
+
+
+# --------------------------------------------------------- _interval_union_sum
+
+@pytest.mark.parametrize("seed", range(5))
+def test_interval_union_sum_matches_set_union(seed):
+    rng = np.random.default_rng(seed)
+    rows, k = 13, 7
+    los = rng.integers(0, 50, size=(rows, k))
+    his = los + rng.integers(0, 20, size=(rows, k))
+    expected = sum(
+        len(set().union(*(range(lo, hi + 1) for lo, hi in zip(lr, hr))))
+        for lr, hr in zip(los, his))
+    assert _interval_union_sum(los, his) == expected
+
+
+# ----------------------------------------------------------------- _line_shift
+
+def test_line_shift_powers_of_two():
+    assert _line_shift(4, 128) == 5   # 32 items per line
+    assert _line_shift(8, 128) == 4
+    assert _line_shift(2, 128) == 6
+    assert _line_shift(4, 96) is None   # not divisible into a power of two
+    idx = np.arange(1000, dtype=np.int64)
+    assert np.array_equal(idx >> _line_shift(4, 128), (idx * 4) // 128)
+
+
+# --------------------------------------------------------- _block_index_matrix
+
+def test_block_index_matrix_matches_launch_order():
+    grid = (3, 4, 2)
+    out = _block_index_matrix(grid)
+    expected = [(bx, by, bz)
+                for bz in range(grid[2])
+                for by in range(grid[1])
+                for bx in range(grid[0])]
+    assert out.shape == (24, 3)
+    assert [tuple(row) for row in out] == expected
+
+
+# ----------------------------------------------------------------- memoization
+
+def test_counter_memoization_is_exact():
+    """Warm launches reuse cached counters; values must be bit-identical."""
+    spec = ConvolutionSpec.gaussian(5)
+    image = np.random.default_rng(3).random((80, 96), dtype=np.float32)
+    CONV2D_SSAM_KERNEL._trace_cache.clear()  # hermetic: other tests compile too
+    cold = ssam_convolve2d(image, spec, batch_size="replay")
+    program = next(p for p in CONV2D_SSAM_KERNEL._trace_cache.values()
+                   if p is not None)
+    assert program.memoizable  # SSAM indices are data-free by construction
+    assert program.counter_cache  # populated by the completed launch
+    warm = ssam_convolve2d(image, spec, batch_size="replay")
+    np.testing.assert_array_equal(warm.output, cold.output)
+    assert warm.launch.counters.as_dict() == cold.launch.counters.as_dict()
+
+
+def test_memoized_counters_match_batched():
+    spec = ConvolutionSpec.gaussian(5)
+    image = np.random.default_rng(4).random((64, 96), dtype=np.float32)
+    ssam_convolve2d(image, spec, batch_size="replay")  # cold: fills cache
+    warm = ssam_convolve2d(image, spec, batch_size="replay")
+    batched = ssam_convolve2d(image, spec, batch_size="auto")
+    assert warm.launch.counters.as_dict() == batched.launch.counters.as_dict()
+
+
+# ------------------------------------------------------------------- fallback
+
+def _branchy_kernel(ctx, src, dst, size):
+    idx = np.minimum(ctx.thread_idx_x, size - 1)
+    values = ctx.load_global(src, idx, mask=ctx.thread_idx_x < size)
+    if np.max(values) > 0:  # data-dependent host branch: untraceable
+        values = values + 1.0
+    ctx.store_global(dst, idx, values, mask=ctx.thread_idx_x < size)
+
+
+BRANCHY = Kernel(_branchy_kernel, name="branchy")
+
+
+def test_untraceable_kernel_falls_back_to_batched():
+    memory = GlobalMemory()
+    data = np.random.default_rng(5).random(100).astype(np.float32)
+    src = memory.to_device(data, name="src")
+    dst_replay = memory.allocate((128,), "float32", name="dst_replay")
+    dst_batched = memory.allocate((128,), "float32", name="dst_batched")
+    config = LaunchConfig(grid_dim=(1, 1, 1), block_threads=128)
+
+    replay = BRANCHY.launch(config, (src, dst_replay, 100),
+                            batch_size="replay")
+    batched = BRANCHY.launch(config, (src, dst_batched, 100),
+                             batch_size="auto")
+    np.testing.assert_array_equal(dst_replay.to_host(), dst_batched.to_host())
+    assert replay.counters.as_dict() == batched.counters.as_dict()
+    # the failed trace is negatively cached: no re-recording on reuse
+    assert any(p is None for p in BRANCHY._trace_cache.values())
+
+
+def test_replay_bounds_error_matches_eager():
+    def oob(ctx, src, dst, size):
+        idx = ctx.thread_idx_x + 1  # last thread runs off the end
+        ctx.store_global(dst, idx, ctx.load_global(src, idx))
+
+    kernel = Kernel(oob, name="oob")
+    memory = GlobalMemory()
+    src = memory.to_device(np.zeros(128, dtype=np.float32), name="input")
+    dst = memory.allocate((128,), "float32", name="output")
+    config = LaunchConfig(grid_dim=(1, 1, 1), block_threads=128)
+    with pytest.raises(SimulationError, match="out-of-bounds global load"):
+        kernel.launch(config, (src, dst, 128), batch_size="replay")
