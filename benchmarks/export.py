@@ -1,4 +1,4 @@
-"""Per-PR benchmark artifact: emit ``BENCH_6.json`` at the repo root.
+"""Per-PR benchmark artifact: emit ``BENCH_7.json`` at the repo root.
 
 Measures the quantities this PR's acceptance criteria pin:
 
@@ -11,6 +11,10 @@ Measures the quantities this PR's acceptance criteria pin:
 * **sweep wall-clock, cold vs warm** — one sweep matrix through the cached
   job pipeline twice against a fresh cache directory, with the cache hit
   rates of both passes (warm must be 100% hits).
+* **store throughput** — results/s into the shared sqlite/WAL result
+  store: serial upserts, warm lookups, and aggregate results/s under
+  concurrent writer threads (the regime the sweep service and overlapping
+  CLI runs put it in).
 
 Run from the repo root::
 
@@ -19,6 +23,7 @@ Run from the repo root::
 
 The artifact is committed at the repo root so the perf trajectory is
 reviewable per PR; CI regenerates it at ``--quick`` scale and uploads it.
+``BENCH_6.json`` (the PR-6 artifact) stays committed for the trajectory.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-SCHEMA = "ssam-bench/PR6"
+SCHEMA = "ssam-bench/PR7"
 
 #: acceptance pins checked by ``--check`` and recorded in the artifact
 REPLAY_SPEEDUP_PINS = {"conv2d": 3.0, "stencil2d": 3.0}
@@ -184,6 +189,77 @@ def measure_sweep(quick: bool) -> Dict[str, object]:
     }
 
 
+def measure_store(quick: bool) -> Dict[str, object]:
+    """Results/s into the shared sqlite/WAL store, serial and concurrent.
+
+    Three regimes: serial first-writer upserts (the store-back path of a
+    cold sweep), warm lookups (the dedup path of a resubmit), and several
+    writer threads publishing disjoint key ranges into one store at once
+    (the service worker pool / overlapping CLI runs).  Payload shape
+    mirrors a sweep cell's (a small nested mapping with counters).
+    """
+    import threading
+
+    from repro.service.store import ResultStore
+
+    entries = 200 if quick else 2000
+    writer_threads = 4
+
+    def payload_for(i: int) -> Dict[str, object]:
+        return {"milliseconds": i * 0.25,
+                "counters": {"fma": i * 100.0, "dram_read_bytes": i * 8.0},
+                "config": {"block_threads": 128, "outputs_per_thread": 4},
+                "label": f"bench-cell-{i}"}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(str(pathlib.Path(tmp) / "bench.sqlite"),
+                            code_version=lambda: "bench")
+        start = time.perf_counter()
+        for i in range(entries):
+            store.upsert({"bench": "serial", "i": i}, payload_for(i),
+                         job_key=f"bench:{i}")
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for i in range(entries):
+            store.get({"bench": "serial", "i": i})
+        lookup_seconds = time.perf_counter() - start
+        store.close()
+
+        concurrent = ResultStore(str(pathlib.Path(tmp) / "bench-mt.sqlite"),
+                                 code_version=lambda: "bench")
+        share = entries // writer_threads
+        barrier = threading.Barrier(writer_threads + 1)
+
+        def write_range(start_i: int) -> None:
+            barrier.wait()
+            for i in range(start_i, start_i + share):
+                concurrent.upsert({"bench": "mt", "i": i}, payload_for(i),
+                                  job_key=f"bench:{i}")
+
+        threads = [threading.Thread(target=write_range, args=(t * share,))
+                   for t in range(writer_threads)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        concurrent_seconds = time.perf_counter() - start
+        written = concurrent.entry_count()
+        concurrent.close()
+
+    return {
+        "entries": entries,
+        "serial_upserts_per_second": round(entries / serial_seconds, 1),
+        "lookups_per_second": round(entries / lookup_seconds, 1),
+        "concurrent_writers": writer_threads,
+        "concurrent_entries": written,
+        "concurrent_upserts_per_second": round(written / concurrent_seconds,
+                                               1),
+    }
+
+
 def export(quick: bool = False) -> Dict[str, object]:
     throughput = measure_throughput(quick)
     pins = {
@@ -200,16 +276,17 @@ def export(quick: bool = False) -> Dict[str, object]:
         "throughput": throughput,
         "pins": pins,
         "sweep": measure_sweep(quick),
+        "store": measure_store(quick),
     }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Export the per-PR benchmark artifact (BENCH_6.json)")
+        description="Export the per-PR benchmark artifact (BENCH_7.json)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke scale: small domains, one repetition")
     parser.add_argument("--output", default=None, metavar="PATH",
-                        help="artifact path (default: BENCH_6.json at the "
+                        help="artifact path (default: BENCH_7.json at the "
                              "repo root)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a speedup pin is missed "
@@ -218,7 +295,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = export(quick=args.quick)
     output = args.output or str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_6.json")
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_7.json")
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -231,6 +308,11 @@ def main(argv=None) -> int:
     print(f"  sweep {sweep['matrix']}: cold {sweep['cold_seconds']}s, "
           f"warm {sweep['warm_seconds']}s "
           f"(hit rate {sweep['warm_cache']['hit_rate']})")
+    store = payload["store"]
+    print(f"  store: {store['serial_upserts_per_second']} upserts/s serial, "
+          f"{store['concurrent_upserts_per_second']} upserts/s with "
+          f"{store['concurrent_writers']} writers, "
+          f"{store['lookups_per_second']} lookups/s")
     if args.check and not args.quick:
         if not all(pin["ok"] for pin in payload["pins"].values()):
             return 1

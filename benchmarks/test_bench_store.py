@@ -1,0 +1,91 @@
+"""Microbenchmark of the shared result store: upserts/s and lookups/s.
+
+Tracks the sqlite/WAL store's write and read rates — the store sits on the
+hot path of every cached simulation (one upsert per executed cell, one
+lookup per requested cell), so a regression here slows every sweep, tune
+and service submission.  The concurrent case runs four writer threads
+against one database, the regime the service worker pool creates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service.store import ResultStore
+
+ENTRIES = 500
+WRITERS = 4
+
+
+def _payload(i: int) -> dict:
+    return {"milliseconds": i * 0.25,
+            "counters": {"fma": i * 100.0, "dram_read_bytes": i * 8.0},
+            "config": {"block_threads": 128, "outputs_per_thread": 4}}
+
+
+def _fill(store: ResultStore, tag: str, count: int) -> None:
+    for i in range(count):
+        store.upsert({"bench": tag, "i": i}, _payload(i),
+                     job_key=f"bench:{tag}:{i}")
+
+
+def test_bench_serial_upserts(benchmark, tmp_path):
+    counter = iter(range(10**9))
+
+    def setup():
+        tag = f"round-{next(counter)}"
+        return (tag,), {}
+
+    store = ResultStore(str(tmp_path / "bench.sqlite"),
+                        code_version=lambda: "bench")
+    benchmark.pedantic(lambda tag: _fill(store, tag, ENTRIES),
+                       setup=setup, rounds=3)
+    seconds = benchmark.stats.stats.mean
+    rate = ENTRIES / seconds
+    benchmark.extra_info["upserts_per_second"] = rate
+    print(f"\nstore: {rate:,.0f} upserts/s serial ({ENTRIES} entries)")
+
+
+def test_bench_warm_lookups(benchmark, tmp_path):
+    store = ResultStore(str(tmp_path / "bench.sqlite"),
+                        code_version=lambda: "bench")
+    _fill(store, "warm", ENTRIES)
+
+    def lookup_all():
+        for i in range(ENTRIES):
+            assert store.get({"bench": "warm", "i": i}) is not None
+
+    benchmark(lookup_all)
+    rate = ENTRIES / benchmark.stats.stats.mean
+    benchmark.extra_info["lookups_per_second"] = rate
+    print(f"\nstore: {rate:,.0f} lookups/s warm")
+
+
+def test_bench_concurrent_writers(tmp_path):
+    """Four threads writing disjoint ranges into one store: every row lands
+    exactly once, and aggregate throughput is printed for the trajectory."""
+    store = ResultStore(str(tmp_path / "bench-mt.sqlite"),
+                        code_version=lambda: "bench")
+    share = ENTRIES // WRITERS
+    barrier = threading.Barrier(WRITERS + 1)
+
+    def write_range(start_i: int) -> None:
+        barrier.wait()
+        for i in range(start_i, start_i + share):
+            store.upsert({"bench": "mt", "i": i}, _payload(i),
+                         job_key=f"bench:mt:{i}")
+
+    threads = [threading.Thread(target=write_range, args=(t * share,))
+               for t in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    written = store.entry_count()
+    assert written == share * WRITERS, "no lost writes under contention"
+    print(f"\nstore: {written / seconds:,.0f} upserts/s aggregate "
+          f"({WRITERS} writers)")

@@ -1,4 +1,4 @@
-"""Persistent on-disk memoisation of simulation jobs.
+"""Persistent memoisation of simulation jobs, backed by the shared store.
 
 Every experiment decomposes into simulation jobs (:mod:`repro.experiments.jobs`)
 whose payloads — :class:`~repro.gpu.counters.KernelCounters` dictionaries and
@@ -13,9 +13,19 @@ simulator's code.  The cache keys each payload by a stable hash of
 * a code-version digest over ``src/repro`` so editing the simulator
   invalidates every stale entry automatically.
 
-Entries are one JSON file each under a two-level shard directory; writes go
-through a temp file + ``os.replace`` so concurrent runs never observe a
-partial entry.  The default location honours ``$SSAM_REPRO_CACHE_DIR`` and
+Since PR 7 the backing storage is the concurrency-safe sqlite/WAL
+:class:`~repro.service.store.ResultStore` rather than one JSON file per
+entry.  The directory layout of PR 2–6 (``v1/<2-hex>/<digest>.json``) was
+atomic per entry but unsafe as a *shared* cache: two processes that missed
+the same key both executed the job, and the lookup-then-store sequence in
+the executor was an unlocked read-modify-write on the cache state.  The
+store closes both windows — :meth:`SimulationCache.claim` hands exactly one
+process the right to execute a missing key, and store-back is a
+first-writer-wins atomic upsert.  Legacy directory trees found next to the
+database are imported once, keeping their entries addressable (the file
+digest and the store digest are byte-identical).
+
+The default location honours ``$SSAM_REPRO_CACHE_DIR`` and
 ``$XDG_CACHE_HOME`` and can be overridden per run (``--cache-dir``) or
 disabled entirely (``--no-cache``).
 """
@@ -23,17 +33,19 @@ disabled entirely (``--no-cache``).
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 from functools import lru_cache
 from typing import Dict, Mapping, Optional
 
-from ..serialization import atomic_write_json, stable_digest
+from ..serialization import stable_digest
 
 #: environment variable overriding the default cache directory
 CACHE_DIR_ENV = "SSAM_REPRO_CACHE_DIR"
-#: bumped when the entry layout changes incompatibly
+#: version of the *legacy* one-JSON-per-entry layout (still recognised by
+#: the migration importer; new entries go to the sqlite store)
 CACHE_FORMAT = 1
+#: filename of the sqlite result store inside the cache directory
+STORE_FILENAME = "results.sqlite"
 
 
 def default_cache_dir() -> str:
@@ -98,18 +110,64 @@ class SimulationCache:
     after the code-version digest is folded in.  ``hits``/``misses``/
     ``stores`` counters make cache behaviour observable to tests and to the
     runner's ``--verbose`` summary.
+
+    All instances pointing at one directory share one sqlite database, so
+    any number of concurrent processes (sweep workers, the service daemon,
+    ad-hoc CLI runs) see a single result set.  :meth:`claim` exposes the
+    store's execution leases; the executor uses them to guarantee each
+    missing key is computed by exactly one process.
     """
 
-    def __init__(self, directory: Optional[str] = None, enabled: bool = True) -> None:
+    def __init__(self, directory: Optional[str] = None, enabled: bool = True,
+                 claim_ttl: Optional[float] = None) -> None:
         self.directory = directory or default_cache_dir()
         self.enabled = enabled
+        self.claim_ttl = claim_ttl
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._store = None
+
+    # -- backing store -------------------------------------------------------
+    @property
+    def store_path(self) -> str:
+        return os.path.join(self.directory, STORE_FILENAME)
+
+    def result_store(self):
+        """The backing :class:`~repro.service.store.ResultStore` (lazy).
+
+        First open also imports any legacy one-JSON-per-entry tree sitting
+        in the same directory, so pre-PR-7 caches keep their contents.  The
+        code-version callable is late-bound through this module so tests
+        that monkeypatch :func:`code_version` affect the store too.
+        """
+        if self._store is None:
+            from ..service.store import ResultStore
+
+            kwargs = {}
+            if self.claim_ttl is not None:
+                kwargs["claim_ttl"] = self.claim_ttl
+            self._store = ResultStore(
+                self.store_path, code_version=lambda: code_version(), **kwargs)
+            legacy_root = os.path.join(self.directory, f"v{CACHE_FORMAT}")
+            if os.path.isdir(legacy_root):
+                self._store.migrate_directory_entries(legacy_root)
+        return self._store
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
 
     # -- keys ---------------------------------------------------------------
     def entry_path(self, key: Mapping[str, object]) -> str:
-        digest = stable_digest({"code_version": code_version(), **key}, length=40)
+        """Where the *legacy* directory layout kept this key's entry.
+
+        New entries live in the sqlite store under the same digest; this
+        path exists so tests and the migration importer can fabricate
+        pre-PR-7 trees.
+        """
+        digest = stable_digest({"code_version": code_version(), **key},
+                               length=40)
         return os.path.join(self.directory, f"v{CACHE_FORMAT}",
                             digest[:2], f"{digest}.json")
 
@@ -118,34 +176,57 @@ class SimulationCache:
         """Return the cached payload for ``key`` or ``None`` on a miss."""
         if not self.enabled:
             return None
-        path = self.entry_path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
-            entry = None
-        payload = entry.get("payload") if isinstance(entry, dict) else None
+        payload = self.result_store().get(key)
         if payload is None:
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
-    def store(self, key: Mapping[str, object], payload: Mapping[str, object]) -> None:
-        """Persist ``payload`` under ``key`` (atomic; no-op when disabled)."""
+    def peek(self, key: Mapping[str, object]) -> Optional[Dict[str, object]]:
+        """Like :meth:`lookup` but without touching the hit/miss counters.
+
+        The executor polls with ``peek`` while waiting for another process
+        to publish a claimed key, so a wait does not inflate the miss count.
+        """
         if not self.enabled:
-            return
-        entry = {"format": CACHE_FORMAT, "key": dict(key), "payload": dict(payload)}
-        atomic_write_json(self.entry_path(key), entry)
+            return None
+        return self.result_store().get(key)
+
+    def store(self, key: Mapping[str, object],
+              payload: Mapping[str, object],
+              job_key: Optional[str] = None) -> bool:
+        """Persist ``payload`` under ``key`` (atomic; no-op when disabled).
+
+        Returns ``True`` when this call published the entry, ``False`` when
+        a concurrent writer got there first (first writer wins — the racing
+        payloads are byte-identical by construction, being pure functions
+        of the key).
+        """
+        if not self.enabled:
+            return False
+        won = self.result_store().upsert(key, payload, job_key=job_key)
         self.stores += 1
+        return won
+
+    # -- exactly-once execution ----------------------------------------------
+    def claim(self, key: Mapping[str, object]) -> bool:
+        """Acquire the execution lease for a missing key (see the store)."""
+        if not self.enabled:
+            return True  # no shared state: every process computes its own
+        return self.result_store().claim(key)
+
+    def release_claim(self, key: Mapping[str, object]) -> None:
+        if self.enabled:
+            self.result_store().release_claim(key)
 
     # -- maintenance ---------------------------------------------------------
     def entry_count(self) -> int:
-        """Number of entries currently stored (all format versions)."""
-        count = 0
-        for _, _, filenames in os.walk(self.directory):
-            count += sum(1 for name in filenames if name.endswith(".json"))
-        return count
+        """Number of results currently stored (all code versions)."""
+        if not self.enabled or (self._store is None
+                                and not os.path.exists(self.store_path)):
+            return 0
+        return self.result_store().entry_count()
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

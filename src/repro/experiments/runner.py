@@ -137,15 +137,110 @@ def save_artifacts(results: Dict[str, ExperimentResult],
             for key in results]
 
 
+def submit_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``ssam-repro submit``: client side of the sweep service.
+
+    Submits a sweep (or tune/refresh) to a daemon started with
+    ``ssam-repro --experiment serve``, discovered through the
+    ``daemon.json`` endpoint file in the shared cache directory (or an
+    explicit ``--url``).  ``--wait`` blocks until the run is terminal and
+    renders the typed result exactly like the batch CLI would.
+    """
+    from ..service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="ssam-repro submit",
+        description="Submit a sweep or tuning run to a running ssam-repro service")
+    parser.add_argument("--matrix", default=None, metavar="SPEC",
+                        help="sweep matrix preset name or JSON file path")
+    parser.add_argument("--tune", action="store_true",
+                        help="submit a launch-config tuning run instead of a sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced design space (only with --tune)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="report which cells a code change invalidated "
+                             "while re-submitting them")
+    parser.add_argument("--priority", type=int, default=0, metavar="N",
+                        help="queue priority (lower runs first; default 0)")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the run finishes and print the report")
+    parser.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                        help="how long --wait polls before giving up")
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help="service address (default: discover via the "
+                             "daemon.json endpoint file in --cache-dir)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"cache directory the daemon was started with "
+                             f"(default {default_cache_dir()!r})")
+    parser.add_argument("--output-dir", default=None, metavar="DIR",
+                        help="with --wait: also save the result as a JSON "
+                             "artifact under DIR")
+    args = parser.parse_args(argv)
+    if args.tune and (args.matrix is not None or args.refresh):
+        parser.error("--tune cannot be combined with --matrix/--refresh")
+    if args.quick and not args.tune:
+        parser.error("--quick requires --tune")
+    if args.url is not None:
+        client = ServiceClient(args.url)
+    else:
+        client = ServiceClient.discover(args.cache_dir or default_cache_dir())
+    if args.tune:
+        run = client.submit_tune({"quick": args.quick},
+                                 priority=args.priority)
+    elif args.refresh:
+        run = client.refresh(args.matrix, priority=args.priority)
+    else:
+        run = client.submit_sweep(args.matrix, priority=args.priority)
+    run_id = run["run_id"]
+    print(f"submitted {run_id}: {run.get('cached', 0)} cached, "
+          f"{run.get('queued', '?')} queued", file=sys.stderr)
+    if run.get("refresh"):
+        counts = run["refresh"]
+        print(f"refresh: {counts['fresh']} fresh, "
+              f"{counts['invalidated']} invalidated, "
+              f"{counts['missing']} missing", file=sys.stderr)
+    if not args.wait:
+        print(run_id)
+        return 0
+    status = client.wait(run_id, timeout=args.timeout)
+    if status["status"] != "done":
+        print(f"run {run_id} {status['status']}: "
+              f"{status.get('failures')}", file=sys.stderr)
+        return 1
+    result = ExperimentResult.from_dict(client.results(run_id))
+    name = "tune" if run["kind"] == "tune" else "sweep"
+    print(render_result(name, result))
+    if args.output_dir:
+        path = result.save(os.path.join(args.output_dir, f"{run_id}.json"))
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _serve(args, workers: int) -> int:
+    """``--experiment serve``: run the daemon until interrupted."""
+    from ..service.daemon import run_daemon
+
+    cache = SimulationCache(args.cache_dir)
+    return run_daemon(cache, host=args.host, port=args.port,
+                      threads=workers, processes=args.serve_processes)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the SSAM paper's tables and figures on the simulated GPUs")
     parser.add_argument("--experiment", "-e", default="all",
-                        choices=sorted(EXPERIMENTS) + ["all", "sweep", "tune"],
+                        choices=sorted(EXPERIMENTS) + ["all", "sweep", "tune",
+                                                       "serve"],
                         help="which table/figure to regenerate, 'sweep' for a "
-                             "scenario-registry sweep, or 'tune' for the "
-                             "launch-configuration autotuner")
+                             "scenario-registry sweep, 'tune' for the "
+                             "launch-configuration autotuner, or 'serve' to "
+                             "run the sweep service daemon")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced sweeps for a fast smoke run")
     parser.add_argument("--matrix", default=None, metavar="SPEC",
@@ -174,6 +269,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--output-dir", default=None, metavar="DIR",
                         help="also save each experiment result as a JSON "
                              "artifact under DIR")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="bind address (only with --experiment serve)")
+    parser.add_argument("--port", type=int, default=8037, metavar="PORT",
+                        help="bind port, 0 for ephemeral (only with "
+                             "--experiment serve)")
+    parser.add_argument("--serve-processes", action="store_true",
+                        help="shard service cells across a process pool "
+                             "(only with --experiment serve)")
     args = parser.parse_args(argv)
     try:
         workers = resolve_workers(args.jobs)
@@ -185,6 +288,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--tune-stage requires --experiment tune")
     if args.confirm_engine != "batched" and args.experiment != "tune":
         parser.error("--confirm-engine requires --experiment tune")
+    if args.experiment == "serve":
+        if args.no_cache:
+            parser.error("--experiment serve needs the shared store; drop "
+                         "--no-cache")
+        return _serve(args, workers)
     cache = None if args.no_cache else SimulationCache(args.cache_dir)
     results = run_experiment_results(args.experiment, quick=args.quick,
                                      jobs=workers, cache=cache,

@@ -256,6 +256,26 @@ def render(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def collect_payloads(matrix: "str | Mapping[str, object] | None",
+                     cache) -> "tuple[Dict[str, Mapping[str, object]], List[str]]":
+    """Store-served payloads of a matrix, without executing anything.
+
+    Returns ``(payloads, missing_job_keys)`` — the sweep service assembles
+    results and streams cells from whatever the shared store already holds,
+    so lookups go through ``cache.peek`` (no hit/miss accounting: nothing
+    is being executed here, and claim-waiting workers poll the same way).
+    """
+    payloads: Dict[str, Mapping[str, object]] = {}
+    missing: List[str] = []
+    for job in jobs(matrix):
+        payload = cache.peek(job.cache_key())
+        if payload is None:
+            missing.append(job.key)
+        else:
+            payloads[job.key] = payload
+    return payloads, missing
+
+
 def run_sweep(matrix: "str | Mapping[str, object] | None" = None,
               quick: bool = False, workers: int = 1,
               cache=None) -> ExperimentResult:

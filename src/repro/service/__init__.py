@@ -1,0 +1,22 @@
+"""Sweep-as-a-service: shared result store, job daemon, thin client.
+
+* :mod:`repro.service.store` — the concurrency-safe sqlite/WAL results
+  database every cache-backed execution goes through;
+* :mod:`repro.service.queue` — the priority-ordered worker pool;
+* :mod:`repro.service.daemon` — the long-running HTTP/JSON service
+  (``ssam-repro --experiment serve``);
+* :mod:`repro.service.client` — the urllib client behind
+  ``ssam-repro submit``.
+
+The store is imported eagerly (the cache layer builds on it); the daemon
+and client stay lazy so plain batch runs never pay for the HTTP stack.
+"""
+
+from .store import DEFAULT_CLAIM_TTL, DIGEST_LENGTH, STORE_SCHEMA_VERSION, ResultStore
+
+__all__ = [
+    "DEFAULT_CLAIM_TTL",
+    "DIGEST_LENGTH",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+]

@@ -1,0 +1,140 @@
+"""Thin urllib client for the sweep service (no third-party HTTP stack).
+
+The daemon advertises its bound address in ``daemon.json`` next to the
+result store, so a client pointed at the same ``--cache-dir`` finds the
+service without configuration::
+
+    client = ServiceClient.discover(cache_dir)
+    run = client.submit_sweep("tier1")
+    status = client.wait(run["run_id"])
+    result = client.results(run["run_id"])      # typed ExperimentResult dict
+
+Every method returns the decoded JSON body; HTTP error statuses raise
+:class:`~repro.errors.SimulationError` carrying the server's ``error``
+message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import ConfigurationError, SimulationError
+
+#: seconds between run-status polls in :meth:`ServiceClient.wait`
+POLL_SECONDS = 0.1
+
+
+class ServiceClient:
+    """JSON-over-HTTP access to one running sweep service."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    @classmethod
+    def discover(cls, cache_dir: str, timeout: float = 30.0) -> "ServiceClient":
+        """Connect via the ``daemon.json`` endpoint file in ``cache_dir``."""
+        from ..experiments.cache import SimulationCache
+        from .daemon import endpoint_path
+
+        path = endpoint_path(SimulationCache(cache_dir))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                endpoint = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"no running service advertised at {path!r} ({exc}); start "
+                f"one with: ssam-repro --experiment serve --cache-dir "
+                f"{cache_dir!r}")
+        return cls(endpoint["url"], timeout=timeout)
+
+    # -- transport -------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error")
+            except ValueError:
+                detail = exc.reason
+            raise SimulationError(
+                f"{method} {path} failed ({exc.code}): {detail}")
+        except urllib.error.URLError as exc:
+            raise SimulationError(
+                f"cannot reach service at {self.url!r}: {exc.reason}")
+
+    # -- endpoints -------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/health")
+
+    def scenarios(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/scenarios")["scenarios"]
+
+    def matrices(self) -> Dict[str, object]:
+        return self._request("GET", "/matrices")["matrices"]
+
+    def runs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/runs")["runs"]
+
+    def submit_sweep(self, matrix: "str | Mapping[str, object] | None" = None,
+                     priority: int = 0,
+                     name: Optional[str] = None) -> Dict[str, object]:
+        body: Dict[str, object] = {"priority": priority}
+        if matrix is not None:
+            body["matrix"] = matrix
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/sweeps", body)
+
+    def submit_tune(self, options: Optional[Mapping[str, object]] = None,
+                    priority: int = 0) -> Dict[str, object]:
+        return self._request("POST", "/tune",
+                             {"options": dict(options or {}),
+                              "priority": priority})
+
+    def refresh(self, matrix: "str | Mapping[str, object] | None" = None,
+                priority: int = 0) -> Dict[str, object]:
+        body: Dict[str, object] = {"priority": priority}
+        if matrix is not None:
+            body["matrix"] = matrix
+        return self._request("POST", "/refresh", body)
+
+    def status(self, run_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/runs/{run_id}")
+
+    def results(self, run_id: str) -> Dict[str, object]:
+        """The run's typed result dict (raises while still incomplete)."""
+        payload = self._request("GET", f"/runs/{run_id}/results")
+        if payload.get("status") == "incomplete":
+            raise SimulationError(f"run {run_id!r} is still executing")
+        return payload
+
+    def cells(self, run_id: str) -> List[Dict[str, object]]:
+        """The run's completed cell payloads (decoded NDJSON stream)."""
+        request = urllib.request.Request(self.url + f"/runs/{run_id}/cells")
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            text = resp.read().decode("utf-8")
+        return [json.loads(line) for line in text.splitlines() if line]
+
+    def wait(self, run_id: str, timeout: float = 600.0) -> Dict[str, object]:
+        """Poll until the run is terminal; returns its final status body."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise SimulationError(
+                    f"run {run_id!r} still {status['status']!r} after "
+                    f"{timeout:.0f}s")
+            time.sleep(POLL_SECONDS)

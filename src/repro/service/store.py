@@ -1,0 +1,513 @@
+"""The shared results database: sqlite/WAL, safe under concurrent writers.
+
+The PR-2 directory cache memoised one JSON file per simulation payload.
+That layout is atomic per entry but gives no cross-process coordination:
+two processes that miss the same key both execute the job, and there is no
+way to ask "what do we already know?" without walking the tree.  The
+:class:`ResultStore` replaces it with one sqlite database in WAL mode —
+many concurrent readers, serialised short write transactions — holding
+
+* **results** — typed payloads addressed by the same 40-hex job-key digest
+  the directory cache used (``stable_digest({"code_version", **key})``),
+  with the code-version digest also stored as a queryable column so stale
+  generations can be found without recomputing keys;
+* **claims** — short-lived execution leases that make "exactly one process
+  executes each missing job" enforceable (:meth:`claim` /
+  :meth:`ResultStore.upsert`); a claim left behind by a killed process
+  expires after ``claim_ttl`` seconds and can be taken over;
+* **runs** / **run_cells** — checkpointed service runs (sweep/tune
+  submissions): the matrix, priority and per-cell status survive a daemon
+  restart, so a killed sweep resumes from its completed cells.
+
+Writes are first-writer-wins: :meth:`upsert` inserts with ``ON CONFLICT DO
+NOTHING`` inside one transaction, closing the read-modify-write window the
+directory cache's lookup-then-store sequence left open (two racing writers
+now produce exactly one canonical row, and each learns whether it won).
+
+The schema carries a version number in the ``meta`` table; opening a store
+written by a newer build fails loudly, and older on-disk versions upgrade
+through :data:`MIGRATIONS`.  Legacy directory-cache trees are imported
+once via :meth:`migrate_directory_entries`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..errors import ConfigurationError
+from ..serialization import canonical_json, jsonify, stable_digest
+
+#: current on-disk schema version (``meta`` table, key ``schema_version``)
+STORE_SCHEMA_VERSION = 1
+
+#: length of the hex job-key digest (matches the legacy directory cache)
+DIGEST_LENGTH = 40
+
+#: seconds after which an execution claim from a dead process may be
+#: taken over by another worker
+DEFAULT_CLAIM_TTL = 300.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    digest       TEXT PRIMARY KEY,
+    job_key      TEXT,
+    code_version TEXT NOT NULL,
+    key_json     TEXT NOT NULL,
+    payload_json TEXT NOT NULL,
+    writer       TEXT NOT NULL,
+    created_at   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_job_key ON results(job_key);
+CREATE INDEX IF NOT EXISTS results_code_version ON results(code_version);
+CREATE TABLE IF NOT EXISTS claims (
+    digest      TEXT PRIMARY KEY,
+    owner       TEXT NOT NULL,
+    acquired_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    name         TEXT,
+    matrix_json  TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    status       TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    total        INTEGER NOT NULL,
+    submitted_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS run_cells (
+    run_id TEXT NOT NULL,
+    cell   TEXT NOT NULL,
+    digest TEXT NOT NULL,
+    status TEXT NOT NULL,
+    detail TEXT,
+    PRIMARY KEY (run_id, cell)
+);
+"""
+
+#: in-place schema upgrades, ``{from_version: migrate(connection)}``; each
+#: entry upgrades one version step and the opener applies them in sequence
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {}
+
+
+def _encode(value: object) -> str:
+    """JSON encoding that preserves insertion order.
+
+    Payloads must round-trip through the store byte-identically to a fresh
+    computation (warm artifacts are compared against cold ones), so keys
+    are *not* sorted here — digests use :func:`canonical_json` instead.
+    """
+    return json.dumps(jsonify(value), separators=(",", ":"), allow_nan=True)
+
+
+def _default_code_version() -> str:
+    # imported lazily: experiments.cache imports this module at load time
+    from ..experiments import cache as cache_mod
+
+    return cache_mod.code_version()
+
+
+class ResultStore:
+    """Job-key-addressed typed results in one sqlite/WAL database.
+
+    Parameters
+    ----------
+    path:
+        The sqlite database file; parent directories are created.
+    claim_ttl:
+        Seconds before an execution claim is considered abandoned.
+    code_version:
+        Zero-argument callable returning the current code digest; folded
+        into every key digest (late-bound so tests can monkeypatch the
+        cache module's ``code_version``).
+    """
+
+    def __init__(self, path: str, claim_ttl: float = DEFAULT_CLAIM_TTL,
+                 code_version: Optional[Callable[[], str]] = None) -> None:
+        self.path = os.path.abspath(path)
+        self.claim_ttl = float(claim_ttl)
+        self._code_version = code_version or _default_code_version
+        self._local = threading.local()
+        self._init_lock = threading.Lock()
+        self._initialised = False
+        self.owner = f"{os.uname().nodename}:{os.getpid()}"
+
+    # -- connections ---------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    def _conn(self) -> sqlite3.Connection:
+        """The calling thread's connection (sqlite handles are not shared)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            conn = self._connect()
+            self._local.conn = conn
+            with self._init_lock:
+                if not self._initialised:
+                    self._ensure_schema(conn)
+                    self._initialised = True
+        return conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'").fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES(?, ?)",
+                ("schema_version", str(STORE_SCHEMA_VERSION)))
+            conn.commit()
+            return
+        version = int(row["value"])
+        if version > STORE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"result store {self.path!r} has schema version {version}, "
+                f"newer than this build's {STORE_SCHEMA_VERSION}; refusing "
+                f"to open it")
+        while version < STORE_SCHEMA_VERSION:
+            migrate = MIGRATIONS.get(version)
+            if migrate is None:
+                raise ConfigurationError(
+                    f"no migration from store schema version {version}")
+            migrate(conn)
+            version += 1
+            conn.execute("UPDATE meta SET value=? WHERE key='schema_version'",
+                         (str(version),))
+            conn.commit()
+
+    def close(self) -> None:
+        """Close the calling thread's connection (other threads unaffected)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def schema_version(self) -> int:
+        row = self._conn().execute(
+            "SELECT value FROM meta WHERE key='schema_version'").fetchone()
+        return int(row["value"])
+
+    # -- keys ----------------------------------------------------------------
+    def code_version(self) -> str:
+        return self._code_version()
+
+    def digest_for(self, key: Mapping[str, object]) -> str:
+        """The 40-hex identity of a job key under the current code digest.
+
+        Byte-compatible with the legacy directory cache's file digest, so
+        imported legacy entries stay addressable.
+        """
+        return stable_digest({"code_version": self.code_version(), **key},
+                             length=DIGEST_LENGTH)
+
+    # -- results -------------------------------------------------------------
+    def get(self, key: Mapping[str, object]) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key`` under the current code version."""
+        return self.get_by_digest(self.digest_for(key))
+
+    def get_by_digest(self, digest: str) -> Optional[Dict[str, object]]:
+        row = self._conn().execute(
+            "SELECT payload_json FROM results WHERE digest=?",
+            (digest,)).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row["payload_json"])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def upsert(self, key: Mapping[str, object],
+               payload: Mapping[str, object],
+               job_key: Optional[str] = None) -> bool:
+        """Atomically publish ``payload`` under ``key``; first writer wins.
+
+        Returns ``True`` when this call inserted the row.  A concurrent
+        writer that lost the race leaves the existing row untouched and
+        gets ``False`` — the read-modify-write window of the directory
+        cache's lookup-then-store sequence cannot reappear, because the
+        decision happens inside one sqlite transaction.  The writer's
+        execution claim (if any) is released in the same transaction.
+        """
+        digest = self.digest_for(key)
+        conn = self._conn()
+        with conn:
+            cursor = conn.execute(
+                "INSERT INTO results(digest, job_key, code_version, key_json,"
+                " payload_json, writer, created_at) VALUES(?,?,?,?,?,?,?)"
+                " ON CONFLICT(digest) DO NOTHING",
+                (digest, job_key, self.code_version(), _encode(key),
+                 _encode(payload), self.owner, time.time()))
+            conn.execute("DELETE FROM claims WHERE digest=?", (digest,))
+        return cursor.rowcount == 1
+
+    def entry_count(self) -> int:
+        row = self._conn().execute("SELECT COUNT(*) AS n FROM results").fetchone()
+        return int(row["n"])
+
+    def dump(self) -> List[Dict[str, object]]:
+        """Every stored result, digest-ordered, without volatile columns.
+
+        The concurrency tests compare the dump of an 8-writer run against
+        a serial run — writer identity and timestamps are excluded exactly
+        because they are the only columns allowed to differ.
+        """
+        rows = self._conn().execute(
+            "SELECT digest, job_key, code_version, key_json, payload_json "
+            "FROM results ORDER BY digest").fetchall()
+        return [{"digest": r["digest"], "job_key": r["job_key"],
+                 "code_version": r["code_version"],
+                 "key": json.loads(r["key_json"]),
+                 "payload": json.loads(r["payload_json"])} for r in rows]
+
+    def job_key_versions(self, job_key: str) -> List[str]:
+        """Code versions a job key has stored results under (refresh query)."""
+        rows = self._conn().execute(
+            "SELECT DISTINCT code_version FROM results WHERE job_key=?"
+            " ORDER BY code_version", (job_key,)).fetchall()
+        return [r["code_version"] for r in rows]
+
+    def stale_entry_count(self) -> int:
+        """Entries stored under a code version other than the current one."""
+        row = self._conn().execute(
+            "SELECT COUNT(*) AS n FROM results WHERE code_version<>?",
+            (self.code_version(),)).fetchone()
+        return int(row["n"])
+
+    # -- claims (exactly-once execution) --------------------------------------
+    def claim(self, key: Mapping[str, object],
+              owner: Optional[str] = None) -> bool:
+        """Try to acquire the execution lease for ``key``.
+
+        ``True`` means the caller must execute the job and publish the
+        payload with :meth:`upsert` (which releases the lease).  ``False``
+        means the result already exists or another live process holds the
+        lease — the caller should wait for the result to appear.  Leases
+        older than ``claim_ttl`` (their owner died) are taken over.
+        """
+        digest = self.digest_for(key)
+        owner = owner or self.owner
+        now = time.time()
+        conn = self._conn()
+        # the result-existence guard rides inside each write statement:
+        # a plain SELECT-then-INSERT would run the SELECT in autocommit
+        # (python's sqlite3 only opens the transaction at the first write),
+        # leaving a window where a concurrent upsert publishes the result
+        # and releases its claim between our check and our insert — this
+        # process would then claim, and re-execute, a finished job
+        with conn:
+            cursor = conn.execute(
+                "INSERT INTO claims(digest, owner, acquired_at)"
+                " SELECT ?, ?, ? WHERE NOT EXISTS"
+                " (SELECT 1 FROM results WHERE digest=?)"
+                " ON CONFLICT(digest) DO NOTHING",
+                (digest, owner, now, digest))
+            if cursor.rowcount == 1:
+                return True
+            cursor = conn.execute(
+                "UPDATE claims SET owner=?, acquired_at=?"
+                " WHERE digest=? AND acquired_at<? AND NOT EXISTS"
+                " (SELECT 1 FROM results WHERE digest=?)",
+                (owner, now, digest, now - self.claim_ttl, digest))
+            return cursor.rowcount == 1
+
+    def release_claim(self, key: Mapping[str, object],
+                      owner: Optional[str] = None) -> None:
+        """Drop an execution lease without publishing (worker failed)."""
+        conn = self._conn()
+        with conn:
+            conn.execute("DELETE FROM claims WHERE digest=? AND owner=?",
+                         (self.digest_for(key), owner or self.owner))
+
+    def reap_dead_claims(self) -> int:
+        """Release claims whose owning process on this host no longer exists.
+
+        Claim owners are recorded as ``host:pid``; a SIGKILLed worker
+        cannot release its leases, and without reaping, waiters would sit
+        out the full ``claim_ttl`` before taking over.  Owners on other
+        hosts are left to the TTL (their liveness is unknowable here).
+        Returns the number of leases released.
+        """
+        node = os.uname().nodename
+        conn = self._conn()
+        rows = conn.execute("SELECT digest, owner FROM claims").fetchall()
+        reaped = 0
+        for row in rows:
+            host, _, pid_text = row["owner"].rpartition(":")
+            if host != node or not pid_text.isdigit():
+                continue
+            try:
+                os.kill(int(pid_text), 0)
+                continue  # alive (or at least present)
+            except ProcessLookupError:
+                pass
+            except OSError:
+                continue  # exists but not ours to signal
+            with conn:
+                cursor = conn.execute(
+                    "DELETE FROM claims WHERE digest=? AND owner=?",
+                    (row["digest"], row["owner"]))
+            reaped += cursor.rowcount
+        return reaped
+
+    def claim_count(self) -> int:
+        row = self._conn().execute("SELECT COUNT(*) AS n FROM claims").fetchone()
+        return int(row["n"])
+
+    # -- runs (checkpointed service submissions) ------------------------------
+    def next_run_ordinal(self) -> int:
+        row = self._conn().execute("SELECT COUNT(*) AS n FROM runs").fetchone()
+        return int(row["n"]) + 1
+
+    def create_run(self, run_id: str, kind: str, matrix: Mapping[str, object],
+                   cells: Mapping[str, str], priority: int = 0,
+                   name: Optional[str] = None,
+                   cell_status: Optional[Mapping[str, str]] = None) -> None:
+        """Checkpoint a new run and its per-cell ledger in one transaction."""
+        conn = self._conn()
+        statuses = cell_status or {}
+        with conn:
+            conn.execute(
+                "INSERT INTO runs(run_id, kind, name, matrix_json, priority,"
+                " status, code_version, total, submitted_at)"
+                " VALUES(?,?,?,?,?,?,?,?,?)",
+                (run_id, kind, name, canonical_json(matrix), int(priority),
+                 "queued", self.code_version(), len(cells), time.time()))
+            conn.executemany(
+                "INSERT INTO run_cells(run_id, cell, digest, status)"
+                " VALUES(?,?,?,?)",
+                [(run_id, cell, digest, statuses.get(cell, "pending"))
+                 for cell, digest in cells.items()])
+
+    def add_run_cells(self, run_id: str, cells: Mapping[str, str],
+                      status: str = "pending") -> None:
+        """Append cells to an existing run's ledger (tune stages register
+        their design points as they are generated).  Idempotent per cell —
+        a resumed tune run re-registers the same cells harmlessly — and the
+        run's ``total`` tracks the ledger size."""
+        conn = self._conn()
+        with conn:
+            conn.executemany(
+                "INSERT INTO run_cells(run_id, cell, digest, status)"
+                " VALUES(?,?,?,?) ON CONFLICT(run_id, cell) DO NOTHING",
+                [(run_id, cell, digest, status)
+                 for cell, digest in cells.items()])
+            conn.execute(
+                "UPDATE runs SET total=(SELECT COUNT(*) FROM run_cells"
+                " WHERE run_id=?) WHERE run_id=?", (run_id, run_id))
+
+    def run_record(self, run_id: str) -> Dict[str, object]:
+        row = self._conn().execute(
+            "SELECT * FROM runs WHERE run_id=?", (run_id,)).fetchone()
+        if row is None:
+            raise ConfigurationError(f"unknown run {run_id!r}")
+        record = dict(row)
+        record["matrix"] = json.loads(record.pop("matrix_json"))
+        return record
+
+    def list_runs(self, status: Optional[Iterable[str]] = None
+                  ) -> List[Dict[str, object]]:
+        rows = self._conn().execute(
+            "SELECT run_id, kind, name, priority, status, total,"
+            " submitted_at, code_version FROM runs"
+            " ORDER BY submitted_at, run_id").fetchall()
+        records = [dict(r) for r in rows]
+        if status is not None:
+            wanted = set(status)
+            records = [r for r in records if r["status"] in wanted]
+        return records
+
+    def set_run_status(self, run_id: str, status: str) -> None:
+        conn = self._conn()
+        with conn:
+            conn.execute("UPDATE runs SET status=? WHERE run_id=?",
+                         (status, run_id))
+
+    def set_cell_status(self, run_id: str, cell: str, status: str,
+                        detail: Optional[str] = None) -> None:
+        conn = self._conn()
+        with conn:
+            conn.execute(
+                "UPDATE run_cells SET status=?, detail=?"
+                " WHERE run_id=? AND cell=?", (status, detail, run_id, cell))
+
+    def run_cells(self, run_id: str,
+                  status: Optional[str] = None) -> List[Dict[str, object]]:
+        query = ("SELECT cell, digest, status, detail FROM run_cells"
+                 " WHERE run_id=?")
+        params: List[object] = [run_id]
+        if status is not None:
+            query += " AND status=?"
+            params.append(status)
+        rows = self._conn().execute(query + " ORDER BY cell", params).fetchall()
+        return [dict(r) for r in rows]
+
+    def run_progress(self, run_id: str) -> Dict[str, int]:
+        """Per-status cell counts of one run (the status endpoint's body)."""
+        rows = self._conn().execute(
+            "SELECT status, COUNT(*) AS n FROM run_cells WHERE run_id=?"
+            " GROUP BY status", (run_id,)).fetchall()
+        counts = {r["status"]: int(r["n"]) for r in rows}
+        counts["total"] = sum(counts.values())
+        return counts
+
+    # -- legacy migration ------------------------------------------------------
+    def migrate_directory_entries(self, directory: str) -> int:
+        """Import a legacy PR-2 directory-cache tree (one JSON per entry).
+
+        Each legacy file is named by the same key digest this store
+        computes, so entries keep their identity: a key that hit the
+        directory cache hits the store after migration, and two distinct
+        keys can never merge into one row (their digests differ).  The
+        legacy entry body does not record which code version produced it,
+        so the column is left empty — such rows are served normally (the
+        digest already pins the code version) but count as stale for
+        refresh queries.  Returns the number of rows imported; the scan is
+        idempotent (existing digests win).
+        """
+        imported = 0
+        if not os.path.isdir(directory):
+            return imported
+        conn = self._conn()
+        for dirpath, dirnames, filenames in os.walk(directory):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        entry = json.load(handle)
+                except (OSError, ValueError):
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                key = entry.get("key")
+                payload = entry.get("payload")
+                if not isinstance(key, dict) or not isinstance(payload, dict):
+                    continue
+                digest = os.path.splitext(filename)[0]
+                with conn:
+                    cursor = conn.execute(
+                        "INSERT INTO results(digest, job_key, code_version,"
+                        " key_json, payload_json, writer, created_at)"
+                        " VALUES(?,?,?,?,?,?,?) ON CONFLICT(digest) DO NOTHING",
+                        (digest, None, "", _encode(key),
+                         _encode(payload), "legacy-import", time.time()))
+                imported += cursor.rowcount
+        return imported

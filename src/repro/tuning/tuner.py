@@ -224,15 +224,23 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
                model_size: str = MODEL_SIZE,
                confirm_size: Optional[str] = None,
                confirm: bool = True,
-               confirm_engine: str = "batched") -> ExperimentResult:
+               confirm_engine: str = "batched",
+               executor=None) -> ExperimentResult:
     """Run the two-stage search end to end through the job pipeline.
 
     ``confirm=False`` stops after the exhaustive model stage (the CI smoke
     path): the report then shows the closed-form ranking only.
     ``confirm_engine="replay"`` confirms on the compiled trace-replay
     engine instead of the batched simulator (identical verdicts, faster).
+    ``executor`` substitutes the job executor — same signature as
+    :func:`repro.experiments.parallel.execute_jobs` — which is how the
+    sweep service routes tuning stages through its priority-ordered worker
+    pool instead of a private process pool.
     """
     from ..experiments.parallel import execute_jobs
+
+    if executor is None:
+        executor = execute_jobs
 
     resolved_space = space if space is not None else (QUICK_SPACE if quick
                                                       else FULL_SPACE)
@@ -242,7 +250,7 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
         QUICK_CONFIRM_SIZE if quick else CONFIRM_SIZE)
     cells = tune_cells(scenarios, architectures, precisions, model_size)
     points_by_cell = explore_points(cells, resolved_space, model_size)
-    model_payloads = execute_jobs(
+    model_payloads = executor(
         model_jobs(cells, points_by_cell, model_size),
         workers=workers, cache=cache)
     rankings = {cell.cell_id: _ranked_points(cell,
@@ -258,7 +266,7 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
                                           resolved_top_k, resolved_confirm,
                                           confirm_engine)
             for cell in cells}
-        confirm_payloads = execute_jobs(
+        confirm_payloads = executor(
             confirm_jobs(cells, candidates_by_cell, resolved_confirm,
                          confirm_engine),
             workers=workers, cache=cache)

@@ -136,14 +136,49 @@ def test_stale_entries_are_never_served_by_the_pipeline(tmp_path, monkeypatch):
 
 
 def test_corrupted_entries_read_as_misses(tmp_path):
+    import sqlite3
+
     cache = SimulationCache(str(tmp_path))
     key = {"func": "worker", "params": {}}
     cache.store(key, {"value": 1})
-    path = pathlib.Path(cache.entry_path(key))
-    path.write_text("{not json", encoding="utf-8")
+    digest = cache.result_store().digest_for(key)
+    cache.close()
+    with sqlite3.connect(cache.store_path) as conn:
+        conn.execute("UPDATE results SET payload_json=? WHERE digest=?",
+                     ("{not json", digest))
     fresh = SimulationCache(str(tmp_path))
     assert fresh.lookup(key) is None
-    # entries missing their payload are equally invalid
-    path.write_text('{"format": 1, "key": {}}', encoding="utf-8")
+    # entries whose payload is not a mapping are equally invalid
+    fresh.close()
+    with sqlite3.connect(cache.store_path) as conn:
+        conn.execute("UPDATE results SET payload_json=? WHERE digest=?",
+                     ("[1, 2]", digest))
     assert fresh.lookup(key) is None
     assert fresh.stats()["misses"] == 2
+
+
+def test_legacy_directory_entries_migrate_into_the_store(tmp_path):
+    """A pre-PR-7 one-JSON-per-entry tree is imported on first open.
+
+    The legacy file digest and the store digest are byte-identical, so
+    migrated entries stay addressable by the same logical key — and
+    unreadable legacy files are skipped, not imported as garbage.
+    """
+    import json
+
+    legacy = SimulationCache(str(tmp_path))
+    key = {"func": "worker", "params": {"x": 7}}
+    path = pathlib.Path(legacy.entry_path(key))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"format": 1, "key": key,
+                                "payload": {"value": 99}}), encoding="utf-8")
+    broken = path.parent / "00" / "broken.json"
+    broken.parent.mkdir(parents=True, exist_ok=True)
+    broken.write_text("{not json", encoding="utf-8")
+
+    migrated = SimulationCache(str(tmp_path))
+    assert migrated.lookup(key) == {"value": 99}
+    assert migrated.entry_count() == 1
+    # legacy rows carry no code-version column: they count as stale for
+    # refresh queries even though their digest pins the code version
+    assert migrated.result_store().stale_entry_count() == 1

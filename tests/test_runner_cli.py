@@ -7,9 +7,6 @@ whole pipeline through the same argument surface CI uses.
 
 from __future__ import annotations
 
-import json
-import os
-
 import pytest
 
 from repro.experiments import load_result, runner
@@ -113,11 +110,11 @@ def test_cache_dir_controls(capsys, tmp_path):
     cache_dir = tmp_path / "cache"
     _, first, _ = _main(["--experiment", "table2", "--quick",
                          "--cache-dir", str(cache_dir)], capsys)
-    entries = [os.path.join(root, f) for root, _, files in os.walk(cache_dir)
-               for f in files]
-    assert entries, "cache population expected"
-    with open(entries[0], "r", encoding="utf-8") as handle:
-        entry = json.load(handle)
+    from repro.experiments.cache import SimulationCache
+
+    populated = SimulationCache(str(cache_dir))
+    assert populated.entry_count() > 0, "cache population expected"
+    entry = populated.result_store().dump()[0]
     assert "payload" in entry and "key" in entry
     # a second run must serve from cache and print identical text
     _, second, err = _main(["--experiment", "table2", "--quick",
@@ -150,3 +147,66 @@ def test_tune_experiment_cli_path(capsys, tmp_path):
     # artifact emission goes to stderr, so stdout is byte-identical warm
     assert warm_out == out
     assert "0 misses" in warm_err
+
+
+# ------------------------------------------------------ service CLI surface
+
+def test_serve_rejects_no_cache(capsys):
+    """The daemon IS the shared cache; serving without one is nonsense."""
+    with pytest.raises(SystemExit) as excinfo:
+        runner.main(["--experiment", "serve", "--no-cache"])
+    assert excinfo.value.code == 2
+    assert "--no-cache" in capsys.readouterr().err
+
+
+def test_submit_flag_validation(capsys):
+    for bad in (["submit", "--tune", "--matrix", "tier1"],
+                ["submit", "--tune", "--refresh"],
+                ["submit", "--quick"]):
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(bad)
+        assert excinfo.value.code == 2, bad
+        capsys.readouterr()
+
+
+def test_submit_without_a_running_daemon_is_a_clear_error(tmp_path):
+    with pytest.raises(ConfigurationError, match="no running service"):
+        runner.main(["submit", "--matrix", "smoke",
+                     "--cache-dir", str(tmp_path)])
+
+
+def test_submit_end_to_end_against_a_live_daemon(capsys, tmp_path):
+    """``ssam-repro submit --wait`` renders the same sweep report the batch
+    CLI would, from a daemon reached by explicit ``--url``."""
+    import threading
+
+    from repro.experiments.cache import SimulationCache
+    from repro.service.daemon import serve
+
+    cache = SimulationCache(str(tmp_path / "cache"))
+    server, core = serve(cache, port=0, threads=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    out_dir = tmp_path / "artifacts"
+    try:
+        code, out, err = _main(["submit", "--matrix", "smoke", "--wait",
+                                "--url", url, "--output-dir", str(out_dir)],
+                               capsys)
+        assert code == 0
+        assert "submitted sweep-" in err
+        assert "sweep digest:" in out
+        artifacts = list(out_dir.iterdir())
+        assert len(artifacts) == 1
+        assert load_result(str(artifacts[0])).experiment == "sweep"
+        # fire-and-forget resubmit: run id on stdout, everything cached
+        code, out, err = _main(["submit", "--matrix", "smoke",
+                                "--url", url], capsys)
+        assert code == 0
+        assert out.strip().startswith("sweep-")
+        assert " 0 queued" in err
+    finally:
+        server.shutdown()
+        server.server_close()
+        core.shutdown()

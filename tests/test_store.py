@@ -1,0 +1,244 @@
+"""Unit tests for the shared result store (sqlite/WAL database).
+
+Covers the store's contracts one at a time: schema versioning, the
+first-writer-wins upsert (the fix for the directory cache's
+read-modify-write race), execution claims with TTL takeover, the
+checkpointed run ledger, and legacy directory-tree migration.  The
+multi-process behaviour is exercised separately in
+``test_store_concurrency.py`` and ``test_crash_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cache import SimulationCache
+from repro.service.store import (
+    DEFAULT_CLAIM_TTL,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    st = ResultStore(str(tmp_path / "results.sqlite"),
+                     code_version=lambda: "cv0")
+    yield st
+    st.close()
+
+
+KEY_A = {"func": "worker", "params": {"x": 1}}
+KEY_B = {"func": "worker", "params": {"x": 2}}
+
+
+# ---------------------------------------------------------------- schema
+
+def test_schema_version_is_stamped_on_creation(store):
+    assert store.schema_version() == STORE_SCHEMA_VERSION
+
+
+def test_newer_schema_versions_are_rejected(store, tmp_path):
+    store.upsert(KEY_A, {"v": 1})
+    store.close()
+    with sqlite3.connect(str(tmp_path / "results.sqlite")) as conn:
+        conn.execute("UPDATE meta SET value=? WHERE key='schema_version'",
+                     (str(STORE_SCHEMA_VERSION + 1),))
+    newer = ResultStore(str(tmp_path / "results.sqlite"))
+    with pytest.raises(ConfigurationError, match="newer than this build"):
+        newer.entry_count()
+
+
+def test_unknown_older_schema_version_fails_loudly(store, tmp_path):
+    store.upsert(KEY_A, {"v": 1})
+    store.close()
+    with sqlite3.connect(str(tmp_path / "results.sqlite")) as conn:
+        conn.execute("UPDATE meta SET value='0' WHERE key='schema_version'")
+    older = ResultStore(str(tmp_path / "results.sqlite"))
+    with pytest.raises(ConfigurationError, match="no migration"):
+        older.entry_count()
+
+
+# ------------------------------------------------------ first-writer-wins
+
+def test_upsert_is_first_writer_wins(store):
+    assert store.upsert(KEY_A, {"v": "first"}) is True
+    assert store.upsert(KEY_A, {"v": "second"}) is False
+    assert store.get(KEY_A) == {"v": "first"}
+    assert store.entry_count() == 1
+
+
+def test_distinct_keys_do_not_collide(store):
+    store.upsert(KEY_A, {"v": 1})
+    store.upsert(KEY_B, {"v": 2})
+    assert store.entry_count() == 2
+    assert store.get(KEY_A) == {"v": 1}
+    assert store.get(KEY_B) == {"v": 2}
+
+
+def test_code_version_changes_the_digest(tmp_path):
+    version = ["cv0"]
+    store = ResultStore(str(tmp_path / "s.sqlite"),
+                        code_version=lambda: version[0])
+    store.upsert(KEY_A, {"v": "old"})
+    version[0] = "cv1"
+    assert store.get(KEY_A) is None, "new code version must miss"
+    store.upsert(KEY_A, {"v": "new"})
+    assert store.get(KEY_A) == {"v": "new"}
+    assert store.entry_count() == 2
+    assert store.stale_entry_count() == 1
+    store.close()
+
+
+def test_dump_excludes_volatile_columns(store):
+    store.upsert(KEY_A, {"v": 1}, job_key="job:a")
+    dump = store.dump()
+    assert len(dump) == 1
+    assert set(dump[0]) == {"digest", "job_key", "code_version", "key",
+                            "payload"}
+    assert dump[0]["job_key"] == "job:a"
+    assert dump[0]["payload"] == {"v": 1}
+
+
+# ---------------------------------------------------------------- claims
+
+def test_claim_is_exclusive_until_released(store):
+    assert store.claim(KEY_A, owner="w1") is True
+    assert store.claim(KEY_A, owner="w2") is False
+    store.release_claim(KEY_A, owner="w1")
+    assert store.claim(KEY_A, owner="w2") is True
+
+
+def test_claim_refused_once_result_exists(store):
+    store.upsert(KEY_A, {"v": 1})
+    assert store.claim(KEY_A, owner="w1") is False
+
+
+def test_upsert_releases_the_writers_claim(store):
+    store.claim(KEY_A, owner=store.owner)
+    assert store.claim_count() == 1
+    store.upsert(KEY_A, {"v": 1})
+    assert store.claim_count() == 0
+
+
+def test_expired_claims_are_taken_over(tmp_path):
+    fast = ResultStore(str(tmp_path / "s.sqlite"), claim_ttl=0.0,
+                       code_version=lambda: "cv0")
+    assert fast.claim(KEY_A, owner="dead-process") is True
+    # ttl=0 means the lease is immediately stale: takeover succeeds and
+    # records the new owner
+    assert fast.claim(KEY_A, owner="survivor") is True
+    assert fast.claim_count() == 1
+    fast.close()
+
+
+def test_live_claims_are_not_taken_over(store):
+    assert store.claim_ttl == DEFAULT_CLAIM_TTL
+    assert store.claim(KEY_A, owner="w1") is True
+    assert store.claim(KEY_A, owner="w2") is False, \
+        "a fresh lease must not be stolen"
+
+
+# ---------------------------------------------------------------- runs
+
+def test_run_ledger_round_trip(store):
+    cells = {"cell:a": store.digest_for(KEY_A),
+             "cell:b": store.digest_for(KEY_B)}
+    store.create_run("run-1", "sweep", {"name": "tier1"}, cells,
+                     priority=5, name="nightly",
+                     cell_status={"cell:a": "cached"})
+    record = store.run_record("run-1")
+    assert record["kind"] == "sweep"
+    assert record["matrix"] == {"name": "tier1"}
+    assert record["priority"] == 5
+    assert record["total"] == 2
+    assert store.run_progress("run-1") == {"cached": 1, "pending": 1,
+                                           "total": 2}
+    store.set_cell_status("run-1", "cell:b", "failed", "boom")
+    failed = store.run_cells("run-1", status="failed")
+    assert [c["cell"] for c in failed] == ["cell:b"]
+    assert failed[0]["detail"] == "boom"
+    store.set_run_status("run-1", "failed")
+    assert store.list_runs(status=["failed"])[0]["run_id"] == "run-1"
+    assert store.list_runs(status=["done"]) == []
+    with pytest.raises(ConfigurationError, match="unknown run"):
+        store.run_record("run-없음")
+
+
+def test_add_run_cells_is_idempotent_and_tracks_total(store):
+    store.create_run("run-1", "tune", {}, {})
+    assert store.run_record("run-1")["total"] == 0
+    store.add_run_cells("run-1", {"c1": "d1", "c2": "d2"})
+    store.add_run_cells("run-1", {"c2": "d2", "c3": "d3"})
+    assert store.run_record("run-1")["total"] == 3
+    assert [c["cell"] for c in store.run_cells("run-1")] == ["c1", "c2", "c3"]
+
+
+def test_next_run_ordinal_counts_existing_runs(store):
+    assert store.next_run_ordinal() == 1
+    store.create_run("run-1", "sweep", {}, {})
+    assert store.next_run_ordinal() == 2
+
+
+# ------------------------------------------------------------- migration
+
+def test_directory_migration_is_idempotent(tmp_path, monkeypatch):
+    from repro.experiments import cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "code_version", lambda: "cv0")
+    legacy = SimulationCache(str(tmp_path))
+    key = {"func": "worker", "params": {"x": 9}}
+    path = legacy.entry_path(key)
+    import json
+    import os
+
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"format": 1, "key": key, "payload": {"v": 9}}, handle)
+
+    store = ResultStore(str(tmp_path / "s.sqlite"),
+                        code_version=lambda: "cv0")
+    first = store.migrate_directory_entries(str(tmp_path / "v1"))
+    second = store.migrate_directory_entries(str(tmp_path / "v1"))
+    assert (first, second) == (1, 0)
+    assert store.get(key) == {"v": 9}
+    store.close()
+
+
+# ---------------------------------------- cache store-back race (regression)
+
+def test_two_writers_racing_one_key_store_exactly_one_row(tmp_path):
+    """Regression for the directory cache's read-modify-write window.
+
+    The legacy ``store()`` did lookup-then-write: two processes that both
+    missed could both write, last-writer-wins, with a torn window in
+    between.  Through the sqlite store the entire decision is one
+    transaction — exactly one writer wins, the loser learns it lost, and
+    every subsequent lookup serves the winner's payload.
+    """
+    key = {"func": "worker", "params": {"x": 1}}
+    barrier = threading.Barrier(2)
+    outcomes = {}
+
+    def writer(name):
+        cache = SimulationCache(str(tmp_path))  # own connection per thread
+        barrier.wait()
+        outcomes[name] = cache.store(key, {"written_by": name})
+
+    threads = [threading.Thread(target=writer, args=(f"w{i}",))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert sorted(outcomes.values()) == [False, True], \
+        "exactly one writer must win the upsert"
+    winner = next(name for name, won in outcomes.items() if won)
+    survivor = SimulationCache(str(tmp_path))
+    assert survivor.lookup(key) == {"written_by": winner}
+    assert survivor.entry_count() == 1

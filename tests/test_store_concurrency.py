@@ -1,0 +1,141 @@
+"""Concurrency stress test: many processes hammering one shared store.
+
+Eight real processes execute overlapping windows of the same synthetic
+sweep matrix against one store.  The three promises under test:
+
+* **exactly-once execution** — every job key is simulated by exactly one
+  process (the others hit the store or wait on the executor claim); the
+  proof is an ``O_APPEND`` log every execution writes one line to;
+* **no lost or duplicated results** — the final store holds exactly one
+  row per key;
+* **serial equivalence** — the store's dump (sans writer identity and
+  timestamps) is identical to the dump a single serial process produces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: the synthetic matrix: this many distinct job keys in total
+TOTAL_KEYS = 40
+#: stress geometry: every process runs a 16-key window starting 4 keys
+#: after its predecessor's, so every key is requested by several processes
+PROCESSES = 8
+WINDOW = 16
+STRIDE = 4
+
+
+def _logged_worker(i: int) -> dict:
+    """Executed at most once per key across every process — the append-only
+    log is the witness (O_APPEND single-line writes are atomic on Linux).
+
+    The log path rides in the ``STRESS_LOG`` environment variable, not the
+    job params: params are part of the cache key, and the serial reference
+    run must address byte-identical keys to compare store dumps.
+    """
+    fd = os.open(os.environ["STRESS_LOG"],
+                 os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, f"executed:{i}\n".encode())
+    finally:
+        os.close(fd)
+    return {"i": i, "value": i * i, "label": f"cell-{i}"}
+
+
+def _window_jobs(start: int, count: int):
+    from repro.experiments.jobs import SimulationJob
+
+    return [
+        SimulationJob(
+            key=f"stress:{i % TOTAL_KEYS}",
+            func="tests.test_store_concurrency:_logged_worker",
+            params={"i": i % TOTAL_KEYS},
+            cache_fields={"kernel": "stress", "i": i % TOTAL_KEYS},
+        )
+        for i in range(start, start + count)
+    ]
+
+
+def run_window(cache_dir: str, start: int, count: int) -> None:
+    """Subprocess entry: execute one overlapping window against the store."""
+    from repro.experiments.cache import SimulationCache
+    from repro.experiments.parallel import execute_jobs
+
+    cache = SimulationCache(cache_dir)
+    payloads = execute_jobs(_window_jobs(start, count), cache=cache)
+    expected = {f"stress:{i % TOTAL_KEYS}" for i in range(start, start + count)}
+    assert set(payloads) == expected, "every requested cell must resolve"
+
+
+def _spawn(cache_dir: str, log_path: str, start: int, count: int):
+    code = (f"from tests.test_store_concurrency import run_window; "
+            f"run_window({str(cache_dir)!r}, {start}, {count})")
+    env = dict(os.environ)
+    env["STRESS_LOG"] = log_path
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"), REPO_ROOT]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return subprocess.Popen([sys.executable, "-c", code], env=env,
+                            cwd=REPO_ROOT, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE)
+
+
+def test_eight_processes_share_the_store_with_exactly_once_execution(tmp_path):
+    cache_dir = str(tmp_path / "shared")
+    log_path = str(tmp_path / "executions.log")
+
+    procs = [_spawn(cache_dir, log_path, p * STRIDE, WINDOW)
+             for p in range(PROCESSES)]
+    failures = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        if proc.returncode != 0:
+            failures.append(err.decode())
+    assert not failures, "\n---\n".join(failures)
+
+    # exactly-once: every key executed once, no key executed twice
+    with open(log_path, "r", encoding="utf-8") as handle:
+        executed = sorted(int(line.split(":")[1])
+                          for line in handle if line.strip())
+    assert executed == list(range(TOTAL_KEYS)), \
+        f"each of the {TOTAL_KEYS} keys must execute exactly once, " \
+        f"got {len(executed)} executions"
+
+    # no lost or duplicated rows
+    from repro.experiments.cache import SimulationCache
+
+    shared = SimulationCache(cache_dir)
+    assert shared.entry_count() == TOTAL_KEYS
+
+    # serial equivalence: one process computing the full matrix produces a
+    # byte-identical store state (modulo writer identity and timestamps,
+    # which dump() excludes by design)
+    from repro.experiments.parallel import execute_jobs
+
+    serial_dir = str(tmp_path / "serial")
+    serial = SimulationCache(serial_dir)
+    os.environ["STRESS_LOG"] = str(tmp_path / "serial.log")
+    try:
+        execute_jobs(_window_jobs(0, TOTAL_KEYS), cache=serial)
+    finally:
+        del os.environ["STRESS_LOG"]
+
+    assert shared.result_store().dump() == serial.result_store().dump()
+
+
+def test_two_processes_with_identical_windows_dedup_perfectly(tmp_path):
+    """The degenerate overlap: both processes want every key."""
+    cache_dir = str(tmp_path / "shared")
+    log_path = str(tmp_path / "executions.log")
+    procs = [_spawn(cache_dir, log_path, 0, TOTAL_KEYS) for _ in range(2)]
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err.decode()
+    with open(log_path, "r", encoding="utf-8") as handle:
+        executed = sorted(int(line.split(":")[1]) for line in handle)
+    assert executed == list(range(TOTAL_KEYS))
