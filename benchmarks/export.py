@@ -1,13 +1,16 @@
-"""Per-PR benchmark artifact: emit ``BENCH_7.json`` at the repo root.
+"""Per-PR benchmark artifact: emit ``BENCH_8.json`` at the repo root.
 
 Measures the quantities this PR's acceptance criteria pin:
 
-* **blocks/s per kernel x engine** — the five SSAM kernels through the
-  scalar (per-block loop), batched (vectorized multi-block) and replay
+* **blocks/s per kernel x engine** — the five paper SSAM kernels through
+  the scalar (per-block loop), batched (vectorized multi-block) and replay
   (compiled trace) engines, on paper-scale domains with grid sampling to
   bound wall-clock.  Replay is timed cold (record + compile + run) and
   warm (cached program, memoized counters); the headline pin is warm
   replay >= 3x batched blocks/s on conv2d and stencil2d.
+* **blocks/s on the new architectures** — every registered SSAM scenario
+  (the paper five plus the PR-8 registry additions) through each
+  functional engine on the post-paper A100/H100 parts, via the registry.
 * **sweep wall-clock, cold vs warm** — one sweep matrix through the cached
   job pipeline twice against a fresh cache directory, with the cache hit
   rates of both passes (warm must be 100% hits).
@@ -23,7 +26,7 @@ Run from the repo root::
 
 The artifact is committed at the repo root so the perf trajectory is
 reviewable per PR; CI regenerates it at ``--quick`` scale and uploads it.
-``BENCH_6.json`` (the PR-6 artifact) stays committed for the trajectory.
+``BENCH_7.json`` (the PR-7 artifact) stays committed for the trajectory.
 """
 
 from __future__ import annotations
@@ -42,7 +45,11 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-SCHEMA = "ssam-bench/PR7"
+SCHEMA = "ssam-bench/PR8"
+
+#: the post-paper parts added by PR 8; the registry loop below measures
+#: every SSAM scenario on each of them
+NEW_ARCHITECTURES = ("a100", "h100")
 
 #: acceptance pins checked by ``--check`` and recorded in the artifact
 REPLAY_SPEEDUP_PINS = {"conv2d": 3.0, "stencil2d": 3.0}
@@ -149,6 +156,41 @@ def measure_throughput(quick: bool) -> Dict[str, object]:
         out[name] = dict(workload)
         out[name]["engines"] = engines
         out[name]["replay_speedup_vs_batched"] = round(speedup, 3)
+    return out
+
+
+def measure_new_architectures(quick: bool) -> Dict[str, object]:
+    """blocks/s per registered SSAM kernel x functional engine on A100/H100.
+
+    Driven through the scenario registry, so the PR-8 kernels (higher-order
+    and variable-coefficient stencils, the masked stencil, the two-stage
+    convolution chain) are covered automatically alongside the paper five.
+    """
+    from repro.scenarios import ScenarioCase, get_scenario, scenario_names
+
+    engines = ("scalar", "batched", "replay")
+    size = "tiny" if quick else "small"
+    out: Dict[str, object] = {}
+    for name in scenario_names(role="ssam"):
+        scenario = get_scenario(name)
+        per_arch: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for arch in NEW_ARCHITECTURES:
+            per_engine: Dict[str, Dict[str, float]] = {}
+            for engine in engines:
+                if not scenario.supports(arch, "float32", engine, size):
+                    continue
+                case = ScenarioCase(name, arch, "float32", engine, size)
+                start = time.perf_counter()
+                result = scenario.run_case(case)
+                seconds = time.perf_counter() - start
+                blocks = int(result.launch.blocks_executed)
+                per_engine[engine] = {
+                    "blocks": blocks,
+                    "seconds": round(seconds, 6),
+                    "blocks_per_second": round(blocks / seconds, 1),
+                }
+            per_arch[arch] = per_engine
+        out[name] = {"size": size, **per_arch}
     return out
 
 
@@ -274,6 +316,7 @@ def export(quick: bool = False) -> Dict[str, object]:
         "schema": SCHEMA,
         "quick": quick,
         "throughput": throughput,
+        "new_architectures": measure_new_architectures(quick),
         "pins": pins,
         "sweep": measure_sweep(quick),
         "store": measure_store(quick),
@@ -282,11 +325,11 @@ def export(quick: bool = False) -> Dict[str, object]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Export the per-PR benchmark artifact (BENCH_7.json)")
+        description="Export the per-PR benchmark artifact (BENCH_8.json)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke scale: small domains, one repetition")
     parser.add_argument("--output", default=None, metavar="PATH",
-                        help="artifact path (default: BENCH_7.json at the "
+                        help="artifact path (default: BENCH_8.json at the "
                              "repo root)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a speedup pin is missed "
@@ -295,7 +338,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = export(quick=args.quick)
     output = args.output or str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_7.json")
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_8.json")
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")

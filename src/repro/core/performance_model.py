@@ -340,10 +340,18 @@ def _coalesced_fill_cycles(arch: GPUArchitecture, rows: int) -> float:
 
 
 def _staging_cycles(arch: GPUArchitecture, words: int, warps_per_block: int) -> float:
-    """Shared-memory weight staging (Listing 1 lines 7-12), amortised per warp."""
+    """Shared-memory weight staging (Listing 1 lines 7-12), amortised per warp.
+
+    On Ampere/Hopper the ``cp.async``/TMA path lands data in shared memory
+    without the register round-trip: one async-copy latency hides the whole
+    burst and subsequent transactions stream at the sector service rate.
+    """
     lat = arch.latencies
     ops = math.ceil(words / float(arch.warp_size))
-    per_block = ops * (lat.gmem_load + lat.smem_store) + lat.sync
+    if lat.supports_async_copy:
+        per_block = lat.gmem_to_smem + (ops - 1) * SECTOR_SERVICE_CYCLES + lat.sync
+    else:
+        per_block = ops * (lat.gmem_load + lat.smem_store) + lat.sync
     return per_block / max(1, warps_per_block)
 
 
@@ -436,6 +444,60 @@ def model_convolution2d(spec, width: int, height: int,
                          {"M": spec.filter_width, "N": spec.filter_height,
                           "P": plan.outputs_per_thread,
                           "architecture": arch.name, "precision": prec.name})
+
+
+def model_convolution2d_chain(spec, width: int, height: int, passes: int = 2,
+                              fused: bool = False,
+                              architecture: object = "p100",
+                              precision: object = "float32",
+                              outputs_per_thread: "int | None" = None,
+                              block_threads: "int | None" = None) -> "object":
+    """Section 5 prediction of the multi-stage SSAM convolution chain.
+
+    The unfused chain is ``passes`` back-to-back launches of the Section 5.2
+    kernel; the fused chain (PR 6's trace fusion) keeps the intermediate
+    images resident between stages, so only the first stage reads DRAM and
+    only the last one writes it — the compute and staging latencies are
+    unchanged, but the Section 5.3 traffic floor shrinks accordingly.
+    """
+    from ..kernels import conv2d_ssam
+    from .plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD, plan_convolution
+
+    if passes < 1:
+        raise ConfigurationError("a convolution chain needs at least one pass")
+    arch = get_architecture(architecture)
+    prec = resolve_precision(precision)
+    p_request = (DEFAULT_OUTPUTS_PER_THREAD if outputs_per_thread is None
+                 else outputs_per_thread)
+    b_request = DEFAULT_BLOCK_THREADS if block_threads is None else block_threads
+    plan = plan_convolution(spec, arch, prec, p_request, b_request)
+    base = conv2d_ssam.analytic_launch(spec, width, height, arch, prec,
+                                       p_request, b_request)
+    blocking = plan.blocking
+    compute = plan.outputs_per_thread * register_cache_latency(
+        arch, spec.filter_width, spec.filter_height)
+    memory = (_coalesced_fill_cycles(arch, blocking.cache_values)
+              + _staging_cycles(arch, spec.taps, blocking.warps_per_block))
+    counters = base.launch.counters.scaled(float(passes))
+    if fused:
+        # intermediates never reach DRAM: only the first stage reads the
+        # source image and only the last stage writes its output
+        counters.dram_read_bytes = base.launch.counters.dram_read_bytes
+        counters.dram_write_bytes = base.launch.counters.dram_write_bytes
+    prediction = predict_launch(
+        arch, base.launch.config,
+        scheme="register_cache_fused" if fused else "register_cache",
+        outputs=width * height * passes,
+        warp_passes=(base.launch.config.total_blocks
+                     * blocking.warps_per_block * passes),
+        compute_cycles_per_pass=compute, memory_cycles_per_pass=memory,
+        dram_bytes=counters.dram_bytes)
+    return _model_result("ssam_conv2d_chain_model", "model", arch,
+                         base.launch.config, counters, prediction,
+                         {"M": spec.filter_width, "N": spec.filter_height,
+                          "P": plan.outputs_per_thread, "passes": passes,
+                          "fused": fused, "architecture": arch.name,
+                          "precision": prec.name})
 
 
 def model_stencil2d(spec, width: int, height: int, iterations: int = 1,
@@ -665,8 +727,13 @@ def model_shared_memory_2d(taps: int, halo_x: int, halo_y: int, width: int,
     smem_reads = 2.0 if weights_in_shared else 1.0
     per_output = taps * (lat.fma + smem_reads * lat.smem_load + 2.0 * lat.register)
     compute = outputs_per_thread * per_output
-    memory = (_coalesced_fill_cycles(arch, loads_per_thread)
-              + lat.smem_store + lat.sync)
+    if lat.supports_async_copy:
+        memory = (lat.gmem_to_smem
+                  + max(0, loads_per_thread - 1) * SECTOR_SERVICE_CYCLES
+                  + lat.sync)
+    else:
+        memory = (_coalesced_fill_cycles(arch, loads_per_thread)
+                  + lat.smem_store + lat.sync)
     warp_passes = blocks * warps_per_block * iterations
     sectors = _warp_sectors(arch, prec.itemsize)
     counters = KernelCounters()

@@ -15,6 +15,12 @@ Clocks, memory bandwidth, cache sizes and register-bank counts come from the
 public whitepapers and the micro-benchmarking studies cited in Section 7.1
 (Jia et al.): Volta has a 128 KB combined L1 (vs. 24 KB usable on Pascal), a
 6 MB L2 (vs. 4 MB) and two register banks (vs. four on earlier generations).
+
+The post-paper A100 (Ampere) and H100 (Hopper) presets extend the same
+model from their whitepapers and the dissecting-Ampere/Hopper follow-up
+studies: much larger shared-memory carve-outs (164/228 KB per SM), bigger
+L1/L2, HBM2e/HBM3 bandwidth, and an asynchronous global→shared copy path
+(``cp.async`` / TMA) exposed through ``LatencyTable.gmem_to_smem``.
 """
 
 from __future__ import annotations
@@ -106,6 +112,11 @@ class GPUArchitecture:
     def effective_bandwidth_bytes(self) -> float:
         """Sustainable DRAM bandwidth (peak x measured efficiency)."""
         return self.memory_bandwidth_bytes * self.dram_efficiency
+
+    @property
+    def supports_async_copy(self) -> bool:
+        """True when the part has a direct global→shared copy path."""
+        return self.latencies.supports_async_copy
 
     @property
     def register_to_shared_ratio(self) -> float:
@@ -269,16 +280,77 @@ TESLA_V100 = GPUArchitecture(
     global_memory_bytes=16 * 1024 * MIB,
 )
 
+A100 = GPUArchitecture(
+    name="A100",
+    generation="ampere",
+    sm_count=108,
+    warp_size=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_registers_per_block=65536,
+    shared_memory_per_sm=164 * KIB,
+    shared_memory_per_block=163 * KIB,
+    shared_memory_banks=32,
+    shared_memory_bank_bytes=4,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    l1_cache_bytes=192 * KIB,
+    l2_cache_bytes=40 * MIB,
+    cache_line_bytes=128,
+    register_banks=2,
+    fp32_cores_per_sm=64,
+    fp64_ratio=0.5,
+    core_clock_hz=1410e6,
+    memory_bandwidth_bytes=1555e9,
+    dram_efficiency=0.82,
+    global_memory_bytes=40 * 1024 * MIB,
+)
+
+H100 = GPUArchitecture(
+    name="H100",
+    generation="hopper",
+    sm_count=132,
+    warp_size=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_registers_per_block=65536,
+    shared_memory_per_sm=228 * KIB,
+    shared_memory_per_block=227 * KIB,
+    shared_memory_banks=32,
+    shared_memory_bank_bytes=4,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    l1_cache_bytes=256 * KIB,
+    l2_cache_bytes=50 * MIB,
+    cache_line_bytes=128,
+    register_banks=2,
+    fp32_cores_per_sm=128,
+    fp64_ratio=0.5,
+    core_clock_hz=1830e6,
+    memory_bandwidth_bytes=3350e9,
+    dram_efficiency=0.83,
+    global_memory_bytes=80 * 1024 * MIB,
+)
+
 #: all presets keyed by short name
 ARCHITECTURES: Dict[str, GPUArchitecture] = {
     "k40": TESLA_K40,
     "m40": TESLA_M40,
     "p100": TESLA_P100,
     "v100": TESLA_V100,
+    "a100": A100,
+    "h100": H100,
 }
 
 #: the two parts evaluated in the paper, in figure order
 EVALUATED_ARCHITECTURES: Tuple[GPUArchitecture, ...] = (TESLA_P100, TESLA_V100)
+
+#: post-paper parts added for the Section 7.1 "newer hardware" question
+MODERN_ARCHITECTURES: Tuple[GPUArchitecture, ...] = (A100, H100)
 
 
 def architecture_names() -> Tuple[str, ...]:

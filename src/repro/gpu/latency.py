@@ -67,6 +67,15 @@ class LatencyTable:
     sync: float
     misc: float = 4.0
     register: float = 1.0
+    #: Latency of the asynchronous global→shared copy path (``cp.async`` /
+    #: TMA).  ``0.0`` means the generation has no such path and staging must
+    #: round-trip through the register file (gmem_load + smem_store).
+    gmem_to_smem: float = 0.0
+
+    @property
+    def supports_async_copy(self) -> bool:
+        """True when the generation has a direct global→shared copy path."""
+        return self.gmem_to_smem > 0.0
 
     def for_class(self, instruction_class: str) -> float:
         """Latency in cycles for an instruction class name."""
@@ -170,6 +179,45 @@ KEPLER_LATENCIES = replace(PASCAL_LATENCIES, shfl=36.0, fma=9.0, add=9.0, mul=9.
 MAXWELL_LATENCIES = replace(PASCAL_LATENCIES, shfl=34.0, fma=6.0, add=6.0, mul=6.0,
                             smem_load=34.0, l1_load=86.0, l2_load=245.0)
 
+#: A100 (GA100) values from the public dissecting-Ampere micro-benchmark
+#: studies: arithmetic pipes match Volta, the L1 grows to 192 KB with a
+#: slightly longer hit latency, DRAM latency drops a little, and the
+#: ``cp.async`` global→shared path lands data without a register round-trip.
+AMPERE_LATENCIES = LatencyTable(
+    shfl=23.0,
+    fma=4.0,
+    add=4.0,
+    mul=4.0,
+    smem_load=29.0,
+    smem_store=19.0,
+    smem_broadcast=29.0,
+    gmem_load=290.0,
+    gmem_store=290.0,
+    l1_load=38.0,
+    l2_load=200.0,
+    sync=18.0,
+    gmem_to_smem=300.0,
+)
+
+#: H100 (GH100) values from the published Hopper micro-benchmarks: shorter
+#: dependent-issue arithmetic, a much larger partitioned L2 with higher hit
+#: latency, HBM3 with a deeper pipeline, and TMA-backed async copies.
+HOPPER_LATENCIES = LatencyTable(
+    shfl=25.0,
+    fma=4.0,
+    add=4.0,
+    mul=4.0,
+    smem_load=31.0,
+    smem_store=21.0,
+    smem_broadcast=31.0,
+    gmem_load=470.0,
+    gmem_store=470.0,
+    l1_load=33.0,
+    l2_load=273.0,
+    sync=16.0,
+    gmem_to_smem=480.0,
+)
+
 # Pascal's unified L1/texture path sustains roughly half the per-SM rate of
 # its shared memory; Volta's redesigned 128 KB L1 reaches parity (the
 # Section 7.1 discussion of why the SSAM advantage narrows on V100).
@@ -177,6 +225,11 @@ PASCAL_THROUGHPUT = ThroughputTable(l1=0.5)
 VOLTA_THROUGHPUT = ThroughputTable(l1=1.0, l2=0.35)
 KEPLER_THROUGHPUT = ThroughputTable(fma32=6.0, fma64=2.0, add32=6.0, mul32=6.0)
 MAXWELL_THROUGHPUT = ThroughputTable(fma32=4.0, fma64=0.125, add32=4.0, mul32=4.0)
+# A100 keeps Volta's 64 FP32 cores/SM; H100 doubles them to 128 (and the FP64
+# pipe to 64), which doubles every arithmetic issue rate.
+AMPERE_THROUGHPUT = ThroughputTable(l1=1.0, l2=0.4)
+HOPPER_THROUGHPUT = ThroughputTable(fma32=4.0, fma64=2.0, add32=4.0, add64=2.0,
+                                    mul32=4.0, mul64=2.0, l1=1.0, l2=0.5)
 
 
 def latency_for_generation(generation: str) -> LatencyTable:
@@ -186,6 +239,8 @@ def latency_for_generation(generation: str) -> LatencyTable:
         "maxwell": MAXWELL_LATENCIES,
         "pascal": PASCAL_LATENCIES,
         "volta": VOLTA_LATENCIES,
+        "ampere": AMPERE_LATENCIES,
+        "hopper": HOPPER_LATENCIES,
     }
     try:
         return tables[generation.lower()]
@@ -200,6 +255,8 @@ def throughput_for_generation(generation: str) -> ThroughputTable:
         "maxwell": MAXWELL_THROUGHPUT,
         "pascal": PASCAL_THROUGHPUT,
         "volta": VOLTA_THROUGHPUT,
+        "ampere": AMPERE_THROUGHPUT,
+        "hopper": HOPPER_THROUGHPUT,
     }
     try:
         return tables[generation.lower()]

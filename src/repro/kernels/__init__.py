@@ -7,16 +7,19 @@ place instead of reaching into the per-kernel modules.
 
 from .common import KernelRunResult
 from .conv1d_ssam import reference_convolve1d, ssam_convolve1d
-from .conv2d_ssam import ssam_convolve2d
+from .conv2d_ssam import ssam_convolve2d, ssam_convolve2d_chain
 from .scan_ssam import reference_scan, ssam_scan
+from .stencil2d_masked import masked_reference, ssam_stencil2d_masked
 from .stencil2d_ssam import ssam_stencil2d
 from .stencil3d_ssam import ssam_stencil3d
 
-#: the five SSAM kernel entry points, keyed by scenario name
+#: the SSAM kernel entry points, keyed by scenario name
 RUN_ENTRY_POINTS = {
     "conv1d": ssam_convolve1d,
     "conv2d": ssam_convolve2d,
+    "conv2d-pipeline": ssam_convolve2d_chain,
     "stencil2d": ssam_stencil2d,
+    "stencil2d-masked": ssam_stencil2d_masked,
     "stencil3d": ssam_stencil3d,
     "scan": ssam_scan,
 }
@@ -24,11 +27,14 @@ RUN_ENTRY_POINTS = {
 __all__ = [
     "KernelRunResult",
     "RUN_ENTRY_POINTS",
+    "masked_reference",
     "reference_convolve1d",
     "reference_scan",
     "ssam_convolve1d",
     "ssam_convolve2d",
+    "ssam_convolve2d_chain",
     "ssam_scan",
     "ssam_stencil2d",
+    "ssam_stencil2d_masked",
     "ssam_stencil3d",
 ]

@@ -170,7 +170,8 @@ def ssam_convolve2d_chain(image: np.ndarray, spec: ConvolutionSpec,
                           outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
                           block_threads: int = DEFAULT_BLOCK_THREADS,
                           fused: bool = False,
-                          lead_blocks: Optional[int] = None) -> KernelRunResult:
+                          lead_blocks: Optional[int] = None,
+                          batch_size: object = "auto") -> KernelRunResult:
     """Apply ``spec`` ``passes`` times (e.g. a two-pass Gaussian blur).
 
     ``fused=False`` runs the chain the conventional way: one launch per
@@ -227,11 +228,13 @@ def ssam_convolve2d_chain(image: np.ndarray, spec: ConvolutionSpec,
             architecture=arch, lead_blocks=lead_blocks)
     else:
         launch = CONV2D_SSAM_KERNEL.launch(config, stage_args(0),
-                                           architecture=arch)
+                                           architecture=arch,
+                                           batch_size=batch_size)
         for i in range(1, passes):
             launch = launch.merged_with(
                 CONV2D_SSAM_KERNEL.launch(config, stage_args(i),
-                                          architecture=arch))
+                                          architecture=arch,
+                                          batch_size=batch_size))
     return KernelRunResult(
         name="ssam_chain_fused" if fused else "ssam_chain",
         output=bufs[-1].to_host(),

@@ -40,6 +40,7 @@ from ..convolution.spec import ConvolutionSpec
 from ..core.performance_model import (
     model_convolution1d,
     model_convolution2d,
+    model_convolution2d_chain,
     model_naive_3d,
     model_scan,
     model_shared_memory_2d,
@@ -52,14 +53,21 @@ from ..core.plan import (
     plan_convolution,
     plan_stencil,
 )
-from ..gpu.architecture import EVALUATED_ARCHITECTURES, architecture_names
+from ..gpu.architecture import (
+    EVALUATED_ARCHITECTURES,
+    MODERN_ARCHITECTURES,
+    architecture_names,
+)
 from ..kernels import (
+    masked_reference,
     reference_convolve1d,
     reference_scan,
     ssam_convolve1d,
     ssam_convolve2d,
+    ssam_convolve2d_chain,
     ssam_scan,
     ssam_stencil2d,
+    ssam_stencil2d_masked,
     ssam_stencil3d,
 )
 from ..kernels.conv2d_ssam import analytic_launch as conv2d_analytic_launch
@@ -69,10 +77,16 @@ from ..stencils.catalog import get_stencil
 from ..workloads.generators import random_grid_3d, random_image, sequence
 from .registry import ENGINE_BATCH_SIZE, Scenario, register
 
-#: every architecture preset (K40/M40/P100/V100) — the SSAM kernels run on all
+#: every architecture preset (K40/M40/P100/V100/A100/H100) — the SSAM
+#: kernels run on all of them
 ALL_ARCHITECTURES = architecture_names()
 #: the two parts the paper evaluates — the baselines' cost models target these
 EVALUATED = tuple(arch.name.split()[-1].lower() for arch in EVALUATED_ARCHITECTURES)
+#: post-paper parts (Ampere/Hopper) the baselines are also projected onto:
+#: their shared-memory cost models are architecture-generic, so the new
+#: generations are a pure envelope extension
+MODERN = tuple(arch.name.lower() for arch in MODERN_ARCHITECTURES)
+BASELINE_ARCHITECTURES = EVALUATED + MODERN
 BOTH_PRECISIONS = ("float32", "float64")
 FUNCTIONAL_ENGINES = ("scalar", "batched")
 #: functional engines + the Section 5 analytic performance model
@@ -334,6 +348,161 @@ register(Scenario(
 
 
 # ---------------------------------------------------------------------------
+# post-paper SSAM scenarios: the registry beyond the five paper kernels.
+# These reuse the paper kernels' runners/planners/models verbatim — only
+# the stencil shapes, selection predicates and chaining differ — so every
+# experiment (sweep, tune, model validation, service) gains them with zero
+# per-experiment work.
+# ---------------------------------------------------------------------------
+
+def _stencil2d_variant_sizes(stencil: str) -> Dict[str, Mapping[str, object]]:
+    """The shared 2-D stencil domains, pinned to one catalog entry."""
+    return {
+        "tiny": {"stencil": stencil, "width": 49, "height": 37, "iterations": 1},
+        "small": {"stencil": stencil, "width": 70, "height": 45, "iterations": 2},
+        "paper": {"stencil": stencil, "width": 8192, "height": 8192,
+                  "iterations": 1, "engines": ("analytic", "model")},
+    }
+
+
+for _name, _stencil, _description in (
+    ("stencil2d-order4", "2d17pt",
+     "SSAM order-4 star stencil (wide halo: valid lanes shrink to W-8)"),
+    ("stencil2d-order6", "2ds25pt",
+     "SSAM order-6 star stencil (widest Table 3 star footprint)"),
+    ("stencil2d-varcoef", "2dv9pt",
+     "SSAM variable-coefficient 9-point stencil (no foldable symmetric taps)"),
+):
+    register(Scenario(
+        name=_name,
+        family="stencil",
+        dims=2,
+        role="ssam",
+        runner=_run_stencil2d,
+        spec_builder=lambda params: get_stencil(params["stencil"]),
+        workload_builder=lambda params, precision: random_image(
+            params["width"], params["height"], precision, seed=params["height"]),
+        planner=lambda spec, params, architecture, precision: plan_stencil(
+            spec, architecture, precision,
+            params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
+            params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+        oracle=lambda spec, workload, params: spec.reference(
+            workload, iterations=params.get("iterations", 1)),
+        model=lambda spec, params, architecture, precision: model_stencil2d(
+            spec, params["width"], params["height"],
+            params.get("iterations", 1), architecture, precision,
+            **_plan_overrides(params)),
+        tunables=TUNABLES_2D,
+        sizes=_stencil2d_variant_sizes(_stencil),
+        architectures=ALL_ARCHITECTURES,
+        precisions=BOTH_PRECISIONS,
+        engines=SSAM_ALL_ENGINES,
+        description=_description,
+    ))
+
+
+def _run_stencil2d_masked(spec, workload, params, architecture, precision, engine):
+    return ssam_stencil2d_masked(workload, spec, params.get("iterations", 1),
+                                 margin=params.get("margin", 2),
+                                 architecture=architecture, precision=precision,
+                                 batch_size=ENGINE_BATCH_SIZE[engine],
+                                 **_plan_overrides(params))
+
+
+register(Scenario(
+    name="stencil2d-masked",
+    family="stencil",
+    dims=2,
+    role="ssam",
+    runner=_run_stencil2d_masked,
+    spec_builder=lambda params: get_stencil(params["stencil"]),
+    workload_builder=lambda params, precision: random_image(
+        params["width"], params["height"], precision, seed=params["height"]),
+    planner=lambda spec, params, architecture, precision: plan_stencil(
+        spec, architecture, precision,
+        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
+        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+    oracle=lambda spec, workload, params: masked_reference(
+        workload, spec, iterations=params.get("iterations", 1),
+        margin=params.get("margin", 2)),
+    # the interior-select adds a passthrough load per output row but keeps
+    # the register-cache schedule, so the plain stencil model is the
+    # closed-form prediction (no analytic counter profile is registered)
+    model=lambda spec, params, architecture, precision: model_stencil2d(
+        spec, params["width"], params["height"],
+        params.get("iterations", 1), architecture, precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_2D,
+    sizes={
+        "tiny": {"stencil": "2d5pt", "width": 49, "height": 37,
+                 "iterations": 1, "margin": 3},
+        "small": {"stencil": "2d9pt", "width": 70, "height": 45,
+                  "iterations": 2, "margin": 4},
+        "paper": {"stencil": "2d9pt", "width": 8192, "height": 8192,
+                  "iterations": 1, "margin": 4, "engines": ("model",)},
+    },
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=SSAM_MODELED_ENGINES,
+    description="SSAM masked 2-D stencil (interior update, fixed boundary frame)",
+))
+
+
+def _run_conv2d_pipeline(spec, workload, params, architecture, precision, engine):
+    return ssam_convolve2d_chain(workload, spec, params.get("passes", 2),
+                                 architecture, precision,
+                                 fused=bool(params.get("fused", False)),
+                                 batch_size=ENGINE_BATCH_SIZE[engine],
+                                 **_plan_overrides(params))
+
+
+def _chain_oracle(spec, workload, params):
+    result = np.asarray(workload, dtype=np.float64)
+    for _ in range(int(params.get("passes", 2))):
+        result = spec.reference(result)
+    return result
+
+
+register(Scenario(
+    name="conv2d-pipeline",
+    family="convolution",
+    dims=2,
+    role="ssam",
+    runner=_run_conv2d_pipeline,
+    spec_builder=lambda params: ConvolutionSpec.gaussian(params["filter"]),
+    workload_builder=lambda params, precision: random_image(
+        params["width"], params["height"], precision, seed=params["width"]),
+    planner=lambda spec, params, architecture, precision: plan_convolution(
+        spec, architecture, precision,
+        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
+        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+    oracle=_chain_oracle,
+    model=lambda spec, params, architecture, precision: model_convolution2d_chain(
+        spec, params["width"], params["height"],
+        passes=int(params.get("passes", 2)),
+        fused=bool(params.get("fused", False)),
+        architecture=architecture, precision=precision,
+        **_plan_overrides(params)),
+    tunables=TUNABLES_2D,
+    sizes={
+        "tiny": {"width": 49, "height": 37, "filter": 3, "passes": 2},
+        "small": {"width": 97, "height": 83, "filter": 5, "passes": 2},
+        # the fused leg changes the traffic counters (intermediates stay on
+        # chip), so it lives in its own named size rather than sharing one
+        # with the launch-per-pass engines
+        "fused": {"width": 49, "height": 37, "filter": 3, "passes": 2,
+                  "fused": True, "engines": ("replay", "model")},
+        "paper": {"width": 8192, "height": 8192, "filter": 9, "passes": 2,
+                  "engines": ("model",)},
+    },
+    architectures=ALL_ARCHITECTURES,
+    precisions=BOTH_PRECISIONS,
+    engines=SSAM_MODELED_ENGINES,
+    description="SSAM two-stage convolution chain (image-blur pipeline, fusable)",
+))
+
+
+# ---------------------------------------------------------------------------
 # convolution baselines (the Figure 4 competitors)
 # ---------------------------------------------------------------------------
 
@@ -381,7 +550,7 @@ def _register_conv2d_baseline(label: str, fn, engines) -> None:
         if functional else None,
         model=_model_conv2d_shared(label),
         sizes=_CONV2D_SIZES,
-        architectures=EVALUATED,
+        architectures=BASELINE_ARCHITECTURES,
         precisions=BOTH_PRECISIONS,
         engines=engines,
         description=f"{label}-like 2-D convolution baseline",
@@ -439,7 +608,7 @@ for _label, _fn in (("original", original_stencil2d),
             workload, iterations=params.get("iterations", 1)),
         model=_model_stencil2d_shared(_label),
         sizes=_STENCIL2D_SIZES,
-        architectures=EVALUATED,
+        architectures=BASELINE_ARCHITECTURES,
         precisions=BOTH_PRECISIONS,
         engines=ALL_ENGINES,
         description=f"{_label} 2-D stencil baseline",
@@ -473,7 +642,7 @@ register(Scenario(
         params.get("iterations", 1), architecture, precision,
         kernel_name="original_stencil3d_model"),
     sizes=_STENCIL3D_SIZES,
-    architectures=EVALUATED,
+    architectures=BASELINE_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
     engines=ALL_ENGINES,
     description="naive one-output-per-thread 3-D stencil baseline",

@@ -24,7 +24,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
+from ..gpu.architecture import architecture_names
 from ..serialization import stable_digest
 
 #: execution engines a scenario may support: the legacy per-block SIMT loop,
@@ -443,7 +445,12 @@ def expand_matrix(matrix: Mapping[str, object]) -> List[ScenarioCase]:
 
     Omitted axes (or ``"all"``) default to each scenario's full envelope;
     combinations outside an envelope are skipped, so one matrix can span
-    scenarios with different capabilities.  ``plan_kwargs`` is a list of
+    scenarios with different capabilities.  Axis *values*, however, are
+    validated against the global vocabularies up front: a misspelled
+    architecture, precision, engine or size raises
+    :class:`~repro.errors.ConfigurationError` naming the valid values
+    instead of silently thinning the matrix (or surfacing as an opaque
+    zero-case error through the job service).  ``plan_kwargs`` is a list of
     launch-parameter override mappings (default: one empty override);
     scenarios that do not tune a named parameter skip that override set.
     Expansion order is deterministic: registration order, then size,
@@ -474,6 +481,25 @@ def expand_matrix(matrix: Mapping[str, object]) -> List[ScenarioCase]:
             return [value]
         return list(value)
 
+    def validated(key: str, valid: Sequence[str]) -> Optional[Sequence[str]]:
+        values = axis(key)
+        if values is not None:
+            unknown = sorted(set(values) - set(valid))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown {key} in scenario matrix: {unknown}; "
+                    f"valid {key}: {sorted(valid)}")
+        return values
+
+    architectures = validated("architectures", architecture_names())
+    engines = validated("engines", ENGINES)
+    known_sizes = sorted({size for s in chosen for size in s.sizes})
+    sizes = validated("sizes", known_sizes)
+    precisions = axis("precisions")
+    if precisions is not None:
+        for name in precisions:
+            resolve_precision(name)  # raises ConfigurationError when unknown
+
     overrides = matrix.get("plan_kwargs")
     if overrides is not None:
         if isinstance(overrides, Mapping):
@@ -482,10 +508,10 @@ def expand_matrix(matrix: Mapping[str, object]) -> List[ScenarioCase]:
 
     cases: List[ScenarioCase] = []
     for scenario in chosen:
-        cases.extend(scenario.cases(architectures=axis("architectures"),
-                                    precisions=axis("precisions"),
-                                    engines=axis("engines"),
-                                    sizes=axis("sizes"),
+        cases.extend(scenario.cases(architectures=architectures,
+                                    precisions=precisions,
+                                    engines=engines,
+                                    sizes=sizes,
                                     plan_kwargs=overrides))
     if not cases:
         raise ConfigurationError(

@@ -39,7 +39,7 @@ from . import builtin as _builtin  # noqa: F401  (import for side effect)
 MATRICES: Dict[str, Dict[str, object]] = {
     "tier1": {
         "scenarios": "ssam",
-        "architectures": ["p100", "v100"],
+        "architectures": ["p100", "v100", "a100", "h100"],
         "precisions": ["float32", "float64"],
         "engines": ["scalar", "batched", "replay"],
         "sizes": ["tiny"],
@@ -53,17 +53,17 @@ MATRICES: Dict[str, Dict[str, object]] = {
     },
     "default": {
         "scenarios": "all",
-        "architectures": ["p100", "v100"],
+        "architectures": ["p100", "v100", "a100", "h100"],
         "precisions": ["float32", "float64"],
         "engines": ["scalar", "batched", "replay", "analytic", "model"],
         "sizes": ["tiny", "small"],
     },
-    # all five SSAM kernels at the evaluation-scale domains of Section 6,
+    # the SSAM kernels at the evaluation-scale domains of Section 6,
     # closed-form only: the instruction/traffic profile where one exists and
     # the Section 5 performance model everywhere — seconds, not hours
     "paper": {
         "scenarios": "ssam",
-        "architectures": ["p100", "v100"],
+        "architectures": ["p100", "v100", "a100", "h100"],
         "precisions": ["float32", "float64"],
         "engines": ["analytic", "model"],
         "sizes": ["paper"],

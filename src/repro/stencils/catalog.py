@@ -80,6 +80,28 @@ def _poisson3d() -> StencilSpec:
     return StencilSpec(name="poisson", points=points, dims=3, flops_per_point=21)
 
 
+def _varcoef2d() -> StencilSpec:
+    """2-D anisotropic diffusion: a 9-point box with non-uniform weights.
+
+    Post-paper registry addition (not part of Table 3): every tap carries a
+    distinct coefficient, so kernels cannot fold taps into symmetric pairs
+    and the coefficient-column schedule is exercised with unequal weights.
+    The weights sum to 1 so iterated application stays bounded.
+    """
+    points = (
+        StencilPoint(0, 0, 0, 0.44),
+        StencilPoint(-1, 0, 0, 0.11),
+        StencilPoint(1, 0, 0, 0.09),
+        StencilPoint(0, -1, 0, 0.07),
+        StencilPoint(0, 1, 0, 0.13),
+        StencilPoint(-1, -1, 0, 0.03),
+        StencilPoint(1, -1, 0, 0.02),
+        StencilPoint(-1, 1, 0, 0.05),
+        StencilPoint(1, 1, 0, 0.06),
+    )
+    return StencilSpec(name="2dv9pt", points=points, dims=2, flops_per_point=17)
+
+
 def _build_catalog() -> Dict[str, StencilBenchmark]:
     entries: List[Tuple[StencilSpec, int, int]] = [
         (diffusion2d("2d5pt"), 1, 9),
@@ -97,6 +119,9 @@ def _build_catalog() -> Dict[str, StencilBenchmark]:
         (box3d(1, name="3d27pt", flops_per_point=30), 1, 30),
         (box3d(2, name="3d125pt", flops_per_point=130), 2, 130),
         (_poisson3d(), 1, 21),
+        # post-paper registry additions (kept out of the Table 3 /
+        # Figure 5 / Figure 6 name lists, which mirror the paper exactly)
+        (_varcoef2d(), 1, 17),
     ]
     catalog: Dict[str, StencilBenchmark] = {}
     for spec, order, fpp in entries:

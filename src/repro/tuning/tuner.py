@@ -43,8 +43,9 @@ from .space import (
     valid_points,
 )
 
-#: the architectures and precisions the paper's design-space study covers
-TUNE_ARCHITECTURES: Tuple[str, ...] = ("p100", "v100")
+#: the architectures and precisions the design-space study covers: the two
+#: paper parts plus the post-paper Ampere/Hopper scenario axis
+TUNE_ARCHITECTURES: Tuple[str, ...] = ("p100", "v100", "a100", "h100")
 TUNE_PRECISIONS: Tuple[str, ...] = ("float32", "float64")
 
 #: problem sizes: explore closed-form at paper scale, confirm functionally

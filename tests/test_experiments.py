@@ -120,7 +120,19 @@ def test_model_validation_claims_hold():
     assert claims["eq5_advantage_positive_for_all_M_N_ge_2"]
     assert claims["halo_adjusted_advantage_grows_with_filter"]
     assert claims["halo_adjusted_advantage_positive_for_M_ge_5"]
-    assert len(model_validation.run()) == 16
+    assert claims["halo_adjusted_advantage_positive_for_M_ge_6_on_modern"]
+    # the advantage sweep covers the paper parts plus ampere/hopper
+    assert len(model_validation.run()) == 32
+
+
+def test_paper_positivity_claim_does_not_extrapolate_to_hopper():
+    """H100's DRAM latency flips the M=5 halo-adjusted advantage negative."""
+    claims = model_validation.claims(architectures=("h100",))
+    assert claims["eq5_advantage_positive_for_all_M_N_ge_2"]
+    assert claims["halo_adjusted_advantage_grows_with_filter"]
+    assert not claims["halo_adjusted_advantage_positive_for_M_ge_5"]
+    assert model_validation.claims(architectures=("a100",))[
+        "halo_adjusted_advantage_positive_for_M_ge_5"]
 
 
 # --- runner / CLI ---------------------------------------------------------------------------

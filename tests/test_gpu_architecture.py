@@ -4,7 +4,10 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.gpu.architecture import (
+    A100,
     ARCHITECTURES,
+    H100,
+    MODERN_ARCHITECTURES,
     TESLA_K40,
     TESLA_M40,
     TESLA_P100,
@@ -14,7 +17,8 @@ from repro.gpu.architecture import (
 )
 
 
-@pytest.mark.parametrize("name, sms", [("k40", 15), ("m40", 24), ("p100", 56), ("v100", 80)])
+@pytest.mark.parametrize("name, sms", [("k40", 15), ("m40", 24), ("p100", 56), ("v100", 80),
+                                       ("a100", 108), ("h100", 132)])
 def test_table1_sm_counts(name, sms):
     assert get_architecture(name).sm_count == sms
 
@@ -27,7 +31,7 @@ def test_register_file_size_is_256kib(name):
 
 
 @pytest.mark.parametrize("arch, kib", [(TESLA_K40, 48), (TESLA_M40, 96), (TESLA_P100, 64),
-                                       (TESLA_V100, 96)])
+                                       (TESLA_V100, 96), (A100, 164), (H100, 228)])
 def test_table1_shared_memory(arch, kib):
     assert arch.shared_memory_per_sm == kib * 1024
 
@@ -45,8 +49,11 @@ def test_get_architecture_accepts_aliases():
 
 
 def test_get_architecture_rejects_unknown():
-    with pytest.raises(ConfigurationError):
-        get_architecture("a100")
+    with pytest.raises(ConfigurationError) as excinfo:
+        get_architecture("b200")
+    # the error must name the valid presets so CLIs/HTTP callers can recover
+    for name in ARCHITECTURES:
+        assert name in str(excinfo.value)
     with pytest.raises(ConfigurationError):
         get_architecture(123)
 
@@ -94,6 +101,47 @@ def test_summary_keys():
     assert summary["name"] == "Tesla P100"
     assert summary["sm_count"] == 56
     assert summary["register_to_shared_ratio"] == pytest.approx(4.0, rel=0.01)
+
+
+def test_modern_architectures_listed():
+    assert MODERN_ARCHITECTURES == (A100, H100)
+    assert get_architecture("A100") is A100
+    assert get_architecture("H100") is H100
+
+
+@pytest.mark.parametrize("arch", [TESLA_K40, TESLA_M40, TESLA_P100, TESLA_V100])
+def test_paper_parts_have_no_async_copy(arch):
+    assert not arch.supports_async_copy
+    assert arch.latencies.gmem_to_smem == 0.0
+
+
+@pytest.mark.parametrize("arch", list(MODERN_ARCHITECTURES))
+def test_modern_parts_have_async_copy(arch):
+    assert arch.supports_async_copy
+    assert arch.latencies.gmem_to_smem > 0.0
+
+
+def test_modern_memory_hierarchy_grows():
+    # each generation's capacities are monotone over its predecessor
+    assert A100.shared_memory_per_sm > TESLA_V100.shared_memory_per_sm
+    assert H100.shared_memory_per_sm > A100.shared_memory_per_sm
+    assert A100.l2_cache_bytes > TESLA_V100.l2_cache_bytes
+    assert H100.l2_cache_bytes > A100.l2_cache_bytes
+    assert A100.memory_bandwidth_bytes > TESLA_V100.memory_bandwidth_bytes
+    assert H100.memory_bandwidth_bytes > A100.memory_bandwidth_bytes
+
+
+def test_modern_peak_flops_sane():
+    # whitepaper figures: A100 ~19.5 TF FP32, H100 SXM ~60+ TF (vector FP32)
+    assert 18e12 < A100.peak_fp32_flops < 21e12
+    assert 55e12 < H100.peak_fp32_flops < 70e12
+    assert H100.peak_fp64_flops == pytest.approx(H100.peak_fp32_flops / 2)
+
+
+def test_h100_carveout_accepted_at_maximum():
+    # with_shared_memory_carveout must admit Hopper's full 228 KB
+    full = H100.with_shared_memory_carveout(228 * 1024)
+    assert full.shared_memory_per_sm == 228 * 1024
 
 
 @pytest.mark.parametrize("field", ["warp_allocation_granularity",

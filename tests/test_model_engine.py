@@ -34,7 +34,11 @@ from repro.scenarios import ScenarioCase, all_scenarios, get_scenario
 from repro.scenarios.sweep import jobs as sweep_jobs
 from repro.scenarios.sweep import run_sweep
 
-SSAM_KERNELS = ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan")
+SSAM_KERNELS = ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan",
+                "stencil2d-order4", "stencil2d-order6", "stencil2d-varcoef",
+                "stencil2d-masked", "conv2d-pipeline")
+#: the evaluated parts plus the post-paper Ampere/Hopper axis
+MODEL_ARCHITECTURES = ("p100", "v100", "a100", "h100")
 
 
 # --- the engine itself ------------------------------------------------------
@@ -127,7 +131,7 @@ def test_model_tracks_the_simulator_at_functional_sizes(name):
     magnitude as the counted simulation (the exact bounds are a reported
     quantity, not a constraint)."""
     scenario = get_scenario(name)
-    for arch in ("p100", "v100"):
+    for arch in MODEL_ARCHITECTURES:
         simulated = scenario.run_case(
             ScenarioCase(name, arch, "float32", "batched", "small"))
         predicted = scenario.run_case(
@@ -147,11 +151,14 @@ def test_paper_sweep_is_cached_and_deterministic(tmp_path):
     warm = run_sweep("paper", cache=warm_cache)
     assert warm_cache.stats() == {"hits": expected, "misses": 0, "stores": 0}
     assert warm == cold
-    # all five kernels, both closed-form engines, nothing functional
+    # every registered SSAM kernel, both closed-form engines, nothing
+    # functional
     engines = {m.extra["engine"] for m in cold.measurements}
     assert engines == {"analytic", "model"}
     kernels = {m.kernel for m in cold.measurements}
     assert kernels == set(SSAM_KERNELS)
+    architectures = {m.architecture for m in cold.measurements}
+    assert architectures == set(MODEL_ARCHITECTURES)
 
 
 def test_paper_sweep_cli_writes_deterministic_artifacts(tmp_path, capsys):
@@ -181,14 +188,14 @@ def test_model_cells_round_trip_through_json(tmp_path):
 
 # --- cross-engine validation experiment -------------------------------------
 
-def test_cross_engine_validation_reports_all_five_kernels():
+def test_cross_engine_validation_reports_every_ssam_kernel():
     payloads = execute_jobs(model_validation.jobs(quick=True))
     result = model_validation.assemble(payloads, quick=True)
     bounds = result.metadata["cross_engine"]["bounds"]
     for kernel in SSAM_KERNELS:
         assert kernel in bounds, f"missing error bounds for {kernel}"
         entry = bounds[kernel]
-        assert entry["cases"] >= 4  # 2 architectures x 2 precisions
+        assert entry["cases"] >= 8  # 4 architectures x 2 precisions
         assert 0.2 < entry["min"] <= entry["geomean"] <= entry["max"] < 5.0
     text = model_validation.render(result)
     assert "cross-engine validation" in text

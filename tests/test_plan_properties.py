@@ -69,6 +69,97 @@ def test_validate_agrees_with_fits(filter_height, outputs, architecture,
             plan.validate(architecture)
 
 
+# --------------------------------------------------- occupancy (new parts)
+
+MODERN = ("a100", "h100")
+
+
+@pytest.mark.parametrize("architecture, block_threads, registers, shared, triple, factor", [
+    # pinned triples for the post-paper parts: identical register files give
+    # identical register-bound results, while the larger Hopper scratchpad
+    # admits one more block when shared memory binds
+    ("a100", 128, 64, 0, (8, 32, 1024), "registers"),
+    ("h100", 128, 64, 0, (8, 32, 1024), "registers"),
+    ("a100", 256, 255, 0, (1, 8, 256), "registers"),
+    ("a100", 128, 32, 48 * 1024, (3, 12, 384), "shared_memory"),
+    ("h100", 128, 32, 48 * 1024, (4, 16, 512), "shared_memory"),
+    ("h100", 1024, 128, 16 * 1024, (0, 0, 0), "registers"),
+])
+def test_modern_occupancy_triples_are_pinned(architecture, block_threads,
+                                             registers, shared, triple, factor):
+    from repro.gpu.occupancy import compute_occupancy
+
+    result = compute_occupancy(get_architecture(architecture), block_threads,
+                               registers, shared)
+    assert (result.active_blocks_per_sm, result.active_warps_per_sm,
+            result.active_threads_per_sm) == triple
+    assert result.limiting_factor == factor
+
+
+@COMMON
+@given(architecture=st.sampled_from(MODERN),
+       warps=st.integers(1, 32), registers=st.integers(0, 255),
+       shared_kib=st.integers(0, 160))
+def test_modern_occupancy_matches_brute_force(architecture, warps, registers,
+                                              shared_kib):
+    """The calculator's triple against an explicit feasibility scan.
+
+    The brute force re-applies the allocation-granularity rounding and then
+    finds the largest resident block count satisfying every per-SM limit by
+    linear search — independently of the calculator's min-over-limits form.
+    """
+    from repro.gpu.occupancy import _round_up, compute_occupancy
+
+    arch = get_architecture(architecture)
+    block_threads = 32 * warps
+    shared = shared_kib * 1024
+    result = compute_occupancy(arch, block_threads, registers, shared)
+
+    warps_per_block = _round_up(warps, arch.warp_allocation_granularity)
+    regs_per_block = warps_per_block * _round_up(
+        registers * arch.warp_size, arch.register_allocation_granularity)
+    smem_per_block = _round_up(shared, arch.shared_allocation_granularity)
+    best = 0
+    for blocks in range(1, arch.max_blocks_per_sm + 1):
+        if blocks * warps_per_block > arch.max_warps_per_sm:
+            break
+        if blocks * block_threads > arch.max_threads_per_sm:
+            break
+        if registers > 0 and blocks * regs_per_block > arch.registers_per_sm:
+            break
+        if shared > 0 and blocks * smem_per_block > arch.shared_memory_per_sm:
+            break
+        best = blocks
+    assert result.active_blocks_per_sm == best
+    assert result.active_warps_per_sm == best * warps_per_block
+    assert result.active_threads_per_sm == best * block_threads
+    assert result.occupancy == pytest.approx(
+        best * warps_per_block / arch.max_warps_per_sm)
+
+
+@COMMON
+@given(architecture=st.sampled_from(MODERN),
+       filter_height=st.integers(1, 24), requested=st.integers(1, 96),
+       precision=PRECISIONS)
+def test_modern_plan_clamping_matches_brute_force(architecture, filter_height,
+                                                  requested, precision):
+    """choose_plan's clamp on the new parts against a spill-free scan."""
+    arch = get_architecture(architecture)
+    plan = choose_plan(filter_height, architecture, precision,
+                       requested_outputs=requested)
+    assert plan.registers_per_thread <= arch.max_registers_per_thread
+    assert not plan.allocation(architecture).spills
+    brute_limit = 0
+    for p in range(1, requested + 1):
+        candidate = RegisterCachePlan(filter_height=filter_height,
+                                      outputs_per_thread=p,
+                                      precision=precision)
+        if not candidate.fits(architecture):
+            break
+        brute_limit = p
+    assert plan.outputs_per_thread == max(1, brute_limit)
+
+
 # ------------------------------------------------------------- halo accounting
 
 @COMMON

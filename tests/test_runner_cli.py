@@ -141,7 +141,8 @@ def test_tune_experiment_cli_path(capsys, tmp_path):
     assert "tune digest:" in out
     artifact = load_result(str(out_dir / "tune.json"))
     assert artifact.experiment == "tune"
-    assert len(artifact.measurements) == 20
+    # 10 kernels x 4 architectures x 2 precisions
+    assert len(artifact.measurements) == 80
     _, warm_out, warm_err = _main(["--experiment", "tune", "--quick",
                                    "--cache-dir", str(cache_dir)], capsys)
     # artifact emission goes to stderr, so stdout is byte-identical warm

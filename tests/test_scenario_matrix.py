@@ -35,10 +35,12 @@ from repro.scenarios.sweep import load_matrix
 #: max absolute error allowed against the float64 CPU oracle
 ORACLE_TOLERANCE = {"float32": 1e-4, "float64": 1e-9}
 
-#: the acceptance envelope: every SSAM kernel on both evaluated
-#: architectures, both precisions and both engines
-TIER1_KERNELS = ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan")
-TIER1_ARCHITECTURES = ("p100", "v100")
+#: the acceptance envelope: every SSAM kernel on the evaluated and the
+#: post-paper architectures, both precisions and all functional engines
+TIER1_KERNELS = ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan",
+                 "stencil2d-order4", "stencil2d-order6", "stencil2d-varcoef",
+                 "stencil2d-masked", "conv2d-pipeline")
+TIER1_ARCHITECTURES = ("p100", "v100", "a100", "h100")
 TIER1_PRECISIONS = ("float32", "float64")
 TIER1_ENGINES = ("scalar", "batched", "replay")
 
@@ -113,8 +115,8 @@ def test_differential_matrix(case):
 
 
 def test_matrix_covers_acceptance_envelope():
-    """The derived matrix spans all 5 SSAM kernels x 3 engines x 2
-    precisions x >= 2 architectures (each cell runs every engine)."""
+    """The derived matrix spans all 10 SSAM kernels x 3 engines x 2
+    precisions x >= 4 architectures (each cell runs every engine)."""
     covered = {(c.scenario, c.architecture, c.precision)
                for c in DIFFERENTIAL_CELLS}
     for kernel in TIER1_KERNELS:

@@ -28,10 +28,12 @@ def test_builtin_registrations_cover_the_paper():
     for kernel in ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan"):
         assert kernel in names
     assert scenario_names(role="ssam") == \
-        ["conv1d", "conv2d", "stencil2d", "stencil3d", "scan"]
+        ["conv1d", "conv2d", "stencil2d", "stencil3d", "scan",
+         "stencil2d-order4", "stencil2d-order6", "stencil2d-varcoef",
+         "stencil2d-masked", "conv2d-pipeline"]
     assert "conv2d-npp" in scenario_names(role="baseline")
     assert "stencil2d-original" in scenario_names(family="stencil")
-    assert architecture_names() == ("k40", "m40", "p100", "v100")
+    assert architecture_names() == ("k40", "m40", "p100", "v100", "a100", "h100")
 
 
 def test_envelope_supports_and_size_restrictions():
@@ -115,6 +117,28 @@ def test_expand_matrix_rejects_empty_and_unknown():
         expand_matrix({"scenarios": ["warp-drive"]})
 
 
+def test_expand_matrix_validates_axis_values():
+    """A misspelled axis value raises a ConfigurationError listing the valid
+    vocabulary instead of silently thinning the matrix."""
+    with pytest.raises(ConfigurationError) as excinfo:
+        expand_matrix({"scenarios": ["conv2d"], "architectures": ["a100x"]})
+    message = str(excinfo.value)
+    assert "a100x" in message
+    for name in architecture_names():
+        assert name in message
+    with pytest.raises(ConfigurationError, match="unknown engines.*vector"):
+        expand_matrix({"scenarios": ["conv2d"], "engines": ["vector"]})
+    with pytest.raises(ConfigurationError, match="unknown sizes"):
+        expand_matrix({"scenarios": ["conv2d"], "sizes": ["galactic"]})
+    with pytest.raises(ConfigurationError, match="float16"):
+        expand_matrix({"scenarios": ["conv2d"], "precisions": ["float16"]})
+    # a valid subset still expands (validation does not over-reject)
+    cases = expand_matrix({"scenarios": ["conv2d"], "architectures": ["h100"],
+                           "precisions": ["float32"], "engines": ["batched"],
+                           "sizes": ["tiny"]})
+    assert [c.case_id for c in cases] == ["conv2d:h100:float32:batched:tiny"]
+
+
 def test_scenario_plan_respects_register_budget():
     conv2d = get_scenario("conv2d")
     for arch in ("p100", "v100"):
@@ -168,6 +192,20 @@ def test_every_builtin_scenario_has_a_model_entry():
     for scenario in all_scenarios():
         assert "model" in scenario.engines, scenario.name
         assert scenario.model is not None, scenario.name
+
+
+def test_every_executable_scenario_has_a_cpu_oracle():
+    """Any entry with a functional engine must ship a ground-truth oracle —
+    otherwise the differential matrix cannot check it (CI enforces the same
+    invariant as a standalone coverage step)."""
+    from repro.scenarios.registry import NON_EXECUTING_ENGINES
+
+    for scenario in all_scenarios():
+        executable = [e for e in scenario.engines
+                      if e not in NON_EXECUTING_ENGINES]
+        if executable:
+            assert scenario.oracle is not None, \
+                f"{scenario.name} runs {executable} but has no oracle"
 
 
 def test_model_engine_requires_an_evaluator():

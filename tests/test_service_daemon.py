@@ -164,6 +164,27 @@ def test_error_responses_are_json(service):
         client.submit_sweep("no-such-matrix")
 
 
+def test_submit_with_unknown_architecture_is_a_400_listing_names(service):
+    """A typo'd axis value must be a client error naming the valid values,
+    not a silently thinner matrix and not an opaque 500."""
+    client, _, _, _ = service
+    bad = {"scenarios": "ssam", "architectures": ["a100x"],
+           "precisions": ["float32"], "engines": ["batched"],
+           "sizes": ["tiny"]}
+    with pytest.raises(SimulationError) as excinfo:
+        client.submit_sweep(bad)
+    message = str(excinfo.value)
+    assert "(400)" in message  # ConfigurationError, not an internal error
+    assert "unknown architectures" in message and "a100x" in message
+    for name in ("a100", "h100", "p100", "v100"):
+        assert name in message
+    # unknown engines and precisions fail the same way
+    with pytest.raises(SimulationError, match=r"\(400\).*unknown engines"):
+        client.submit_sweep({"scenarios": "ssam", "engines": ["vector"]})
+    with pytest.raises(SimulationError, match=r"\(400\).*float16"):
+        client.submit_sweep({"scenarios": "ssam", "precisions": ["float16"]})
+
+
 def test_endpoint_file_discovery(service, tmp_path):
     client, core, cache, server = service
     path = write_endpoint_file(cache, server)

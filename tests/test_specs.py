@@ -173,9 +173,21 @@ def test_out_of_plane_points_for_3d():
 # --- Table 3 catalog --------------------------------------------------------------------
 
 def test_catalog_contains_all_fifteen_benchmarks():
-    assert len(CATALOG) == 15
+    # the 15 Table 3 rows plus the post-paper variable-coefficient entry
+    assert len(CATALOG) == 16
     assert set(FIGURE5_BENCHMARKS).issubset(CATALOG)
     assert set(FIGURE6_BENCHMARKS).issubset(CATALOG)
+    assert "2dv9pt" not in FIGURE5_BENCHMARKS  # paper figures stay paper-only
+
+
+def test_varcoef_benchmark_has_distinct_coefficients():
+    from repro.stencils.catalog import get_stencil
+
+    spec = get_stencil("2dv9pt")
+    coefficients = [p.coefficient for p in spec.points]
+    assert len(set(coefficients)) == len(coefficients)
+    assert sum(coefficients) == pytest.approx(1.0)
+    assert spec.footprint_width == 3 and spec.footprint_height == 3
 
 
 @pytest.mark.parametrize("name, k, fpp", [

@@ -48,7 +48,8 @@ def test_load_matrix_presets_and_files(tmp_path):
 def test_jobs_have_unique_keys_and_scenario_cache_fields():
     pending = jobs("tier1")
     keys = [job.key for job in pending]
-    assert len(keys) == len(set(keys)) == 60  # 5 kernels x 2 x 2 x 3 engines
+    # 10 SSAM kernels x 4 architectures x 2 precisions x 3 engines
+    assert len(keys) == len(set(keys)) == 240
     for job in pending:
         assert job.func == "repro.scenarios.sweep:_measure_case"
         fields = dict(job.cache_fields)
@@ -91,11 +92,14 @@ def test_sweep_reuses_the_persistent_cache(tmp_path):
 def test_paper_matrix_is_closed_form_and_covers_all_kernels():
     cases = expand_matrix(load_matrix("paper"))
     assert cases and all(c.engine in ("analytic", "model") for c in cases)
+    all_ssam = {"conv1d", "conv2d", "stencil2d", "stencil3d", "scan",
+                "stencil2d-order4", "stencil2d-order6", "stencil2d-varcoef",
+                "stencil2d-masked", "conv2d-pipeline"}
+    assert {c.scenario for c in cases} == all_ssam
     # the model engine unlocks paper scale for every SSAM kernel
-    assert {c.scenario for c in cases} == \
-        {"conv1d", "conv2d", "stencil2d", "stencil3d", "scan"}
-    assert {c.scenario for c in cases if c.engine == "model"} == \
-        {"conv1d", "conv2d", "stencil2d", "stencil3d", "scan"}
+    assert {c.scenario for c in cases if c.engine == "model"} == all_ssam
+    # paper scale spans the post-paper architecture axis too
+    assert {c.architecture for c in cases} == {"p100", "v100", "a100", "h100"}
     from repro.scenarios.sweep import _measure_case
 
     payload = _measure_case("conv2d", "p100", "float32", "analytic", "paper")

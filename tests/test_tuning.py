@@ -86,12 +86,19 @@ def test_full_space_is_the_section_7_1_grid():
 
 # ------------------------------------------------------------------- tuner
 
+TUNED_KERNELS = ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan",
+                 "stencil2d-order4", "stencil2d-order6", "stencil2d-varcoef",
+                 "stencil2d-masked", "conv2d-pipeline")
+TUNED_ARCHITECTURES = ("p100", "v100", "a100", "h100")
+
+
 def test_tune_cells_cover_the_paper_matrix():
     cells = tune_cells()
     ids = [cell.cell_id for cell in cells]
-    assert len(ids) == 20  # 5 kernels x 2 architectures x 2 precisions
-    for kernel in ("conv1d", "conv2d", "stencil2d", "stencil3d", "scan"):
-        for arch in ("p100", "v100"):
+    # 10 kernels x 4 architectures x 2 precisions
+    assert len(ids) == 80
+    for kernel in TUNED_KERNELS:
+        for arch in TUNED_ARCHITECTURES:
             for prec in ("float32", "float64"):
                 assert f"{kernel}:{arch}:{prec}" in ids
     with pytest.raises(ConfigurationError):
@@ -124,7 +131,7 @@ def test_quick_tune_is_deterministic_across_workers_and_cache(quick_tuning):
 
 def test_best_found_never_predicts_slower_than_the_paper_default(quick_tuning):
     cold, _, _ = quick_tuning
-    assert len(cold.measurements) == 20
+    assert len(cold.measurements) == 80
     for measurement in cold.measurements:
         extra = measurement.extra
         assert extra["best_model_ms"] <= extra["default_model_ms"], extra["cell_id"]
@@ -191,6 +198,9 @@ def test_tune_artifact_round_trips(quick_tuning, tmp_path):
 def test_quick_tune_report_matches_golden(quick_tuning):
     cold, _, _ = quick_tuning
     text = render(cold) + "\n"
+    # the golden report pins the post-paper architecture legs too
+    assert "conv2d:h100:float32" in text
+    assert "stencil2d-masked:a100:float64" in text
     path = GOLDEN_DIR / "tune.txt"
     if os.environ.get("SSAM_UPDATE_GOLDENS"):
         GOLDEN_DIR.mkdir(exist_ok=True)
