@@ -1,4 +1,4 @@
-"""Per-PR benchmark artifact: emit ``BENCH_8.json`` at the repo root.
+"""Per-PR benchmark artifact: emit ``BENCH_9.json`` at the repo root.
 
 Measures the quantities this PR's acceptance criteria pin:
 
@@ -18,6 +18,11 @@ Measures the quantities this PR's acceptance criteria pin:
   store: serial upserts, warm lookups, and aggregate results/s under
   concurrent writer threads (the regime the sweep service and overlapping
   CLI runs put it in).
+* **guided autotuning** — model evaluations and wall-clock of the guided
+  search against the exhaustive oracle over the full 80-cell tune matrix
+  (quick: a pinned subset), plus the ``best_config`` lookup latency of the
+  persistent tuning database — the cost a warm planner pays to resolve
+  tuned defaults.
 
 Run from the repo root::
 
@@ -26,7 +31,7 @@ Run from the repo root::
 
 The artifact is committed at the repo root so the perf trajectory is
 reviewable per PR; CI regenerates it at ``--quick`` scale and uploads it.
-``BENCH_7.json`` (the PR-7 artifact) stays committed for the trajectory.
+``BENCH_8.json`` (the PR-8 artifact) stays committed for the trajectory.
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-SCHEMA = "ssam-bench/PR8"
+SCHEMA = "ssam-bench/PR9"
 
 #: the post-paper parts added by PR 8; the registry loop below measures
 #: every SSAM scenario on each of them
@@ -302,6 +307,75 @@ def measure_store(quick: bool) -> Dict[str, object]:
     }
 
 
+def measure_tuning(quick: bool) -> Dict[str, object]:
+    """Guided vs exhaustive search cost, and tuned-config lookup latency.
+
+    The search comparison runs the model stage only (no confirmation) so
+    both numbers isolate the quantity the guided strategy actually saves:
+    performance-model evaluations.  The lookup benchmark then measures the
+    ``best_config`` path a warm planner takes — a single-row sqlite read —
+    both uncached (every call hits the database) and through the
+    resolver's memoised lookup.
+    """
+    from repro.core.launch_defaults import (
+        clear_lookup_cache,
+        lookup_tuned_config,
+        tuning_database,
+    )
+    from repro.experiments.cache import SimulationCache
+    from repro.tuning import run_tuning
+
+    if quick:
+        cells = dict(scenarios=["conv2d", "stencil2d", "scan"],
+                     architectures=["p100", "h100"],
+                     precisions=["float32"])
+    else:
+        cells = {}   # the full 80-cell tune matrix
+    out: Dict[str, object] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SimulationCache(tmp)
+        for search in ("exhaustive", "guided"):
+            start = time.perf_counter()
+            result = run_tuning(confirm=False, search=search,
+                                cache=cache if search == "guided" else None,
+                                **cells)
+            seconds = time.perf_counter() - start
+            evals = result.metadata["evaluations"]
+            out[search] = {
+                "cells": len(result.measurements),
+                "model_evaluations": evals["evaluated"],
+                "space_points": evals["space"],
+                "seconds": round(seconds, 3),
+            }
+        out["guided_fraction_of_exhaustive"] = round(
+            out["guided"]["model_evaluations"]
+            / out["exhaustive"]["model_evaluations"], 4)
+
+        # the guided run above persisted tuned rows into the cache's store
+        store = cache.result_store()
+        lookups = 200 if quick else 2000
+        start = time.perf_counter()
+        for _ in range(lookups):
+            found = store.best_config("conv2d", "p100", "float32")
+        uncached_seconds = time.perf_counter() - start
+        assert found is not None, "the guided tune must have written rows"
+
+        with tuning_database(tmp):
+            lookup_tuned_config("conv2d", "p100", "float32")  # prime
+            start = time.perf_counter()
+            for _ in range(lookups):
+                lookup_tuned_config("conv2d", "p100", "float32")
+            memoised_seconds = time.perf_counter() - start
+        clear_lookup_cache()
+        out["best_config_lookup"] = {
+            "lookups": lookups,
+            "store_microseconds": round(1e6 * uncached_seconds / lookups, 2),
+            "resolver_memoised_microseconds": round(
+                1e6 * memoised_seconds / lookups, 2),
+        }
+    return out
+
+
 def export(quick: bool = False) -> Dict[str, object]:
     throughput = measure_throughput(quick)
     pins = {
@@ -320,16 +394,17 @@ def export(quick: bool = False) -> Dict[str, object]:
         "pins": pins,
         "sweep": measure_sweep(quick),
         "store": measure_store(quick),
+        "tuning": measure_tuning(quick),
     }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Export the per-PR benchmark artifact (BENCH_8.json)")
+        description="Export the per-PR benchmark artifact (BENCH_9.json)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke scale: small domains, one repetition")
     parser.add_argument("--output", default=None, metavar="PATH",
-                        help="artifact path (default: BENCH_8.json at the "
+                        help="artifact path (default: BENCH_9.json at the "
                              "repo root)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a speedup pin is missed "
@@ -338,7 +413,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = export(quick=args.quick)
     output = args.output or str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_8.json")
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_9.json")
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -356,6 +431,12 @@ def main(argv=None) -> int:
           f"{store['concurrent_upserts_per_second']} upserts/s with "
           f"{store['concurrent_writers']} writers, "
           f"{store['lookups_per_second']} lookups/s")
+    tuning = payload["tuning"]
+    print(f"  tuning: guided {tuning['guided']['model_evaluations']} vs "
+          f"exhaustive {tuning['exhaustive']['model_evaluations']} model "
+          f"evaluations ({tuning['guided_fraction_of_exhaustive']:.0%}), "
+          f"best_config "
+          f"{tuning['best_config_lookup']['store_microseconds']}us/lookup")
     if args.check and not args.quick:
         if not all(pin["ok"] for pin in payload["pins"].values()):
             return 1

@@ -34,6 +34,11 @@ class OverlappedBlocking:
         P — outputs per thread produced by the sliding window.
     block_threads:
         B — threads per CUDA block (must be a warp-size multiple).
+    block_rows:
+        R — warp rows per block.  The classic scheme (R=1) lays every warp
+        of a block along x; R>1 splits the block's warps into R bands that
+        cover R consecutive P-row strips, trading x-extent for y-extent
+        (per-dimension block shapes).  Must divide the block's warp count.
     """
 
     filter_width: int
@@ -41,6 +46,7 @@ class OverlappedBlocking:
     outputs_per_thread: int
     block_threads: int = 128
     warp_size: int = 32
+    block_rows: int = 1
 
     def __post_init__(self) -> None:
         if self.filter_width < 1 or self.filter_height < 1:
@@ -54,6 +60,12 @@ class OverlappedBlocking:
             raise ConfigurationError("outputs per thread P must be >= 1")
         if self.block_threads % self.warp_size != 0:
             raise ConfigurationError("block size must be a multiple of the warp size")
+        if self.block_rows < 1:
+            raise ConfigurationError("block rows R must be >= 1")
+        if (self.block_threads // self.warp_size) % self.block_rows != 0:
+            raise ConfigurationError(
+                f"block rows R={self.block_rows} must divide the block's "
+                f"warp count {self.block_threads // self.warp_size}")
 
     # -- warp tile geometry ----------------------------------------------------
     @property
@@ -86,6 +98,16 @@ class OverlappedBlocking:
         """WarpCount = B / WarpSize (Section 4.7)."""
         return self.block_threads // self.warp_size
 
+    @property
+    def warps_x(self) -> int:
+        """Warps laid along x per band: WarpCount / R (= WarpCount at R=1)."""
+        return self.warps_per_block // self.block_rows
+
+    @property
+    def rows_per_block(self) -> int:
+        """Output rows one block covers: R x P."""
+        return self.block_rows * self.outputs_per_thread
+
     # -- halo analysis (Section 5.3) -------------------------------------------
     @property
     def halo_ratio(self) -> float:
@@ -113,13 +135,14 @@ class OverlappedBlocking:
     def grid_dim(self, width: int, height: int) -> Tuple[int, int, int]:
         """CUDA grid dimensions for a ``width x height`` output domain.
 
-        ``GridDim.x = ceil(W / (WarpCount * (WarpSize - M + 1)))`` and
-        ``GridDim.y = ceil(H / P)`` exactly as in Section 4.7.
+        ``GridDim.x = ceil(W / (WarpsX * (WarpSize - M + 1)))`` and
+        ``GridDim.y = ceil(H / (R * P))`` — with the paper's R=1 this is
+        exactly Section 4.7.
         """
         if width <= 0 or height <= 0:
             raise ConfigurationError("domain dimensions must be positive")
-        grid_x = math.ceil(width / (self.warps_per_block * self.valid_outputs_x))
-        grid_y = math.ceil(height / self.outputs_per_thread)
+        grid_x = math.ceil(width / (self.warps_x * self.valid_outputs_x))
+        grid_y = math.ceil(height / self.rows_per_block)
         return (grid_x, grid_y, 1)
 
     def total_blocks(self, width: int, height: int) -> int:
@@ -148,7 +171,8 @@ class OverlappedBlocking:
     # -- constructors --------------------------------------------------------------
     @classmethod
     def from_plan(cls, plan: RegisterCachePlan, filter_width: int,
-                  block_threads: int = 128) -> "OverlappedBlocking":
+                  block_threads: int = 128,
+                  block_rows: int = 1) -> "OverlappedBlocking":
         """Blocking geometry consistent with a register-cache plan."""
         return cls(
             filter_width=filter_width,
@@ -156,6 +180,7 @@ class OverlappedBlocking:
             outputs_per_thread=plan.outputs_per_thread,
             block_threads=block_threads,
             warp_size=plan.warp_size,
+            block_rows=block_rows,
         )
 
 

@@ -1,0 +1,266 @@
+"""Launch-parameter default resolution — the one place defaults come from.
+
+Every kernel entry point, scenario planner and model evaluator used to carry
+its own copy of the paper's evaluation defaults (P=4, B=128).  This module
+centralises them and layers the tuning database on top: defaults resolve
+through a three-step chain
+
+1. **explicit** — launch parameters the caller passed (``plan_kwargs``);
+2. **tuned** — the best configuration :func:`repro.tuning.run_tuning`
+   persisted for (scenario, architecture, precision, size-class) in the
+   ``tuned_configs`` table of the result store, honoured only when its
+   code-version digest matches the current source tree (a stale row is
+   silently skipped, never served);
+3. **paper** — the Section 6.2 constants in :data:`PAPER_LAUNCH_DEFAULTS`.
+
+The tuning database is consulted only when explicitly activated — via the
+``SSAM_TUNED_DB`` environment variable (which worker subprocesses inherit,
+keeping ``--jobs N`` runs deterministic) or the :func:`tuning_database`
+context manager.  With no database active the chain degenerates to
+explicit -> paper, byte-for-byte the pre-refactor behaviour.
+
+The resolver reads straight from sqlite (read-only URI, no store object,
+no schema creation), so a warm planner resolves tuned defaults in
+microseconds with zero simulator work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+#: environment variable naming the active tuning database: either the sqlite
+#: file itself or a cache directory containing ``results.sqlite``
+TUNED_DB_ENV = "SSAM_TUNED_DB"
+
+#: filename of the result store inside a cache directory (mirrors
+#: :data:`repro.experiments.cache.STORE_FILENAME` without importing it —
+#: the experiments package sits above core in the import order)
+_STORE_FILENAME = "results.sqlite"
+
+#: the launch parameters of the paper's evaluation (Section 6.2): sliding
+#: window depth P, block size B, and one warp row per block (the classic
+#: 1-D block shape; ``block_rows > 1`` splits a block's warps into bands)
+PAPER_LAUNCH_DEFAULTS: Dict[str, int] = {
+    "outputs_per_thread": 4,
+    "block_threads": 128,
+    "block_rows": 1,
+}
+
+#: the size-class tuned rows are recorded under: the tuner explores at the
+#: paper-scale problem size, so that is what planners look up by default
+DEFAULT_SIZE_CLASS = "paper"
+
+#: resolution sources in chain-priority order
+SOURCE_EXPLICIT = "explicit"
+SOURCE_TUNED = "tuned"
+SOURCE_PAPER = "paper"
+
+_UNSET = object()
+#: programmatic database override (tests, in-process activation); the
+#: environment variable is the cross-process mechanism
+_DB_OVERRIDE: object = _UNSET
+
+#: memoised lookups keyed by (path, scenario, architecture, precision,
+#: size-class, code-version); cleared when a tune run writes new rows
+_LOOKUP_CACHE: Dict[Tuple[object, ...], Optional[Dict[str, object]]] = {}
+
+
+@dataclass(frozen=True)
+class LaunchDefaults:
+    """Resolved launch parameters plus their provenance.
+
+    ``values`` maps each requested parameter to its resolved integer;
+    ``sources`` records per-parameter where the value came from; ``source``
+    is the chain summary (``"explicit"``, ``"tuned"``, ``"paper"`` or a
+    ``+``-joined combination in chain order, e.g. ``"explicit+paper"``).
+    """
+
+    values: Dict[str, int]
+    sources: Dict[str, str]
+    source: str
+    tuned_ms: Optional[float] = field(default=None, compare=False)
+
+
+def active_tuning_database() -> Optional[str]:
+    """Path of the active tuning database, or ``None`` when not activated."""
+    if _DB_OVERRIDE is not _UNSET:
+        return _DB_OVERRIDE  # type: ignore[return-value]
+    return os.environ.get(TUNED_DB_ENV) or None
+
+
+@contextmanager
+def tuning_database(path: Optional[str]):
+    """Activate a tuning database for the duration of the ``with`` block.
+
+    Sets both the module override and ``SSAM_TUNED_DB`` so worker
+    subprocesses spawned inside the block resolve identically — the
+    determinism-across-``--jobs`` guarantee.  ``None`` deactivates (useful
+    to shield a block from an ambient environment variable).
+    """
+    global _DB_OVERRIDE
+    previous_override = _DB_OVERRIDE
+    previous_env = os.environ.get(TUNED_DB_ENV)
+    _DB_OVERRIDE = path
+    if path is None:
+        os.environ.pop(TUNED_DB_ENV, None)
+    else:
+        os.environ[TUNED_DB_ENV] = str(path)
+    clear_lookup_cache()
+    try:
+        yield path
+    finally:
+        _DB_OVERRIDE = previous_override
+        if previous_env is None:
+            os.environ.pop(TUNED_DB_ENV, None)
+        else:
+            os.environ[TUNED_DB_ENV] = previous_env
+        clear_lookup_cache()
+
+
+def clear_lookup_cache() -> None:
+    """Drop memoised tuned-config lookups (called after tune runs write)."""
+    _LOOKUP_CACHE.clear()
+
+
+def _database_file(path: str) -> str:
+    """Accept either the sqlite file or a cache directory containing one."""
+    if os.path.isdir(path):
+        return os.path.join(path, _STORE_FILENAME)
+    return path
+
+
+def _current_code_version() -> str:
+    # late import: core must not import the experiments package at module
+    # load (experiments -> scenarios -> kernels -> core would cycle)
+    from ..experiments import cache as _cache
+
+    return _cache.code_version()
+
+
+def _query_tuned_config(path: str, scenario: str, architecture: str,
+                        precision: str, size_class: str,
+                        code_version: str) -> Optional[Dict[str, object]]:
+    """Read one tuned row straight from sqlite; any failure means "no row".
+
+    Opened read-only via URI so a lookup never creates a database, never
+    upgrades a schema and never takes a write lock.  A database without the
+    ``tuned_configs`` table (pre-migration) simply has nothing tuned.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True, timeout=5.0)
+    except sqlite3.Error:
+        return None
+    try:
+        row = conn.execute(
+            "SELECT plan_kwargs, model_ms, default_model_ms, speedup, search,"
+            " confirmed, tune_digest FROM tuned_configs"
+            " WHERE scenario = ? AND architecture = ? AND precision = ?"
+            " AND size_class = ? AND code_version = ?",
+            (scenario, architecture, precision, size_class, code_version),
+        ).fetchone()
+    except sqlite3.Error:
+        return None
+    finally:
+        conn.close()
+    if row is None:
+        return None
+    try:
+        plan_kwargs = {str(k): int(v) for k, v in json.loads(row[0]).items()}
+    except (ValueError, TypeError, AttributeError):
+        return None
+    return {
+        "plan_kwargs": plan_kwargs,
+        "model_ms": row[1],
+        "default_model_ms": row[2],
+        "speedup": row[3],
+        "search": row[4],
+        "confirmed": None if row[5] is None else bool(row[5]),
+        "tune_digest": row[6],
+    }
+
+
+def lookup_tuned_config(scenario: str, architecture: str, precision: str,
+                        size_class: str = DEFAULT_SIZE_CLASS,
+                        path: Optional[str] = None,
+                        ) -> Optional[Dict[str, object]]:
+    """The tuned configuration of one cell, or ``None``.
+
+    ``None`` covers every fallback case at once: no database active, file
+    missing, table missing (schema not yet migrated), no row for the cell,
+    or a row written by a different code version (stale).
+    """
+    db = path if path is not None else active_tuning_database()
+    if not db:
+        return None
+    db_file = _database_file(db)
+    code = _current_code_version()
+    key = (db_file, scenario, architecture, precision, size_class, code)
+    if key not in _LOOKUP_CACHE:
+        _LOOKUP_CACHE[key] = _query_tuned_config(
+            db_file, scenario, architecture, precision, size_class, code)
+    found = _LOOKUP_CACHE[key]
+    return None if found is None else dict(found,
+                                           plan_kwargs=dict(found["plan_kwargs"]))
+
+
+def resolve_launch_defaults(
+        parameters: Sequence[str],
+        architecture: Optional[str] = None,
+        precision: Optional[str] = None,
+        scenario: Optional[str] = None,
+        explicit: Optional[Mapping[str, object]] = None,
+        size_class: str = DEFAULT_SIZE_CLASS) -> LaunchDefaults:
+    """Resolve launch parameters through explicit -> tuned -> paper.
+
+    ``parameters`` names the launch parameters to resolve (each must appear
+    in :data:`PAPER_LAUNCH_DEFAULTS`).  ``explicit`` entries that are
+    ``None`` count as absent.  The tuning database is consulted only when a
+    ``scenario`` key is given *and* a database is active *and* both
+    ``architecture`` and ``precision`` are known — direct kernel calls with
+    no scenario identity always resolve to the paper constants, keeping
+    them deterministic regardless of ambient state.
+    """
+    given = {key: int(value) for key, value in dict(explicit or {}).items()
+             if value is not None}
+    tuned = None
+    needs_lookup = any(key not in given for key in parameters)
+    if needs_lookup and scenario and architecture and precision:
+        tuned = lookup_tuned_config(scenario, architecture, precision,
+                                    size_class)
+    tuned_kwargs = {} if tuned is None else tuned["plan_kwargs"]
+    values: Dict[str, int] = {}
+    sources: Dict[str, str] = {}
+    for key in parameters:
+        if key not in PAPER_LAUNCH_DEFAULTS:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown launch parameter {key!r}; known parameters: "
+                f"{sorted(PAPER_LAUNCH_DEFAULTS)}")
+        if key in given:
+            values[key] = given[key]
+            sources[key] = SOURCE_EXPLICIT
+        elif key in tuned_kwargs:
+            values[key] = int(tuned_kwargs[key])
+            sources[key] = SOURCE_TUNED
+        else:
+            values[key] = PAPER_LAUNCH_DEFAULTS[key]
+            sources[key] = SOURCE_PAPER
+    summary = "+".join(
+        name for name in (SOURCE_EXPLICIT, SOURCE_TUNED, SOURCE_PAPER)
+        if name in sources.values()) or SOURCE_PAPER
+    return LaunchDefaults(
+        values=values, sources=sources, source=summary,
+        tuned_ms=None if tuned is None else tuned.get("model_ms"))
+
+
+def paper_default(key: str) -> int:
+    """One paper constant by name (the compatibility accessor)."""
+    return PAPER_LAUNCH_DEFAULTS[key]

@@ -40,6 +40,7 @@ from ..gpu.profiler import (
     TimingBreakdown,
 )
 from .blocking import OverlappedBlocking, SharedMemoryBlocking
+from .launch_defaults import paper_default
 
 
 @dataclass(frozen=True)
@@ -410,24 +411,25 @@ def model_convolution2d(spec, width: int, height: int,
                         architecture: object = "p100",
                         precision: object = "float32",
                         outputs_per_thread: "int | None" = None,
-                        block_threads: "int | None" = None) -> "object":
+                        block_threads: "int | None" = None,
+                        block_rows: "int | None" = None) -> "object":
     """Section 5 prediction of the SSAM 2-D convolution (register cache).
 
-    ``outputs_per_thread``/``block_threads`` override the paper's default
-    launch parameters (P=4, B=128) so the tuner can cost the whole Section
-    7.1 design space closed-form.
+    ``outputs_per_thread``/``block_threads``/``block_rows`` override the
+    resolved launch defaults so the tuner can cost the whole Section 7.1
+    design space closed-form; ``None`` values resolve through the default
+    chain of :mod:`repro.core.launch_defaults`.
     """
     from ..kernels import conv2d_ssam
-    from .plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD, plan_convolution
+    from .plan import plan_convolution
 
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    p_request = (DEFAULT_OUTPUTS_PER_THREAD if outputs_per_thread is None
-                 else outputs_per_thread)
-    b_request = DEFAULT_BLOCK_THREADS if block_threads is None else block_threads
-    plan = plan_convolution(spec, arch, prec, p_request, b_request)
+    plan = plan_convolution(spec, arch, prec, outputs_per_thread,
+                            block_threads, block_rows)
     base = conv2d_ssam.analytic_launch(spec, width, height, arch, prec,
-                                       p_request, b_request)
+                                       plan.outputs_per_thread,
+                                       plan.block_threads, plan.block_rows)
     blocking = plan.blocking
     compute = plan.outputs_per_thread * register_cache_latency(
         arch, spec.filter_width, spec.filter_height)
@@ -451,7 +453,8 @@ def model_convolution2d_chain(spec, width: int, height: int, passes: int = 2,
                               architecture: object = "p100",
                               precision: object = "float32",
                               outputs_per_thread: "int | None" = None,
-                              block_threads: "int | None" = None) -> "object":
+                              block_threads: "int | None" = None,
+                              block_rows: "int | None" = None) -> "object":
     """Section 5 prediction of the multi-stage SSAM convolution chain.
 
     The unfused chain is ``passes`` back-to-back launches of the Section 5.2
@@ -461,18 +464,17 @@ def model_convolution2d_chain(spec, width: int, height: int, passes: int = 2,
     unchanged, but the Section 5.3 traffic floor shrinks accordingly.
     """
     from ..kernels import conv2d_ssam
-    from .plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD, plan_convolution
+    from .plan import plan_convolution
 
     if passes < 1:
         raise ConfigurationError("a convolution chain needs at least one pass")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    p_request = (DEFAULT_OUTPUTS_PER_THREAD if outputs_per_thread is None
-                 else outputs_per_thread)
-    b_request = DEFAULT_BLOCK_THREADS if block_threads is None else block_threads
-    plan = plan_convolution(spec, arch, prec, p_request, b_request)
+    plan = plan_convolution(spec, arch, prec, outputs_per_thread,
+                            block_threads, block_rows)
     base = conv2d_ssam.analytic_launch(spec, width, height, arch, prec,
-                                       p_request, b_request)
+                                       plan.outputs_per_thread,
+                                       plan.block_threads, plan.block_rows)
     blocking = plan.blocking
     compute = plan.outputs_per_thread * register_cache_latency(
         arch, spec.filter_width, spec.filter_height)
@@ -504,19 +506,19 @@ def model_stencil2d(spec, width: int, height: int, iterations: int = 1,
                     architecture: object = "p100",
                     precision: object = "float32",
                     outputs_per_thread: "int | None" = None,
-                    block_threads: "int | None" = None) -> "object":
+                    block_threads: "int | None" = None,
+                    block_rows: "int | None" = None) -> "object":
     """Section 5 prediction of the SSAM 2-D stencil (immediate coefficients)."""
     from ..kernels import stencil2d_ssam
-    from .plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD, plan_stencil
+    from .plan import plan_stencil
 
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    p_request = (DEFAULT_OUTPUTS_PER_THREAD if outputs_per_thread is None
-                 else outputs_per_thread)
-    b_request = DEFAULT_BLOCK_THREADS if block_threads is None else block_threads
-    plan = plan_stencil(spec, arch, prec, p_request, b_request)
+    plan = plan_stencil(spec, arch, prec, outputs_per_thread,
+                        block_threads, block_rows)
     base = stencil2d_ssam.analytic_launch(spec, width, height, iterations,
-                                          arch, prec, p_request, b_request)
+                                          arch, prec, plan.outputs_per_thread,
+                                          plan.block_threads, plan.block_rows)
     blocking = plan.blocking
     compute = plan.outputs_per_thread * stencil_register_cache_latency(
         arch, spec.num_points, spec.footprint_width)
@@ -553,7 +555,8 @@ def model_stencil3d(spec, width: int, height: int, depth: int,
     lat = arch.latencies
     p_extent = (stencil3d_ssam.DEFAULT_OUTPUTS_PER_THREAD_3D
                 if outputs_per_thread is None else outputs_per_thread)
-    b_extent = 128 if block_threads is None else block_threads
+    b_extent = (paper_default("block_threads") if block_threads is None
+                else block_threads)
     base = stencil3d_ssam.analytic_launch(spec, width, height, depth,
                                           iterations, arch, prec,
                                           p_extent, b_extent)
@@ -587,10 +590,12 @@ def model_stencil3d(spec, width: int, height: int, depth: int,
 
 def model_convolution1d(taps: int, length: int, architecture: object = "p100",
                         precision: object = "float32",
-                        block_threads: int = 128) -> "object":
+                        block_threads: "int | None" = None) -> "object":
     """Section 5 prediction of the SSAM 1-D convolution (Section 3.5)."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     validate_block_threads(arch, block_threads)
     if taps < 1 or taps > arch.warp_size:
         raise ConfigurationError(
@@ -639,10 +644,12 @@ def model_convolution1d(taps: int, length: int, architecture: object = "p100",
 
 def model_scan(length: int, architecture: object = "p100",
                precision: object = "float32",
-               block_threads: int = 128) -> "object":
+               block_threads: "int | None" = None) -> "object":
     """Section 5 prediction of the SSAM Kogge-Stone scan (Figure 1e)."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     validate_block_threads(arch, block_threads)
     lat = arch.latencies
     warps_per_block = block_threads // arch.warp_size

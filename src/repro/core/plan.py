@@ -22,13 +22,15 @@ from ..gpu.kernel import LaunchConfig
 from ..gpu.occupancy import OccupancyResult, compute_occupancy, validate_block_threads
 from ..stencils.spec import StencilSpec
 from .blocking import OverlappedBlocking
+from .launch_defaults import PAPER_LAUNCH_DEFAULTS, resolve_launch_defaults
 from .model import SystolicProgram
 from .register_cache import RegisterCachePlan, choose_plan, resolve_outputs_per_thread
 
-#: the block size used throughout the paper's evaluation (Section 6.2)
-DEFAULT_BLOCK_THREADS = 128
-#: the sliding-window depth used throughout the paper's evaluation
-DEFAULT_OUTPUTS_PER_THREAD = 4
+#: the paper's evaluation constants (Section 6.2), re-exported for
+#: compatibility; the authoritative copy — and the tuned-default resolution
+#: chain layered on top — lives in :mod:`repro.core.launch_defaults`
+DEFAULT_BLOCK_THREADS = PAPER_LAUNCH_DEFAULTS["block_threads"]
+DEFAULT_OUTPUTS_PER_THREAD = PAPER_LAUNCH_DEFAULTS["outputs_per_thread"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,11 @@ class SSAMPlan:
     blocking: OverlappedBlocking
     precision: Precision
     block_threads: int
+    #: where the launch parameters came from ("explicit", "tuned", "paper"
+    #: or a chain combination); provenance only — excluded from equality,
+    #: ``to_dict`` and the fingerprint so identically-parameterised plans
+    #: share cache entries regardless of how their values were resolved
+    defaults_source: Optional[str] = field(default=None, compare=False)
 
     @property
     def program(self) -> SystolicProgram:
@@ -78,6 +85,11 @@ class SSAMPlan:
         return self.register_cache.outputs_per_thread
 
     @property
+    def block_rows(self) -> int:
+        """R — warp rows per block (1 = the paper's 1-D block shape)."""
+        return self.blocking.block_rows
+
+    @property
     def shared_bytes_per_block(self) -> int:
         """Shared memory used per block (filter weights for convolutions)."""
         if isinstance(self.problem, ConvolutionSpec):
@@ -106,8 +118,13 @@ class SSAMPlan:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable identity of this plan (cache keys, artifacts)."""
-        return {
+        """JSON-serialisable identity of this plan (cache keys, artifacts).
+
+        ``block_rows`` appears only when it deviates from the classic
+        R=1 shape, so every pre-existing plan keeps its fingerprint (and
+        with it every cached simulation keyed on one).
+        """
+        out: Dict[str, object] = {
             "problem": self.problem.fingerprint(),
             "architecture": self.architecture.name,
             "precision": self.precision.name,
@@ -119,6 +136,9 @@ class SSAMPlan:
             "block_threads": self.block_threads,
             "shared_bytes_per_block": self.shared_bytes_per_block,
         }
+        if self.block_rows != 1:
+            out["block_rows"] = self.block_rows
+        return out
 
     def fingerprint(self) -> str:
         """Stable content hash of this plan."""
@@ -139,10 +159,12 @@ class SSAMPlan:
             "C": self.register_cache.cache_values,
             "registers_per_thread": self.register_cache.registers_per_thread,
             "block_threads": self.block_threads,
+            "block_rows": self.block_rows,
             "valid_outputs_per_warp": self.blocking.valid_outputs_per_warp,
             "halo_ratio": round(self.blocking.halo_ratio, 4),
             "occupancy": round(occupancy.occupancy, 3),
             "shuffles_per_pass": self.program.shuffles_per_pass,
+            "defaults_source": self.defaults_source,
         }
 
 
@@ -165,9 +187,11 @@ def _spec_token(spec: Union[ConvolutionSpec, StencilSpec]) -> object:
 
 
 def _cached_plan(kind: str, spec, arch, prec, resolved_outputs: int,
-                 block_threads: int, build) -> SSAMPlan:
+                 block_threads: int, block_rows: int, source: Optional[str],
+                 build) -> SSAMPlan:
     try:
-        key = (kind, _spec_token(spec), arch, prec, resolved_outputs, block_threads)
+        key = (kind, _spec_token(spec), arch, prec, resolved_outputs,
+               block_threads, block_rows, source)
         hash(key)
     except TypeError:
         return build()
@@ -182,56 +206,96 @@ def _cached_plan(kind: str, spec, arch, prec, resolved_outputs: int,
     return plan
 
 
+def _resolve_plan_parameters(arch, prec, outputs_per_thread, block_threads,
+                             block_rows, scenario, defaults_source):
+    """Resolve the three launch parameters through the default chain.
+
+    Parameters passed as ``None`` resolve through
+    :func:`repro.core.launch_defaults.resolve_launch_defaults` (tuned rows
+    when a database is active and a scenario identity is known, paper
+    constants otherwise).  An explicit ``defaults_source`` — the scenario
+    registry resolves once and hands planners already-concrete values —
+    overrides the locally computed provenance.
+    """
+    resolved = resolve_launch_defaults(
+        ("outputs_per_thread", "block_threads", "block_rows"),
+        architecture=arch.name, precision=prec.name, scenario=scenario,
+        explicit={"outputs_per_thread": outputs_per_thread,
+                  "block_threads": block_threads,
+                  "block_rows": block_rows})
+    source = defaults_source if defaults_source is not None else resolved.source
+    values = resolved.values
+    return (values["outputs_per_thread"], values["block_threads"],
+            values["block_rows"], source)
+
+
 def plan_convolution(spec: ConvolutionSpec, architecture: object = "p100",
                      precision: object = "float32",
-                     outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                     block_threads: int = DEFAULT_BLOCK_THREADS) -> SSAMPlan:
+                     outputs_per_thread: Optional[int] = None,
+                     block_threads: Optional[int] = None,
+                     block_rows: Optional[int] = None,
+                     scenario: Optional[str] = None,
+                     defaults_source: Optional[str] = None) -> SSAMPlan:
     """Build an SSAM plan for a 2-D convolution (Listing 1 configuration).
 
-    Plans are memoised on their resolved identity: repeated launches of the
-    same (spec, architecture, precision, resolved P, B) configuration —
-    including requests that clamp to the same P — return the cached plan
-    without re-validating the spec.
+    Launch parameters left as ``None`` resolve through the default chain
+    (explicit -> tuned database -> paper constants); the chain outcome is
+    recorded on the plan as ``defaults_source``.  Plans are memoised on
+    their resolved identity: repeated launches of the same (spec,
+    architecture, precision, resolved P, B, R) configuration — including
+    requests that clamp to the same P — return the cached plan without
+    re-validating the spec.
     """
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    validate_block_threads(arch, block_threads)
+    p_request, b_threads, b_rows, source = _resolve_plan_parameters(
+        arch, prec, outputs_per_thread, block_threads, block_rows,
+        scenario, defaults_source)
+    validate_block_threads(arch, b_threads)
     resolved = resolve_outputs_per_thread(spec.filter_height, arch, prec,
-                                          outputs_per_thread)
+                                          p_request)
 
     def build() -> SSAMPlan:
         cache = choose_plan(spec.filter_height, arch, prec,
                             requested_outputs=resolved)
-        blocking = OverlappedBlocking.from_plan(cache, spec.filter_width, block_threads)
+        blocking = OverlappedBlocking.from_plan(cache, spec.filter_width,
+                                                b_threads, b_rows)
         return SSAMPlan(problem=spec, architecture=arch, register_cache=cache,
                         blocking=blocking, precision=prec,
-                        block_threads=block_threads)
+                        block_threads=b_threads, defaults_source=source)
 
     return _cached_plan("conv2d", spec, arch, prec, resolved,
-                        block_threads, build)
+                        b_threads, b_rows, source, build)
 
 
 def plan_stencil(spec: StencilSpec, architecture: object = "p100",
                  precision: object = "float32",
-                 outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                 block_threads: int = DEFAULT_BLOCK_THREADS) -> SSAMPlan:
+                 outputs_per_thread: Optional[int] = None,
+                 block_threads: Optional[int] = None,
+                 block_rows: Optional[int] = None,
+                 scenario: Optional[str] = None,
+                 defaults_source: Optional[str] = None) -> SSAMPlan:
     """Build an SSAM plan for the in-plane part of a 2-D/3-D stencil.
 
-    Memoised like :func:`plan_convolution`.
+    Defaults resolve and memoise like :func:`plan_convolution`.
     """
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    validate_block_threads(arch, block_threads)
+    p_request, b_threads, b_rows, source = _resolve_plan_parameters(
+        arch, prec, outputs_per_thread, block_threads, block_rows,
+        scenario, defaults_source)
+    validate_block_threads(arch, b_threads)
     resolved = resolve_outputs_per_thread(spec.footprint_height, arch, prec,
-                                          outputs_per_thread)
+                                          p_request)
 
     def build() -> SSAMPlan:
         cache = choose_plan(spec.footprint_height, arch, prec,
                             requested_outputs=resolved)
-        blocking = OverlappedBlocking.from_plan(cache, spec.footprint_width, block_threads)
+        blocking = OverlappedBlocking.from_plan(cache, spec.footprint_width,
+                                                b_threads, b_rows)
         return SSAMPlan(problem=spec, architecture=arch, register_cache=cache,
                         blocking=blocking, precision=prec,
-                        block_threads=block_threads)
+                        block_threads=b_threads, defaults_source=source)
 
     return _cached_plan("stencil", spec, arch, prec, resolved,
-                        block_threads, build)
+                        b_threads, b_rows, source, build)

@@ -87,6 +87,7 @@ def run_experiment_results(name: str = "all", quick: bool = False,
                            matrix: Optional[str] = None,
                            tune_stage: str = "full",
                            confirm_engine: str = "batched",
+                           search: str = "exhaustive",
                            ) -> Dict[str, ExperimentResult]:
     """Run one or all experiments through the pipeline.
 
@@ -97,8 +98,10 @@ def run_experiment_results(name: str = "all", quick: bool = False,
     preset or a JSON matrix file (default ``"smoke"`` under ``--quick``,
     ``"default"`` otherwise).  ``name="tune"`` runs the launch-configuration
     autotuner; ``tune_stage="model"`` stops after the closed-form explore
-    stage (the CI smoke path) and ``confirm_engine`` picks the simulator
-    the confirmation stage runs on (``"batched"`` or ``"replay"``).
+    stage (the CI smoke path), ``confirm_engine`` picks the simulator the
+    confirmation stage runs on (``"batched"`` or ``"replay"``), and
+    ``search`` selects the explore strategy (``"exhaustive"`` or the
+    budgeted ``"guided"`` local search).
     """
     if name == "sweep":
         sweep = _sweep_module()
@@ -111,7 +114,8 @@ def run_experiment_results(name: str = "all", quick: bool = False,
         return {"tune": tuning.run_tuning(quick=quick, workers=jobs,
                                           cache=cache,
                                           confirm=tune_stage != "model",
-                                          confirm_engine=confirm_engine)}
+                                          confirm_engine=confirm_engine,
+                                          search=search)}
     names = _select(name)
     pending = []
     for key in names:
@@ -258,6 +262,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "the batched simulator or the compiled "
                              "trace-replay engine (identical counters, "
                              "faster; only with --experiment tune)")
+    parser.add_argument("--search", default="exhaustive",
+                        choices=["exhaustive", "guided"],
+                        help="explore-stage search strategy: evaluate every "
+                             "valid design point, or the budgeted guided "
+                             "local search seeded at the paper default "
+                             "(only with --experiment tune)")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the simulation jobs "
                              "(0 = all CPUs; default 1)")
@@ -288,6 +298,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--tune-stage requires --experiment tune")
     if args.confirm_engine != "batched" and args.experiment != "tune":
         parser.error("--confirm-engine requires --experiment tune")
+    if args.search != "exhaustive" and args.experiment != "tune":
+        parser.error("--search requires --experiment tune")
     if args.experiment == "serve":
         if args.no_cache:
             parser.error("--experiment serve needs the shared store; drop "
@@ -298,7 +310,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                      jobs=workers, cache=cache,
                                      matrix=args.matrix,
                                      tune_stage=args.tune_stage,
-                                     confirm_engine=args.confirm_engine)
+                                     confirm_engine=args.confirm_engine,
+                                     search=args.search)
     print("\n\n".join(render_result(key, result)
                       for key, result in results.items()))
     if args.output_dir:

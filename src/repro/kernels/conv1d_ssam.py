@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.launch_defaults import paper_default
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
@@ -57,7 +58,7 @@ CONV1D_SSAM_KERNEL = Kernel(_conv1d_ssam_block, name="ssam_conv1d")
 
 def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int] = None,
                     architecture: object = "p100", precision: object = "float32",
-                    block_threads: int = 128,
+                    block_threads: Optional[int] = None,
                     batch_size: object = "auto",
                     max_blocks: Optional[int] = None,
                     keep_output: bool = False) -> KernelRunResult:
@@ -78,6 +79,8 @@ def ssam_convolve1d(sequence: np.ndarray, taps: np.ndarray, anchor: Optional[int
     if taps.size > arch.warp_size:
         raise ConfigurationError("1-D filters longer than the warp size are unsupported")
     prec = resolve_precision(precision)
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     validate_block_threads(arch, block_threads)
     anchor = taps.size // 2 if anchor is None else int(anchor)
     if not 0 <= anchor < taps.size:

@@ -26,12 +26,7 @@ import numpy as np
 
 from ..convolution.spec import ConvolutionSpec
 from ..core.blocking import OverlappedBlocking
-from ..core.plan import (
-    DEFAULT_BLOCK_THREADS,
-    DEFAULT_OUTPUTS_PER_THREAD,
-    SSAMPlan,
-    plan_convolution,
-)
+from ..core.plan import SSAMPlan, plan_convolution
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
@@ -53,7 +48,8 @@ from .common import (
 def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
                        weights: DeviceBuffer, width: int, height: int,
                        filter_width: int, filter_height: int,
-                       outputs_per_thread: int, anchor_x: int, anchor_y: int) -> None:
+                       outputs_per_thread: int, anchor_x: int, anchor_y: int,
+                       block_rows: int = 1) -> None:
     """Listing 1, executed for one thread block (or a whole batch of blocks).
 
     Written against the broadcast contract shared by
@@ -61,6 +57,12 @@ def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
     :class:`~repro.gpu.batch.BatchedBlockContext`: block indices are scalars
     on the legacy path and ``(num_blocks, 1)`` columns on the batched path,
     so every index expression broadcasts to the context's register shape.
+
+    ``block_rows`` (R) selects the block shape: R=1 lays every warp along x
+    (the paper's scheme, kept branch-for-branch identical here); R>1 splits
+    the block's warps into R bands covering consecutive P-row strips.  The
+    band arithmetic is pure integer math on the warp id, so it vectorises
+    in the batched engine and records into the trace IR unchanged.
     """
     m_extent, n_extent, p_extent = filter_width, filter_height, outputs_per_thread
     cache_rows = n_extent + p_extent - 1
@@ -75,10 +77,18 @@ def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
     warps_per_block = ctx.num_warps
 
     # column cached by each thread and the rows of this block's tile
-    warp_out_base = (ctx.block_idx_x * warps_per_block + warp) * valid_x
+    if block_rows == 1:
+        warps_x = warps_per_block
+        warp_x = warp
+        block_row = ctx.block_idx_y
+    else:
+        warps_x = warps_per_block // block_rows
+        warp_x = warp % warps_x
+        block_row = ctx.block_idx_y * block_rows + warp // warps_x
+    warp_out_base = (ctx.block_idx_x * warps_x + warp_x) * valid_x
     column = warp_out_base + lane - anchor_x
     column = clamp(column, 0, width - 1)
-    row_base = ctx.block_idx_y * p_extent - anchor_y
+    row_base = block_row * p_extent - anchor_y
 
     # (ii) fill the register cache, one coalesced row at a time (lines 13-14)
     register_cache = []
@@ -99,7 +109,7 @@ def _conv2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
                 weight = broadcast_weight(ctx, smem, n * m_extent + m)
                 partial = ctx.mad(register_cache[i + n], weight, partial)
         # (vi) write the valid results back to global memory (lines 30-31)
-        out_y = ctx.block_idx_y * p_extent + i
+        out_y = block_row * p_extent + i
         mask = x_mask & (out_y < height)
         safe_y = np.minimum(out_y, height - 1)
         ctx.store_global(dst, safe_y * width + safe_x, partial, mask=mask)
@@ -111,27 +121,30 @@ CONV2D_SSAM_KERNEL = Kernel(_conv2d_ssam_block, name="ssam_conv2d")
 
 def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
                     architecture: object = "p100", precision: object = "float32",
-                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                    block_threads: int = DEFAULT_BLOCK_THREADS,
+                    outputs_per_thread: Optional[int] = None,
+                    block_threads: Optional[int] = None,
+                    block_rows: Optional[int] = None,
                     plan: Optional[SSAMPlan] = None,
                     max_blocks: Optional[int] = None,
                     batch_size: object = "auto",
                     keep_output: bool = False) -> KernelRunResult:
     """Convolve ``image`` with ``spec`` using the SSAM kernel.
 
-    Parameters mirror the paper's evaluation defaults (P=4, B=128).  Pass
-    ``max_blocks`` to sample the grid when only cost estimates are needed,
-    and ``batch_size=1`` to force the legacy per-block engine.
-    ``keep_output=True`` returns the (partial) output buffer even for
-    sampled runs — the executed blocks' results are exactly those of a
-    full run; unexecuted blocks leave zeros.
+    Launch parameters left as ``None`` resolve through the default chain of
+    :mod:`repro.core.launch_defaults` (paper constants P=4, B=128 for a
+    direct call like this one).  Pass ``max_blocks`` to sample the grid when
+    only cost estimates are needed, and ``batch_size=1`` to force the legacy
+    per-block engine.  ``keep_output=True`` returns the (partial) output
+    buffer even for sampled runs — the executed blocks' results are exactly
+    those of a full run; unexecuted blocks leave zeros.
     """
     image = check_image(image)
     require_edge_boundary(spec.boundary, "the SSAM convolution kernel")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
     if plan is None:
-        plan = plan_convolution(spec, arch, prec, outputs_per_thread, block_threads)
+        plan = plan_convolution(spec, arch, prec, outputs_per_thread,
+                                block_threads, block_rows)
     height, width = image.shape
     memory, src, dst = make_device_pair(image, prec)
     weights = memory.to_device(spec.weights.astype(prec.numpy_dtype), name="weights",
@@ -141,7 +154,7 @@ def ssam_convolve2d(image: np.ndarray, spec: ConvolutionSpec,
     launch = CONV2D_SSAM_KERNEL.launch(
         config,
         args=(src, dst, weights, width, height, spec.filter_width, spec.filter_height,
-              plan.outputs_per_thread, anchor_x, anchor_y),
+              plan.outputs_per_thread, anchor_x, anchor_y, plan.block_rows),
         architecture=arch,
         max_blocks=max_blocks,
         batch_size=batch_size,
@@ -167,8 +180,9 @@ def ssam_convolve2d_chain(image: np.ndarray, spec: ConvolutionSpec,
                           passes: int = 2,
                           architecture: object = "p100",
                           precision: object = "float32",
-                          outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                          block_threads: int = DEFAULT_BLOCK_THREADS,
+                          outputs_per_thread: Optional[int] = None,
+                          block_threads: Optional[int] = None,
+                          block_rows: Optional[int] = None,
                           fused: bool = False,
                           lead_blocks: Optional[int] = None,
                           batch_size: object = "auto") -> KernelRunResult:
@@ -188,7 +202,8 @@ def ssam_convolve2d_chain(image: np.ndarray, spec: ConvolutionSpec,
     require_edge_boundary(spec.boundary, "the SSAM convolution kernel")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    plan = plan_convolution(spec, arch, prec, outputs_per_thread, block_threads)
+    plan = plan_convolution(spec, arch, prec, outputs_per_thread,
+                            block_threads, block_rows)
     height, width = image.shape
     config = plan.launch_config(width, height)
     anchor_x, anchor_y = spec.anchor
@@ -209,18 +224,19 @@ def ssam_convolve2d_chain(image: np.ndarray, spec: ConvolutionSpec,
     def stage_args(i: int):
         return (bufs[i], bufs[i + 1], weights, width, height,
                 spec.filter_width, spec.filter_height,
-                plan.outputs_per_thread, anchor_x, anchor_y)
+                plan.outputs_per_thread, anchor_x, anchor_y, plan.block_rows)
 
     if fused:
         from ..trace.fusion import FusedStage, fused_launch
 
         if lead_blocks is None:
             # a consumer block needs the producer rows covering its
-            # bottom halo: ceil((N-1)/P) block-rows ahead, plus one more
-            # block-row so the column halo is covered as well
+            # bottom halo: ceil((N-1)/(R*P)) block-rows ahead, plus one
+            # more block-row so the column halo is covered as well
             grid_x = config.grid_dim[0]
             halo_rows = math.ceil(
-                max(0, spec.filter_height - 1) / plan.outputs_per_thread)
+                max(0, spec.filter_height - 1)
+                / (plan.outputs_per_thread * plan.block_rows))
             lead_blocks = (halo_rows + 1) * grid_x
         launch = fused_launch(
             [FusedStage(CONV2D_SSAM_KERNEL, config, stage_args(i))
@@ -298,9 +314,14 @@ def analytic_counters(spec: ConvolutionSpec, width: int, height: int,
     counters.gmem_store += p_extent * total_warps
     counters.gmem_store_transactions += p_extent * total_warps * sectors_per_row
 
-    # DRAM traffic: tile + halo per block (perfect intra-block reuse)
-    unique_columns = warps_per_block * blocking.valid_outputs_x + (m_extent - 1)
-    read_bytes_per_block = cache_rows * unique_columns * prec.itemsize
+    # DRAM traffic: tile + halo per block (perfect intra-block reuse);
+    # with R>1 the block's bands tile R*P rows, overlapping by N-1, so the
+    # unique footprint is (R*P + N - 1) rows by (WarpsX*ValidX + M - 1)
+    # columns — degenerating to cache_rows x (WarpCount*ValidX + M - 1)
+    # at the paper's R=1
+    unique_columns = blocking.warps_x * blocking.valid_outputs_x + (m_extent - 1)
+    unique_rows = blocking.rows_per_block + n_extent - 1
+    read_bytes_per_block = unique_rows * unique_columns * prec.itemsize
     counters.dram_read_bytes += read_bytes_per_block * blocks
     counters.dram_write_bytes += width * height * prec.itemsize
     counters.cache_read_bytes += (cache_rows * 32 * total_warps) * prec.itemsize
@@ -311,12 +332,14 @@ def analytic_counters(spec: ConvolutionSpec, width: int, height: int,
 
 def analytic_launch(spec: ConvolutionSpec, width: int, height: int,
                     architecture: object = "p100", precision: object = "float32",
-                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                    block_threads: int = DEFAULT_BLOCK_THREADS) -> KernelRunResult:
+                    outputs_per_thread: Optional[int] = None,
+                    block_threads: Optional[int] = None,
+                    block_rows: Optional[int] = None) -> KernelRunResult:
     """Paper-scale cost estimate of the SSAM convolution without execution."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    plan = plan_convolution(spec, arch, prec, outputs_per_thread, block_threads)
+    plan = plan_convolution(spec, arch, prec, outputs_per_thread,
+                            block_threads, block_rows)
     counters = analytic_counters(spec, width, height, plan)
     config = plan.launch_config(width, height)
     launch = LaunchResult(

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.launch_defaults import paper_default
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
@@ -76,7 +77,8 @@ SCAN_SSAM_KERNEL = Kernel(_scan_block, name="ssam_scan")
 
 
 def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
-              precision: object = "float32", block_threads: int = 128,
+              precision: object = "float32",
+              block_threads: Optional[int] = None,
               batch_size: object = "auto",
               max_blocks: Optional[int] = None,
               keep_output: bool = False) -> KernelRunResult:
@@ -92,6 +94,8 @@ def ssam_scan(sequence: np.ndarray, architecture: object = "p100",
         raise ConfigurationError("ssam_scan expects a non-empty 1-D sequence")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     validate_block_threads(arch, block_threads)
     length = int(sequence.size)
     memory = GlobalMemory()

@@ -21,12 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.plan import (
-    DEFAULT_BLOCK_THREADS,
-    DEFAULT_OUTPUTS_PER_THREAD,
-    SSAMPlan,
-    plan_stencil,
-)
+from ..core.plan import SSAMPlan, plan_stencil
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
@@ -46,7 +41,7 @@ def _stencil2d_masked_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuf
                             width: int, height: int, columns: ColumnGroups,
                             footprint_width: int, footprint_height: int,
                             outputs_per_thread: int, x_min: int, y_min: int,
-                            margin: int) -> None:
+                            margin: int, block_rows: int = 1) -> None:
     """Listing 2 with an interior-select store (one thread block)."""
     m_extent = footprint_width
     p_extent = outputs_per_thread
@@ -59,9 +54,17 @@ def _stencil2d_masked_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuf
     warp = ctx.warp_id
     warps_per_block = ctx.num_warps
 
-    warp_out_base = (ctx.block_idx_x * warps_per_block + warp) * valid_x
+    if block_rows == 1:
+        warps_x = warps_per_block
+        warp_x = warp
+        block_row = ctx.block_idx_y
+    else:
+        warps_x = warps_per_block // block_rows
+        warp_x = warp % warps_x
+        block_row = ctx.block_idx_y * block_rows + warp // warps_x
+    warp_out_base = (ctx.block_idx_x * warps_x + warp_x) * valid_x
     column = clamp(warp_out_base + lane + x_min, 0, width - 1)
-    row_base = ctx.block_idx_y * p_extent + y_min
+    row_base = block_row * p_extent + y_min
 
     register_cache = []
     for j in range(cache_rows):
@@ -86,7 +89,7 @@ def _stencil2d_masked_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuf
         trailing = x_max - (previous_dx if previous_dx is not None else x_max)
         if trailing:
             partial = ctx.shfl_up(partial, trailing)
-        out_y = ctx.block_idx_y * p_extent + i
+        out_y = block_row * p_extent + i
         mask = x_mask & (out_y < height)
         safe_y = np.minimum(out_y, height - 1)
         # exterior cells pass the previous iterate through unchanged
@@ -104,8 +107,9 @@ def ssam_stencil2d_masked(grid: np.ndarray, spec: StencilSpec,
                           iterations: int = 1, margin: int = DEFAULT_MARGIN,
                           architecture: object = "p100",
                           precision: object = "float32",
-                          outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                          block_threads: int = DEFAULT_BLOCK_THREADS,
+                          outputs_per_thread: Optional[int] = None,
+                          block_threads: Optional[int] = None,
+                          block_rows: Optional[int] = None,
                           plan: Optional[SSAMPlan] = None,
                           max_blocks: Optional[int] = None,
                           batch_size: object = "auto",
@@ -121,7 +125,8 @@ def ssam_stencil2d_masked(grid: np.ndarray, spec: StencilSpec,
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
     if plan is None:
-        plan = plan_stencil(spec, arch, prec, outputs_per_thread, block_threads)
+        plan = plan_stencil(spec, arch, prec, outputs_per_thread,
+                            block_threads, block_rows)
     height, width = grid.shape
     memory = GlobalMemory()
     buffers = [
@@ -139,7 +144,7 @@ def ssam_stencil2d_masked(grid: np.ndarray, spec: StencilSpec,
             config,
             args=(src, dst, width, height, columns, spec.footprint_width,
                   spec.footprint_height, plan.outputs_per_thread, x_min, y_min,
-                  int(margin)),
+                  int(margin), plan.block_rows),
             architecture=arch,
             max_blocks=max_blocks,
             batch_size=batch_size,

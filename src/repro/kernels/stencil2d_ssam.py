@@ -19,12 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.plan import (
-    DEFAULT_BLOCK_THREADS,
-    DEFAULT_OUTPUTS_PER_THREAD,
-    SSAMPlan,
-    plan_stencil,
-)
+from ..core.plan import SSAMPlan, plan_stencil
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
@@ -54,8 +49,14 @@ def build_column_groups(spec: StencilSpec) -> ColumnGroups:
 def _stencil2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffer,
                           width: int, height: int, columns: ColumnGroups,
                           footprint_width: int, footprint_height: int,
-                          outputs_per_thread: int, x_min: int, y_min: int) -> None:
-    """Listing 2 (generalised), executed for one thread block."""
+                          outputs_per_thread: int, x_min: int, y_min: int,
+                          block_rows: int = 1) -> None:
+    """Listing 2 (generalised), executed for one thread block.
+
+    ``block_rows`` splits the block's warps into R bands of consecutive
+    P-row strips, exactly as in the convolution kernel; R=1 keeps the
+    paper's 1-D block shape with unchanged arithmetic.
+    """
     m_extent = footprint_width
     p_extent = outputs_per_thread
     cache_rows = footprint_height + p_extent - 1
@@ -67,9 +68,17 @@ def _stencil2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
     warp = ctx.warp_id
     warps_per_block = ctx.num_warps
 
-    warp_out_base = (ctx.block_idx_x * warps_per_block + warp) * valid_x
+    if block_rows == 1:
+        warps_x = warps_per_block
+        warp_x = warp
+        block_row = ctx.block_idx_y
+    else:
+        warps_x = warps_per_block // block_rows
+        warp_x = warp % warps_x
+        block_row = ctx.block_idx_y * block_rows + warp // warps_x
+    warp_out_base = (ctx.block_idx_x * warps_x + warp_x) * valid_x
     column = clamp(warp_out_base + lane + x_min, 0, width - 1)
-    row_base = ctx.block_idx_y * p_extent + y_min
+    row_base = block_row * p_extent + y_min
 
     register_cache = []
     for j in range(cache_rows):
@@ -95,7 +104,7 @@ def _stencil2d_ssam_block(ctx: BlockContext, src: DeviceBuffer, dst: DeviceBuffe
         trailing = x_max - (previous_dx if previous_dx is not None else x_max)
         if trailing:
             partial = ctx.shfl_up(partial, trailing)
-        out_y = ctx.block_idx_y * p_extent + i
+        out_y = block_row * p_extent + i
         mask = x_mask & (out_y < height)
         safe_y = np.minimum(out_y, height - 1)
         ctx.store_global(dst, safe_y * width + safe_x, partial, mask=mask)
@@ -106,8 +115,9 @@ STENCIL2D_SSAM_KERNEL = Kernel(_stencil2d_ssam_block, name="ssam_stencil2d")
 
 def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                    architecture: object = "p100", precision: object = "float32",
-                   outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                   block_threads: int = DEFAULT_BLOCK_THREADS,
+                   outputs_per_thread: Optional[int] = None,
+                   block_threads: Optional[int] = None,
+                   block_rows: Optional[int] = None,
                    plan: Optional[SSAMPlan] = None,
                    max_blocks: Optional[int] = None,
                    batch_size: object = "auto",
@@ -126,7 +136,8 @@ def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
     if plan is None:
-        plan = plan_stencil(spec, arch, prec, outputs_per_thread, block_threads)
+        plan = plan_stencil(spec, arch, prec, outputs_per_thread,
+                            block_threads, block_rows)
     height, width = grid.shape
     memory = GlobalMemory()
     buffers = [
@@ -143,7 +154,8 @@ def ssam_stencil2d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
         launch = STENCIL2D_SSAM_KERNEL.launch(
             config,
             args=(src, dst, width, height, columns, spec.footprint_width,
-                  spec.footprint_height, plan.outputs_per_thread, x_min, y_min),
+                  spec.footprint_height, plan.outputs_per_thread, x_min, y_min,
+                  plan.block_rows),
             architecture=arch,
             max_blocks=max_blocks,
             batch_size=batch_size,
@@ -194,8 +206,12 @@ def analytic_counters(spec: StencilSpec, width: int, height: int, plan: SSAMPlan
     counters.gmem_store += p_extent * total_warps * iterations
     counters.gmem_store_transactions += p_extent * total_warps * sectors_per_row * iterations
 
-    unique_columns = warps_per_block * blocking.valid_outputs_x + (blocking.filter_width - 1)
-    read_bytes_per_block = cache_rows * unique_columns * prec.itemsize
+    # unique footprint per block: R bands tile R*P rows (overlapping by
+    # N-1) by WarpsX*ValidX + M - 1 columns; identical to the classic
+    # cache_rows x (WarpCount*ValidX + M - 1) tile at R=1
+    unique_columns = blocking.warps_x * blocking.valid_outputs_x + (blocking.filter_width - 1)
+    unique_rows = blocking.rows_per_block + blocking.filter_height - 1
+    read_bytes_per_block = unique_rows * unique_columns * prec.itemsize
     counters.dram_read_bytes += read_bytes_per_block * blocks * iterations
     counters.dram_write_bytes += width * height * prec.itemsize * iterations
     counters.cache_read_bytes += cache_rows * 32 * total_warps * prec.itemsize * iterations
@@ -204,12 +220,14 @@ def analytic_counters(spec: StencilSpec, width: int, height: int, plan: SSAMPlan
 
 def analytic_launch(spec: StencilSpec, width: int, height: int, iterations: int = 1,
                     architecture: object = "p100", precision: object = "float32",
-                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD,
-                    block_threads: int = DEFAULT_BLOCK_THREADS) -> KernelRunResult:
+                    outputs_per_thread: Optional[int] = None,
+                    block_threads: Optional[int] = None,
+                    block_rows: Optional[int] = None) -> KernelRunResult:
     """Paper-scale cost estimate of the SSAM 2-D stencil without execution."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
-    plan = plan_stencil(spec, arch, prec, outputs_per_thread, block_threads)
+    plan = plan_stencil(spec, arch, prec, outputs_per_thread,
+                        block_threads, block_rows)
     counters = analytic_counters(spec, width, height, plan, iterations)
     launch = LaunchResult(
         kernel_name="ssam_stencil2d_analytic",

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.launch_defaults import paper_default
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
@@ -33,9 +34,9 @@ from ..stencils.spec import StencilSpec
 from .common import KernelRunResult, check_grid3d, clamp
 from .stencil2d_ssam import ColumnGroups
 
-#: default sliding-window depth for the 3-D kernel (registers are tighter
-#: because a slice's cache and the partial sums coexist with z bookkeeping)
-DEFAULT_OUTPUTS_PER_THREAD_3D = 4
+#: default sliding-window depth for the 3-D kernel — the paper constant
+#: from the central resolver (kept as a named alias for existing callers)
+DEFAULT_OUTPUTS_PER_THREAD_3D = paper_default("outputs_per_thread")
 
 
 def _build_inplane_columns(spec: StencilSpec) -> ColumnGroups:
@@ -163,8 +164,8 @@ def _grid_for(spec: StencilSpec, width: int, height: int, depth: int,
 
 def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
                    architecture: object = "p100", precision: object = "float32",
-                   outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
-                   block_threads: int = 128,
+                   outputs_per_thread: Optional[int] = None,
+                   block_threads: Optional[int] = None,
                    max_blocks: Optional[int] = None,
                    batch_size: object = "auto",
                    keep_output: bool = False) -> KernelRunResult:
@@ -181,6 +182,10 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
         raise ConfigurationError("iterations must be >= 1")
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    if outputs_per_thread is None:
+        outputs_per_thread = DEFAULT_OUTPUTS_PER_THREAD_3D
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     validate_block_threads(arch, block_threads)
     depth, height, width = grid.shape
     warps_per_block = block_threads // arch.warp_size
@@ -231,11 +236,16 @@ def ssam_stencil3d(grid: np.ndarray, spec: StencilSpec, iterations: int = 1,
 
 def analytic_counters(spec: StencilSpec, width: int, height: int, depth: int,
                       architecture: object = "p100", precision: object = "float32",
-                      outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
-                      block_threads: int = 128, iterations: int = 1) -> KernelCounters:
+                      outputs_per_thread: Optional[int] = None,
+                      block_threads: Optional[int] = None,
+                      iterations: int = 1) -> KernelCounters:
     """Closed-form instruction/traffic profile of the SSAM 3-D stencil."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    if outputs_per_thread is None:
+        outputs_per_thread = DEFAULT_OUTPUTS_PER_THREAD_3D
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     warps_per_block = block_threads // arch.warp_size
     p_extent = outputs_per_thread
     cache_rows = spec.footprint_height + p_extent - 1
@@ -276,11 +286,15 @@ def analytic_counters(spec: StencilSpec, width: int, height: int, depth: int,
 def analytic_launch(spec: StencilSpec, width: int, height: int, depth: int,
                     iterations: int = 1, architecture: object = "p100",
                     precision: object = "float32",
-                    outputs_per_thread: int = DEFAULT_OUTPUTS_PER_THREAD_3D,
-                    block_threads: int = 128) -> KernelRunResult:
+                    outputs_per_thread: Optional[int] = None,
+                    block_threads: Optional[int] = None) -> KernelRunResult:
     """Paper-scale cost estimate of the SSAM 3-D stencil without execution."""
     arch = get_architecture(architecture)
     prec = resolve_precision(precision)
+    if outputs_per_thread is None:
+        outputs_per_thread = DEFAULT_OUTPUTS_PER_THREAD_3D
+    if block_threads is None:
+        block_threads = paper_default("block_threads")
     validate_block_threads(arch, block_threads)
     warps_per_block = block_threads // arch.warp_size
     cache_rows = spec.footprint_height + outputs_per_thread - 1

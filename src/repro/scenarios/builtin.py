@@ -47,12 +47,7 @@ from ..core.performance_model import (
     model_stencil2d,
     model_stencil3d,
 )
-from ..core.plan import (
-    DEFAULT_BLOCK_THREADS,
-    DEFAULT_OUTPUTS_PER_THREAD,
-    plan_convolution,
-    plan_stencil,
-)
+from ..core.plan import plan_convolution, plan_stencil
 from ..gpu.architecture import (
     EVALUATED_ARCHITECTURES,
     MODERN_ARCHITECTURES,
@@ -75,7 +70,12 @@ from ..kernels.stencil2d_ssam import analytic_launch as stencil2d_analytic_launc
 from ..kernels.stencil3d_ssam import analytic_launch as stencil3d_analytic_launch
 from ..stencils.catalog import get_stencil
 from ..workloads.generators import random_grid_3d, random_image, sequence
-from .registry import ENGINE_BATCH_SIZE, Scenario, register
+from .registry import (
+    ENGINE_BATCH_SIZE,
+    LAUNCH_DEFAULTS_SOURCE_KEY,
+    Scenario,
+    register,
+)
 
 #: every architecture preset (K40/M40/P100/V100/A100/H100) — the SSAM
 #: kernels run on all of them
@@ -105,25 +105,42 @@ def binomial_taps(count: int) -> np.ndarray:
     return row / row.sum()
 
 
-#: tunable envelopes of the SSAM kernels: the 2-D/3-D register-cache kernels
+#: tunable envelopes of the SSAM kernels: the 2-D register-cache kernels
 #: expose the full Section 7.1 design space (sliding-window depth P and
-#: block size B); the 1-D kernels have no sliding window, so only B tunes
-TUNABLES_2D = ("outputs_per_thread", "block_threads")
+#: block size B) plus the per-dimension block shape R; the 3-D kernel's z
+#: blocking is warp-per-slice, so it tunes P and B only; the 1-D kernels
+#: have no sliding window, so only B tunes
+TUNABLES_2D = ("outputs_per_thread", "block_threads", "block_rows")
+TUNABLES_3D = ("outputs_per_thread", "block_threads")
 TUNABLES_1D = ("block_threads",)
 
 
 def _plan_overrides(params: Mapping[str, object]) -> Dict[str, int]:
     """Launch-parameter overrides present in a merged parameter mapping.
 
-    The registry merges a case's validated ``plan_kwargs`` into the size
-    parameters before calling a runner/model/planner; this picks them back
-    out so they can be forwarded to the kernel entry points as keyword
-    arguments.  Size mappings never define these keys, so an absent key
-    always means "use the paper's default".
+    The registry resolves a scenario's tunables through the default chain
+    (explicit plan_kwargs -> tuning database -> paper constants) and merges
+    the concrete values into the parameter mapping before calling a
+    runner/model/planner; this picks them back out so they can be forwarded
+    to the kernel entry points as keyword arguments.  Size mappings never
+    define these keys, so an absent key always means "not tunable here".
     """
     return {key: int(params[key])
-            for key in ("outputs_per_thread", "block_threads")
+            for key in ("outputs_per_thread", "block_threads", "block_rows")
             if key in params}
+
+
+def _plan_args(params: Mapping[str, object]) -> Dict[str, object]:
+    """Planner keyword arguments from a resolved parameter mapping.
+
+    On top of the launch-parameter overrides this forwards the resolution
+    provenance recorded by the registry, so the plan's ``defaults_source``
+    reflects the real chain outcome (``"tuned"``, ``"paper"``, ...) rather
+    than the always-explicit values the planner receives.
+    """
+    args: Dict[str, object] = dict(_plan_overrides(params))
+    args["defaults_source"] = params.get(LAUNCH_DEFAULTS_SOURCE_KEY)
+    return args
 
 
 # Named problem sizes are shared per family between the SSAM kernel and its
@@ -211,9 +228,7 @@ register(Scenario(
     workload_builder=lambda params, precision: random_image(
         params["width"], params["height"], precision, seed=params["width"]),
     planner=lambda spec, params, architecture, precision: plan_convolution(
-        spec, architecture, precision,
-        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
-        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+        spec, architecture, precision, **_plan_args(params)),
     oracle=lambda spec, workload, params: spec.reference(workload),
     model=lambda spec, params, architecture, precision: model_convolution2d(
         spec, params["width"], params["height"], architecture, precision,
@@ -248,9 +263,7 @@ register(Scenario(
     workload_builder=lambda params, precision: random_image(
         params["width"], params["height"], precision, seed=params["height"]),
     planner=lambda spec, params, architecture, precision: plan_stencil(
-        spec, architecture, precision,
-        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
-        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+        spec, architecture, precision, **_plan_args(params)),
     oracle=lambda spec, workload, params: spec.reference(
         workload, iterations=params.get("iterations", 1)),
     model=lambda spec, params, architecture, precision: model_stencil2d(
@@ -285,9 +298,7 @@ def _plan_stencil3d(spec, params, architecture, precision):
     the same arithmetic, so the in-plane plan is the identity the tuner and
     the cache key reason about.
     """
-    return plan_stencil(spec, architecture, precision,
-                        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
-                        params.get("block_threads", DEFAULT_BLOCK_THREADS))
+    return plan_stencil(spec, architecture, precision, **_plan_args(params))
 
 
 register(Scenario(
@@ -307,7 +318,7 @@ register(Scenario(
         spec, params["width"], params["height"], params["depth"],
         params.get("iterations", 1), architecture, precision,
         **_plan_overrides(params)),
-    tunables=TUNABLES_2D,
+    tunables=TUNABLES_3D,
     sizes=_STENCIL3D_SIZES,
     architectures=ALL_ARCHITECTURES,
     precisions=BOTH_PRECISIONS,
@@ -383,9 +394,7 @@ for _name, _stencil, _description in (
         workload_builder=lambda params, precision: random_image(
             params["width"], params["height"], precision, seed=params["height"]),
         planner=lambda spec, params, architecture, precision: plan_stencil(
-            spec, architecture, precision,
-            params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
-            params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+            spec, architecture, precision, **_plan_args(params)),
         oracle=lambda spec, workload, params: spec.reference(
             workload, iterations=params.get("iterations", 1)),
         model=lambda spec, params, architecture, precision: model_stencil2d(
@@ -419,9 +428,7 @@ register(Scenario(
     workload_builder=lambda params, precision: random_image(
         params["width"], params["height"], precision, seed=params["height"]),
     planner=lambda spec, params, architecture, precision: plan_stencil(
-        spec, architecture, precision,
-        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
-        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+        spec, architecture, precision, **_plan_args(params)),
     oracle=lambda spec, workload, params: masked_reference(
         workload, spec, iterations=params.get("iterations", 1),
         margin=params.get("margin", 2)),
@@ -473,9 +480,7 @@ register(Scenario(
     workload_builder=lambda params, precision: random_image(
         params["width"], params["height"], precision, seed=params["width"]),
     planner=lambda spec, params, architecture, precision: plan_convolution(
-        spec, architecture, precision,
-        params.get("outputs_per_thread", DEFAULT_OUTPUTS_PER_THREAD),
-        params.get("block_threads", DEFAULT_BLOCK_THREADS)),
+        spec, architecture, precision, **_plan_args(params)),
     oracle=_chain_oracle,
     model=lambda spec, params, architecture, precision: model_convolution2d_chain(
         spec, params["width"], params["height"],

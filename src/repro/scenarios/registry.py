@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.launch_defaults import resolve_launch_defaults
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import architecture_names
@@ -44,8 +45,16 @@ ENGINE_BATCH_SIZE: Dict[str, object] = {"scalar": 1, "batched": "auto",
                                         "replay": "replay"}
 
 #: the launch parameters a scenario may declare tunable: the sliding-window
-#: depth P and the CUDA block size B of Section 7.1's design-space study
-TUNABLE_PARAMETERS: Tuple[str, ...] = ("outputs_per_thread", "block_threads")
+#: depth P and the CUDA block size B of Section 7.1's design-space study,
+#: plus the per-dimension block shape R (warp rows per block) the extended
+#: space explores on 2-D kernels
+TUNABLE_PARAMETERS: Tuple[str, ...] = ("outputs_per_thread", "block_threads",
+                                       "block_rows")
+
+#: reserved parameter key carrying the default-resolution provenance
+#: (``"explicit"``/``"tuned"``/``"paper"`` or a chain combination) from the
+#: registry's one resolution point down to planners and result records
+LAUNCH_DEFAULTS_SOURCE_KEY = "launch_defaults_source"
 
 
 def _normalise_plan_kwargs(plan_kwargs: object) -> Tuple[Tuple[str, int], ...]:
@@ -259,6 +268,32 @@ class Scenario:
         """True when every override key lies inside the tunable envelope."""
         return not plan_kwargs or set(dict(plan_kwargs)) <= set(self.tunables)
 
+    def resolve_tunable_defaults(self, params: Mapping[str, object],
+                                 architecture: str,
+                                 precision: str) -> Dict[str, object]:
+        """Resolve this scenario's tunables through the default chain, once.
+
+        Every tunable key is made concrete in the returned parameter mapping
+        (explicit value -> tuned-database hit -> paper constant), and the
+        chain outcome is recorded under
+        :data:`LAUNCH_DEFAULTS_SOURCE_KEY` so planners, runners and result
+        records all see the same values and the same provenance.  This is
+        the registry's single resolution point: ``build_plan`` and ``run``
+        both route through it, which keeps the plan used for cache keys
+        identical to the one the kernel executes even when a tuning
+        database is active.
+        """
+        out = dict(params)
+        if not self.tunables:
+            return out
+        resolved = resolve_launch_defaults(
+            self.tunables, architecture=architecture, precision=precision,
+            scenario=self.name,
+            explicit={key: params.get(key) for key in self.tunables})
+        out.update(resolved.values)
+        out[LAUNCH_DEFAULTS_SOURCE_KEY] = resolved.source
+        return out
+
     def cases(self, architectures: Optional[Sequence[str]] = None,
               precisions: Optional[Sequence[str]] = None,
               engines: Optional[Sequence[str]] = None,
@@ -321,6 +356,7 @@ class Scenario:
         params = self.resolve_size(size)
         if plan_kwargs:
             params.update(self.validate_plan_kwargs(plan_kwargs))
+        params = self.resolve_tunable_defaults(params, architecture, precision)
         return self.planner(self.build_spec(size), params,
                             architecture, precision)
 
@@ -340,6 +376,7 @@ class Scenario:
         params = dict(params)
         if plan_kwargs:
             params.update(self.validate_plan_kwargs(plan_kwargs))
+        params = self.resolve_tunable_defaults(params, architecture, precision)
         if engine == "model":
             return self.model(spec, params, architecture, precision)
         return self.runner(spec, workload, params, architecture,

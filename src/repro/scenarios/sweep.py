@@ -28,7 +28,12 @@ from ..errors import ConfigurationError
 from ..experiments.jobs import SimulationJob
 from ..experiments.results import ExperimentResult, Measurement
 from ..serialization import array_digest, load_json, stable_digest
-from .registry import ScenarioCase, expand_matrix, get_scenario
+from .registry import (
+    LAUNCH_DEFAULTS_SOURCE_KEY,
+    ScenarioCase,
+    expand_matrix,
+    get_scenario,
+)
 
 # make sure the built-in scenarios are registered even when this module is
 # imported directly (worker processes import it by its dotted path)
@@ -155,6 +160,10 @@ def _measure_case(scenario: str, architecture: str, precision: str,
         "output_digest": (None if result.output is None
                           else array_digest(result.output)),
     }
+    if entry.tunables:
+        resolved = entry.resolve_tunable_defaults(
+            case.plan_overrides, case.architecture, case.precision)
+        payload["launch_defaults_source"] = resolved[LAUNCH_DEFAULTS_SOURCE_KEY]
     if result.output is not None and entry.oracle is not None:
         oracle = entry.oracle_output(case)
         error = np.max(np.abs(np.asarray(result.output, dtype=np.float64)
@@ -212,6 +221,7 @@ def assemble(payloads: Mapping[str, Mapping[str, object]],
                 "scheme": (payload.get("parameters") or {}).get("scheme"),
                 "output_digest": payload.get("output_digest"),
                 "oracle_max_abs_error": payload.get("oracle_max_abs_error"),
+                "launch_defaults_source": payload.get("launch_defaults_source"),
             },
         ))
     scenarios = []

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Dict, List, Mapping, Optional
 
@@ -97,10 +98,24 @@ class ServiceClient:
         return self._request("POST", "/sweeps", body)
 
     def submit_tune(self, options: Optional[Mapping[str, object]] = None,
-                    priority: int = 0) -> Dict[str, object]:
+                    priority: int = 0,
+                    search: Optional[str] = None) -> Dict[str, object]:
+        options = dict(options or {})
+        if search is not None:
+            options["search"] = search
         return self._request("POST", "/tune",
-                             {"options": dict(options or {}),
-                              "priority": priority})
+                             {"options": options, "priority": priority})
+
+    def best_config(self, scenario: str, architecture: str, precision: str,
+                    size_class: str = "paper") -> Dict[str, object]:
+        """One cell's tuned launch configuration (pure store lookup)."""
+        return self._request(
+            "GET", f"/best_config/{scenario}/{architecture}/{precision}"
+                   f"?size_class={urllib.parse.quote(size_class)}")
+
+    def tuned_configs(self) -> Dict[str, object]:
+        """Every row of the service's tuning database."""
+        return self._request("GET", "/tuned")
 
     def refresh(self, matrix: "str | Mapping[str, object] | None" = None,
                 priority: int = 0) -> Dict[str, object]:

@@ -31,6 +31,12 @@ Endpoints (all JSON)::
     GET  /runs/<id>/results          the typed ExperimentResult (202 while
                                      cells are still executing)
     GET  /runs/<id>/cells            NDJSON stream of completed cell payloads
+    GET  /tuned                      every row of the tuning database
+    GET  /best_config/<scenario>/<arch>/<precision>[?size_class=paper]
+                                     the tuned launch configuration of one
+                                     cell (sqlite lookup, no simulation);
+                                     falls back to the paper defaults with
+                                     "source": "paper" when nothing is tuned
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ import json
 import os
 import re
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -202,6 +209,7 @@ class SweepService:
                 precisions=options.get("precisions"),
                 confirm=bool(options.get("confirm", True)),
                 confirm_engine=options.get("confirm_engine", "batched"),
+                search=options.get("search", "exhaustive"),
                 cache=self.cache, executor=executor)
             self.store.upsert(self._artifact_key(run_id), result.to_dict(),
                               job_key=f"service-artifact:{run_id}")
@@ -391,6 +399,43 @@ class SweepService:
             name=f"ssam-tune-{run_id}", daemon=True)
         thread.start()
 
+    # -- tuning database -------------------------------------------------------
+    def best_config(self, scenario: str, architecture: str, precision: str,
+                    size_class: str = "paper") -> Dict[str, object]:
+        """One cell's tuned launch configuration — a pure sqlite lookup.
+
+        Answers in microseconds from the ``tuned_configs`` table; no
+        simulation, no planning.  When the cell has no tuned row under the
+        current code version the response carries the paper defaults with
+        ``"source": "paper"`` — the same fallback the planners' resolution
+        chain applies.
+        """
+        from ..core.launch_defaults import PAPER_LAUNCH_DEFAULTS
+
+        found = self.store.best_config(scenario, architecture, precision,
+                                       size_class)
+        response: Dict[str, object] = {
+            "scenario": scenario, "architecture": architecture,
+            "precision": precision, "size_class": size_class,
+            "code_version": self.store.code_version(),
+            "source": "tuned" if found else "paper",
+            "plan_kwargs": (dict(found["plan_kwargs"]) if found
+                            else dict(PAPER_LAUNCH_DEFAULTS)),
+        }
+        if found:
+            response["tuned"] = {
+                key: found.get(key)
+                for key in ("model_ms", "default_model_ms", "speedup",
+                            "search", "confirmed", "tune_digest",
+                            "created_at")}
+        return response
+
+    def tuned_index(self) -> Dict[str, object]:
+        """Every row of the tuning database (all code versions)."""
+        rows = self.store.list_tuned_configs()
+        return {"tuned_configs": rows, "count": len(rows),
+                "code_version": self.store.code_version()}
+
     # -- lifecycle --------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         return {
@@ -423,6 +468,10 @@ _ROUTES = {
     "sweeps": re.compile(r"^/sweeps/?$"),
     "tune": re.compile(r"^/tune/?$"),
     "refresh": re.compile(r"^/refresh/?$"),
+    "tuned": re.compile(r"^/tuned/?$"),
+    "best_config": re.compile(
+        r"^/best_config/(?P<scenario>[\w.:-]+)/(?P<architecture>[\w.:-]+)"
+        r"/(?P<precision>[\w.:-]+)/?$"),
 }
 
 
@@ -501,9 +550,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._guarded(lambda: self._results(params["run_id"]))
         elif route == "cells":
             self._guarded(lambda: self._cells(params["run_id"]))
+        elif route == "tuned":
+            self._guarded(lambda: self._send_json(self.service.tuned_index()))
+        elif route == "best_config":
+            self._guarded(lambda: self._best_config(params))
         else:
             self._send_json({"error": f"no such endpoint {self.path!r}"},
                             status=404)
+
+    def _best_config(self, params: Dict[str, str]) -> None:
+        query = urllib.parse.parse_qs(
+            urllib.parse.urlparse(self.path).query)
+        size_class = (query.get("size_class") or ["paper"])[0]
+        self._send_json(self.service.best_config(
+            params["scenario"], params["architecture"], params["precision"],
+            size_class=size_class))
 
     def _results(self, run_id: str) -> None:
         result = self.service.run_results(run_id)

@@ -17,7 +17,13 @@ many concurrent readers, serialised short write transactions — holding
   expires after ``claim_ttl`` seconds and can be taken over;
 * **runs** / **run_cells** — checkpointed service runs (sweep/tune
   submissions): the matrix, priority and per-cell status survive a daemon
-  restart, so a killed sweep resumes from its completed cells.
+  restart, so a killed sweep resumes from its completed cells;
+* **tuned_configs** (schema v2) — the autotuner's winning launch
+  configuration per (scenario, architecture, precision, size-class,
+  code-version) cell, consulted by the planners' default-resolution chain
+  (:mod:`repro.core.launch_defaults`) and served by the daemon's
+  ``best_config`` endpoint.  Unlike ``results`` rows these are
+  last-writer-wins: a re-run of the tuner refreshes the recommendation.
 
 Writes are first-writer-wins: :meth:`upsert` inserts with ``ON CONFLICT DO
 NOTHING`` inside one transaction, closing the read-modify-write window the
@@ -43,7 +49,7 @@ from ..errors import ConfigurationError
 from ..serialization import canonical_json, jsonify, stable_digest
 
 #: current on-disk schema version (``meta`` table, key ``schema_version``)
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 #: length of the hex job-key digest (matches the legacy directory cache)
 DIGEST_LENGTH = 40
@@ -94,9 +100,40 @@ CREATE TABLE IF NOT EXISTS run_cells (
 );
 """
 
+#: schema v2: the tuning database — column names are a read contract with
+#: :mod:`repro.core.launch_defaults`, which queries this table read-only
+_TUNED_CONFIGS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tuned_configs (
+    scenario         TEXT NOT NULL,
+    architecture     TEXT NOT NULL,
+    precision        TEXT NOT NULL,
+    size_class       TEXT NOT NULL,
+    code_version     TEXT NOT NULL,
+    plan_kwargs      TEXT NOT NULL,
+    model_ms         REAL,
+    default_model_ms REAL,
+    speedup          REAL,
+    search           TEXT,
+    confirmed        INTEGER,
+    tune_digest      TEXT,
+    created_at       REAL NOT NULL,
+    PRIMARY KEY (scenario, architecture, precision, size_class, code_version)
+);
+"""
+
+_SCHEMA += _TUNED_CONFIGS_SCHEMA
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v1 -> v2: add the ``tuned_configs`` table (idempotent DDL)."""
+    conn.executescript(_TUNED_CONFIGS_SCHEMA)
+
+
 #: in-place schema upgrades, ``{from_version: migrate(connection)}``; each
 #: entry upgrades one version step and the opener applies them in sequence
-MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {}
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_v1_to_v2,
+}
 
 
 def _encode(value: object) -> str:
@@ -287,6 +324,106 @@ class ResultStore:
         row = self._conn().execute(
             "SELECT COUNT(*) AS n FROM results WHERE code_version<>?",
             (self.code_version(),)).fetchone()
+        return int(row["n"])
+
+    # -- tuned configurations (the tuning database) ---------------------------
+    def put_tuned_config(self, scenario: str, architecture: str,
+                         precision: str, size_class: str,
+                         plan_kwargs: Mapping[str, int],
+                         model_ms: Optional[float] = None,
+                         default_model_ms: Optional[float] = None,
+                         speedup: Optional[float] = None,
+                         search: Optional[str] = None,
+                         confirmed: Optional[bool] = None,
+                         tune_digest: Optional[str] = None,
+                         code_version: Optional[str] = None) -> None:
+        """Upsert one cell's tuned configuration (last writer wins).
+
+        Unlike simulation payloads — pure functions of their key, where the
+        first writer is canonical — a tuned row is a *recommendation*
+        refreshed by every tuner run, so conflicts update in place.
+        """
+        conn = self._conn()
+        with conn:
+            conn.execute(
+                "INSERT INTO tuned_configs(scenario, architecture, precision,"
+                " size_class, code_version, plan_kwargs, model_ms,"
+                " default_model_ms, speedup, search, confirmed, tune_digest,"
+                " created_at) VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?)"
+                " ON CONFLICT(scenario, architecture, precision, size_class,"
+                " code_version) DO UPDATE SET plan_kwargs=excluded.plan_kwargs,"
+                " model_ms=excluded.model_ms,"
+                " default_model_ms=excluded.default_model_ms,"
+                " speedup=excluded.speedup, search=excluded.search,"
+                " confirmed=excluded.confirmed,"
+                " tune_digest=excluded.tune_digest,"
+                " created_at=excluded.created_at",
+                (scenario, architecture, precision, size_class,
+                 code_version or self.code_version(),
+                 canonical_json({str(k): int(v)
+                                 for k, v in dict(plan_kwargs).items()}),
+                 model_ms, default_model_ms, speedup, search,
+                 None if confirmed is None else int(bool(confirmed)),
+                 tune_digest, time.time()))
+
+    @staticmethod
+    def _tuned_row_to_dict(row: sqlite3.Row) -> Dict[str, object]:
+        record = dict(row)
+        record["plan_kwargs"] = {str(k): int(v) for k, v in
+                                 json.loads(record["plan_kwargs"]).items()}
+        if record.get("confirmed") is not None:
+            record["confirmed"] = bool(record["confirmed"])
+        return record
+
+    def best_config(self, scenario: str, architecture: str, precision: str,
+                    size_class: str = "paper",
+                    code_version: Optional[str] = None,
+                    ) -> Optional[Dict[str, object]]:
+        """The tuned configuration of one cell under one code version.
+
+        ``None`` when the cell was never tuned at this (or the current)
+        code version — the caller falls back to the paper defaults, exactly
+        like the planners' resolution chain.
+        """
+        row = self._conn().execute(
+            "SELECT scenario, architecture, precision, size_class,"
+            " code_version, plan_kwargs, model_ms, default_model_ms, speedup,"
+            " search, confirmed, tune_digest, created_at FROM tuned_configs"
+            " WHERE scenario=? AND architecture=? AND precision=?"
+            " AND size_class=? AND code_version=?",
+            (scenario, architecture, precision, size_class,
+             code_version or self.code_version())).fetchone()
+        if row is None:
+            return None
+        try:
+            return self._tuned_row_to_dict(row)
+        except (ValueError, TypeError, AttributeError):
+            return None
+
+    def list_tuned_configs(self, current_only: bool = False,
+                           ) -> List[Dict[str, object]]:
+        """Every tuned row, key-ordered; optionally current code version only."""
+        query = ("SELECT scenario, architecture, precision, size_class,"
+                 " code_version, plan_kwargs, model_ms, default_model_ms,"
+                 " speedup, search, confirmed, tune_digest, created_at"
+                 " FROM tuned_configs")
+        params: List[object] = []
+        if current_only:
+            query += " WHERE code_version=?"
+            params.append(self.code_version())
+        query += " ORDER BY scenario, architecture, precision, size_class"
+        rows = self._conn().execute(query, params).fetchall()
+        out = []
+        for row in rows:
+            try:
+                out.append(self._tuned_row_to_dict(row))
+            except (ValueError, TypeError, AttributeError):
+                continue
+        return out
+
+    def tuned_config_count(self) -> int:
+        row = self._conn().execute(
+            "SELECT COUNT(*) AS n FROM tuned_configs").fetchone()
         return int(row["n"])
 
     # -- claims (exactly-once execution) --------------------------------------

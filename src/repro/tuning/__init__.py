@@ -6,41 +6,67 @@ sweet spot of the registers-per-thread vs. occupancy trade-off.  This package
 turns that argument into an experiment:
 
 * :mod:`~repro.tuning.space` declares the design space (P in 1..8, B in
-  {64, 128, 256, 512}) and pre-filters it by register-file and occupancy
-  validity per architecture;
-* :mod:`~repro.tuning.tuner` runs a two-stage search — an exhaustive
-  closed-form evaluation of every valid point on the Section 5 model engine,
+  {64, 128, 256, 512}, plus the extended per-dimension block-shape grid) and
+  pre-filters it by register-file and occupancy validity per architecture;
+* :mod:`~repro.tuning.search` provides the pluggable search strategies:
+  exhaustive enumeration (small spaces, and the correctness oracle) and the
+  budgeted guided coordinate descent seeded at the clamped paper default;
+* :mod:`~repro.tuning.tuner` orchestrates the two-stage search — a
+  strategy-driven closed-form exploration on the Section 5 model engine,
   then a top-k confirmation on the batched simulator — entirely through the
   cached/sharded :class:`~repro.experiments.jobs.SimulationJob` pipeline, so
   ``ssam-repro --experiment tune`` is deterministic, parallel and 100%
-  cache-hits on a warm rerun.
+  cache-hits on a warm rerun.  Winning configurations persist to the shared
+  store's ``tuned_configs`` table, which the planners' default-resolution
+  chain (:mod:`repro.core.launch_defaults`) consults.
 """
 
+from .search import (
+    STRATEGIES,
+    ExhaustiveSearch,
+    GuidedSearch,
+    SearchStrategy,
+    budget_for,
+    get_strategy,
+)
 from .space import (
     DEFAULT_BLOCK_THREADS_CHOICES,
     DEFAULT_OUTPUTS_PER_THREAD_RANGE,
+    EXTENDED_SPACE,
     FULL_SPACE,
     PAPER_DEFAULT,
     QUICK_SPACE,
     DesignSpace,
+    canonical_point,
+    clamp_point,
     paper_default_for,
     point_is_valid,
     valid_points,
 )
-from .tuner import TuneCell, render, run_tuning, tune_cells
+from .tuner import TuneCell, render, run_tuning, store_tuned_configs, tune_cells
 
 __all__ = [
     "DEFAULT_BLOCK_THREADS_CHOICES",
     "DEFAULT_OUTPUTS_PER_THREAD_RANGE",
+    "EXTENDED_SPACE",
     "FULL_SPACE",
     "PAPER_DEFAULT",
     "QUICK_SPACE",
+    "STRATEGIES",
     "DesignSpace",
+    "ExhaustiveSearch",
+    "GuidedSearch",
+    "SearchStrategy",
     "TuneCell",
+    "budget_for",
+    "canonical_point",
+    "clamp_point",
+    "get_strategy",
     "paper_default_for",
     "point_is_valid",
     "render",
     "run_tuning",
+    "store_tuned_configs",
     "tune_cells",
     "valid_points",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..core.plan import DEFAULT_BLOCK_THREADS, DEFAULT_OUTPUTS_PER_THREAD
+from ..core.launch_defaults import paper_default
 from ..errors import ConfigurationError, ResourceExhaustedError
 from ..gpu.architecture import get_architecture
 from ..gpu.occupancy import validate_block_threads
@@ -35,11 +35,18 @@ from ..scenarios.registry import Scenario
 DEFAULT_OUTPUTS_PER_THREAD_RANGE: Tuple[int, ...] = tuple(range(1, 9))
 #: the Section 7.1 sweep of the CUDA block size B
 DEFAULT_BLOCK_THREADS_CHOICES: Tuple[int, ...] = (64, 128, 256, 512)
+#: the extended per-dimension block-shape sweep (warp rows per block)
+EXTENDED_BLOCK_ROWS_CHOICES: Tuple[int, ...] = (1, 2, 4)
+#: the extended (denser) block-size menu
+EXTENDED_BLOCK_THREADS_CHOICES: Tuple[int, ...] = (64, 128, 192, 256, 384, 512)
 
-#: the paper's evaluation configuration (Section 6.2): P=4, B=128
+#: the paper's evaluation configuration (Section 6.2): P=4, B=128.  The
+#: block shape R=1 is canonically *absent* — candidate points never spell
+#: out ``block_rows=1`` (see :meth:`DesignSpace.candidates`), so the default
+#: point stays identical to its historical two-key form.
 PAPER_DEFAULT: Dict[str, int] = {
-    "outputs_per_thread": DEFAULT_OUTPUTS_PER_THREAD,
-    "block_threads": DEFAULT_BLOCK_THREADS,
+    "outputs_per_thread": paper_default("outputs_per_thread"),
+    "block_threads": paper_default("block_threads"),
 }
 
 
@@ -49,61 +56,125 @@ class DesignSpace:
 
     outputs_per_thread: Tuple[int, ...] = DEFAULT_OUTPUTS_PER_THREAD_RANGE
     block_threads: Tuple[int, ...] = DEFAULT_BLOCK_THREADS_CHOICES
+    block_rows: Tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "outputs_per_thread",
                            tuple(sorted(set(int(p) for p in self.outputs_per_thread))))
         object.__setattr__(self, "block_threads",
                            tuple(sorted(set(int(b) for b in self.block_threads))))
-        if not self.outputs_per_thread or not self.block_threads:
+        object.__setattr__(self, "block_rows",
+                           tuple(sorted(set(int(r) for r in self.block_rows))))
+        if (not self.outputs_per_thread or not self.block_threads
+                or not self.block_rows):
             raise ConfigurationError("a design space needs at least one value per axis")
+        if any(r < 1 for r in self.block_rows):
+            raise ConfigurationError("block_rows values must be positive")
 
     @property
     def size(self) -> int:
-        return len(self.outputs_per_thread) * len(self.block_threads)
+        return (len(self.outputs_per_thread) * len(self.block_threads)
+                * len(self.block_rows))
 
     def describe(self) -> Dict[str, object]:
-        return {"outputs_per_thread": list(self.outputs_per_thread),
-                "block_threads": list(self.block_threads)}
+        out: Dict[str, object] = {
+            "outputs_per_thread": list(self.outputs_per_thread),
+            "block_threads": list(self.block_threads)}
+        if self.block_rows != (1,):
+            out["block_rows"] = list(self.block_rows)
+        return out
 
     def candidates(self, tunables: Sequence[str]) -> List[Dict[str, int]]:
         """Candidate override mappings projected onto a tunable envelope.
 
         Axes the scenario does not tune are dropped (not fixed at a value:
         the kernel's own default applies), and the projection deduplicates,
-        so a B-only kernel sees each block size exactly once.
+        so a B-only kernel sees each block size exactly once.  Points are
+        canonical: ``block_rows=1`` — the implicit default block shape — is
+        never spelled out, so the R axis leaves single-row points (and with
+        them every historical case id and cache key) untouched.
         """
         axes: List[List[Tuple[str, int]]] = []
         if "outputs_per_thread" in tunables:
             axes.append([("outputs_per_thread", p) for p in self.outputs_per_thread])
         if "block_threads" in tunables:
             axes.append([("block_threads", b) for b in self.block_threads])
+        if "block_rows" in tunables and self.block_rows != (1,):
+            axes.append([("block_rows", r) for r in self.block_rows])
         if not axes:
             return [{}]
         points: List[Dict[str, int]] = [{}]
         for axis in axes:
             points = [dict(point, **{key: value})
                       for point in points for key, value in axis]
-        return points
+        return [canonical_point(point) for point in points]
+
+
+def canonical_point(plan_kwargs: Dict[str, int]) -> Dict[str, int]:
+    """Canonical form of an override point: ``block_rows=1`` is dropped."""
+    return {key: value for key, value in plan_kwargs.items()
+            if not (key == "block_rows" and int(value) == 1)}
 
 
 #: the full Section 7.1 grid (up to 32 points per cell)
 FULL_SPACE = DesignSpace()
 #: reduced grid for ``--quick`` runs and golden fixtures (4 points per cell)
 QUICK_SPACE = DesignSpace(outputs_per_thread=(2, 4), block_threads=(128, 256))
+#: the post-paper extended grid: denser B menu plus the per-dimension block
+#: shape R on 2-D kernels (up to 144 points per cell before filtering)
+EXTENDED_SPACE = DesignSpace(block_threads=EXTENDED_BLOCK_THREADS_CHOICES,
+                             block_rows=EXTENDED_BLOCK_ROWS_CHOICES)
 
 
-def paper_default_for(scenario: Scenario) -> Dict[str, int]:
-    """The paper's default configuration projected onto a scenario's envelope."""
-    return {key: value for key, value in PAPER_DEFAULT.items()
-            if key in scenario.tunables}
+def paper_default_for(scenario: Scenario, size: "str | None" = None,
+                      architecture: "str | None" = None,
+                      precision: "str | None" = None) -> Dict[str, int]:
+    """The paper's default configuration projected onto a scenario's envelope.
+
+    With a concrete cell (``size``/``architecture``/``precision``) the
+    default is additionally *clamped* through the same validity filter as
+    candidate points: where the requested P=4 cannot hold (the register
+    budget caps the window), the default resolves to the plan's actual P —
+    the same point the kernel would silently execute — instead of an
+    unevaluable phantom configuration.
+    """
+    default = {key: value for key, value in PAPER_DEFAULT.items()
+               if key in scenario.tunables}
+    if size is None or architecture is None or precision is None:
+        return default
+    return clamp_point(scenario, size, architecture, precision, default)
+
+
+def clamp_point(scenario: Scenario, size: str, architecture: str,
+                precision: str, plan_kwargs: Dict[str, int]) -> Dict[str, int]:
+    """Project a requested point through plan construction, like candidates.
+
+    A point whose P clamps resolves to the identical plan as the smaller
+    request; returning that smaller point keeps the search seeded on a
+    configuration that actually exists in the filtered candidate list.
+    Points that fail to build at all are returned unchanged (the caller's
+    validity filter rejects them downstream).
+    """
+    point = canonical_point(plan_kwargs)
+    if point_is_valid(scenario, size, architecture, precision, point):
+        return point
+    try:
+        plan = scenario.build_plan(size, architecture, precision, point)
+    except (ConfigurationError, ResourceExhaustedError):
+        return point
+    if plan is None or "outputs_per_thread" not in point:
+        return point
+    clamped = dict(point, outputs_per_thread=plan.outputs_per_thread)
+    if point_is_valid(scenario, size, architecture, precision, clamped):
+        return clamped
+    return point
 
 
 def point_is_valid(scenario: Scenario, size: str, architecture: str,
                    precision: str, plan_kwargs: Dict[str, int]) -> bool:
     """Launch validity of one candidate point (see the module docstring)."""
     arch = get_architecture(architecture)
-    block = int(plan_kwargs.get("block_threads", DEFAULT_BLOCK_THREADS))
+    block = int(plan_kwargs.get("block_threads", paper_default("block_threads")))
     try:
         validate_block_threads(arch, block)
     except ConfigurationError:
@@ -132,7 +203,7 @@ def valid_points(scenario: Scenario, size: str, architecture: str,
     """
     points = [point for point in space.candidates(scenario.tunables)
               if point_is_valid(scenario, size, architecture, precision, point)]
-    default = paper_default_for(scenario)
+    default = paper_default_for(scenario, size, architecture, precision)
     if default not in points and point_is_valid(scenario, size, architecture,
                                                 precision, default):
         points.append(default)

@@ -1,12 +1,18 @@
 """Model-guided two-stage launch-configuration search.
 
-Stage 1 (**explore**) evaluates *every* valid design-space point of every
+Stage 1 (**explore**) searches the valid design-space points of every
 tuning cell (kernel x architecture x precision) closed-form on the Section 5
-model engine at the paper-scale problem size — milliseconds per point, so
-exhaustive search is cheap.  Stage 2 (**confirm**) re-runs the model stage's
+model engine at the paper-scale problem size.  *How* the space is walked is
+a pluggable :class:`~repro.tuning.search.SearchStrategy` — exhaustive
+enumeration (the default, and the correctness oracle) or the budgeted
+guided search, which reaches the same best point on a fraction of the
+evaluations.  Stage 2 (**confirm**) re-runs the explore stage's
 top-k candidates (plus the paper default) on the batched simulator at a
 functional problem size and reports whether the counted simulation agrees
-with the model's ranking.
+with the model's ranking.  The winning configuration of every cell is
+persisted to the shared result store's ``tuned_configs`` table, where the
+planners' default-resolution chain
+(:func:`repro.core.launch_defaults.resolve_launch_defaults`) picks it up.
 
 Every evaluation in both stages is an ordinary scenario-sweep cell — built
 with :func:`repro.scenarios.sweep.case_job_key` /
@@ -28,12 +34,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.launch_defaults import clear_lookup_cache
 from ..errors import ConfigurationError
 from ..experiments.jobs import SimulationJob
 from ..experiments.results import ExperimentResult, Measurement
 from ..serialization import stable_digest
 from ..scenarios.registry import Scenario, ScenarioCase, all_scenarios, get_scenario
 from ..scenarios.sweep import case_cache_fields, case_job_key
+from .search import SearchStrategy, get_strategy, point_key
 from .space import (
     FULL_SPACE,
     QUICK_SPACE,
@@ -72,13 +80,19 @@ class TuneCell:
 
 
 def config_label(plan_kwargs: Mapping[str, object]) -> str:
-    """Compact human label of an override set, e.g. ``"P4,B128"``."""
+    """Compact human label of an override set, e.g. ``"P4,B128"``.
+
+    The block shape appends only when it is non-trivial (``"P4,B128,R2"``);
+    single-row points keep their historical two-part label.
+    """
     parts = []
     kwargs = dict(plan_kwargs)
     if "outputs_per_thread" in kwargs:
         parts.append(f"P{kwargs['outputs_per_thread']}")
     if "block_threads" in kwargs:
         parts.append(f"B{kwargs['block_threads']}")
+    if int(kwargs.get("block_rows", 1)) != 1:
+        parts.append(f"R{kwargs['block_rows']}")
     return ",".join(parts) if parts else "default"
 
 
@@ -135,17 +149,53 @@ def explore_points(cells: Sequence[TuneCell], space: DesignSpace,
             for cell in cells}
 
 
-def model_jobs(cells: Sequence[TuneCell],
-               points_by_cell: Mapping[str, Sequence[Mapping[str, int]]],
-               model_size: str = MODEL_SIZE) -> List[SimulationJob]:
-    """Stage 1: one model-engine job per valid design-space point per cell."""
-    jobs: List[SimulationJob] = []
+def explore_stage(cells: Sequence[TuneCell],
+                  points_by_cell: Mapping[str, Sequence[Mapping[str, int]]],
+                  strategy: SearchStrategy, executor, workers: int, cache,
+                  model_size: str = MODEL_SIZE):
+    """Stage 1: walk every cell's candidate space with the search strategy.
+
+    Each round gathers the proposals of *all* cells into one executor batch
+    (cells in order, each cell's points in proposal order), so an
+    exhaustive strategy — whose single round proposes every point — builds
+    the byte-identical job list the pre-strategy tuner did, and a guided
+    strategy still shards across ``--jobs`` workers round by round.
+    Returns ``(sessions, payloads)``: the finished per-cell sessions and
+    every model payload by job key.
+    """
+    sessions = {}
     for cell in cells:
-        for point in points_by_cell[cell.cell_id]:
-            jobs.append(_case_job(ScenarioCase(
-                cell.scenario, cell.architecture, cell.precision, "model",
-                model_size, point)))
-    return jobs
+        scenario = get_scenario(cell.scenario)
+        seed = paper_default_for(scenario, model_size, cell.architecture,
+                                 cell.precision)
+        sessions[cell.cell_id] = strategy.session(
+            points_by_cell[cell.cell_id], seed=seed)
+    payloads: Dict[str, Mapping[str, object]] = {}
+    while True:
+        proposals = [(cell, sessions[cell.cell_id].propose())
+                     for cell in cells]
+        round_jobs: List[SimulationJob] = []
+        for cell, points in proposals:
+            for point in points:
+                round_jobs.append(_case_job(ScenarioCase(
+                    cell.scenario, cell.architecture, cell.precision,
+                    "model", model_size, point)))
+        if not round_jobs:
+            break
+        round_payloads = executor(round_jobs, workers=workers, cache=cache)
+        payloads.update(round_payloads)
+        for cell, points in proposals:
+            if not points:
+                continue
+            times = {}
+            for point in points:
+                case = ScenarioCase(cell.scenario, cell.architecture,
+                                    cell.precision, "model", model_size,
+                                    point)
+                times[point_key(point)] = float(
+                    round_payloads[case_job_key(case)]["milliseconds"])
+            sessions[cell.cell_id].observe(times)
+    return sessions, payloads
 
 
 def _ranked_points(cell: TuneCell, points: Sequence[Mapping[str, int]],
@@ -184,7 +234,8 @@ def _confirm_points(cell: TuneCell, scenario: Scenario,
                              confirm_engine, confirm_size):
         return []
     candidates = [dict(row["plan_kwargs"]) for row in ranked[:max(1, top_k)]]
-    default = paper_default_for(scenario)
+    default = paper_default_for(scenario, confirm_size, cell.architecture,
+                                cell.precision)
     if default not in candidates:
         candidates.append(default)
     return [point for point in candidates
@@ -226,23 +277,32 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
                confirm_size: Optional[str] = None,
                confirm: bool = True,
                confirm_engine: str = "batched",
+               search: "str | SearchStrategy" = "exhaustive",
                executor=None) -> ExperimentResult:
     """Run the two-stage search end to end through the job pipeline.
 
-    ``confirm=False`` stops after the exhaustive model stage (the CI smoke
-    path): the report then shows the closed-form ranking only.
-    ``confirm_engine="replay"`` confirms on the compiled trace-replay
-    engine instead of the batched simulator (identical verdicts, faster).
-    ``executor`` substitutes the job executor — same signature as
+    ``search`` selects the explore-stage strategy: ``"exhaustive"`` (the
+    default and the correctness oracle) evaluates every valid point,
+    ``"guided"`` runs the budgeted coordinate descent of
+    :class:`repro.tuning.search.GuidedSearch`.  ``confirm=False`` stops
+    after the model stage (the CI smoke path): the report then shows the
+    closed-form ranking only.  ``confirm_engine="replay"`` confirms on the
+    compiled trace-replay engine instead of the batched simulator
+    (identical verdicts, faster).  ``executor`` substitutes the job
+    executor — same signature as
     :func:`repro.experiments.parallel.execute_jobs` — which is how the
     sweep service routes tuning stages through its priority-ordered worker
-    pool instead of a private process pool.
+    pool instead of a private process pool.  When a persistent cache backs
+    the run, every cell's winning configuration is upserted into the
+    store's ``tuned_configs`` table, where the planners' default-resolution
+    chain finds it.
     """
     from ..experiments.parallel import execute_jobs
 
     if executor is None:
         executor = execute_jobs
 
+    strategy = get_strategy(search)
     resolved_space = space if space is not None else (QUICK_SPACE if quick
                                                       else FULL_SPACE)
     resolved_top_k = top_k if top_k is not None else (QUICK_TOP_K if quick
@@ -251,13 +311,17 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
         QUICK_CONFIRM_SIZE if quick else CONFIRM_SIZE)
     cells = tune_cells(scenarios, architectures, precisions, model_size)
     points_by_cell = explore_points(cells, resolved_space, model_size)
-    model_payloads = executor(
-        model_jobs(cells, points_by_cell, model_size),
-        workers=workers, cache=cache)
-    rankings = {cell.cell_id: _ranked_points(cell,
-                                             points_by_cell[cell.cell_id],
-                                             model_size, model_payloads)
+    sessions, model_payloads = explore_stage(
+        cells, points_by_cell, strategy, executor, workers, cache,
+        model_size)
+    rankings = {cell.cell_id: _ranked_points(
+                    cell, sessions[cell.cell_id].evaluated_points(),
+                    model_size, model_payloads)
                 for cell in cells}
+    evaluations = {cell.cell_id: {
+                       "evaluated": sessions[cell.cell_id].evaluations,
+                       "space": len(points_by_cell[cell.cell_id])}
+                   for cell in cells}
     candidates_by_cell: Dict[str, List[Dict[str, int]]] = {}
     confirm_payloads: Dict[str, Mapping[str, object]] = {}
     if confirm:
@@ -271,11 +335,46 @@ def run_tuning(quick: bool = False, workers: int = 1, cache=None,
             confirm_jobs(cells, candidates_by_cell, resolved_confirm,
                          confirm_engine),
             workers=workers, cache=cache)
-    return assemble(cells, resolved_space, rankings, candidates_by_cell,
-                    confirm_payloads, quick=quick, top_k=resolved_top_k,
-                    model_size=model_size,
-                    confirm_size=resolved_confirm if confirm else None,
-                    confirm_engine=confirm_engine)
+    result = assemble(cells, resolved_space, rankings, candidates_by_cell,
+                      confirm_payloads, quick=quick, top_k=resolved_top_k,
+                      model_size=model_size,
+                      confirm_size=resolved_confirm if confirm else None,
+                      confirm_engine=confirm_engine,
+                      search=strategy.name, evaluations=evaluations)
+    if cache is not None and getattr(cache, "enabled", True):
+        store_tuned_configs(result, cache.result_store())
+    return result
+
+
+def store_tuned_configs(result: ExperimentResult, store) -> int:
+    """Persist every cell's winning configuration into ``tuned_configs``.
+
+    Rows are keyed by (scenario, architecture, precision, size-class,
+    code-version); re-running the tuner refreshes them (last writer wins —
+    unlike simulation payloads, a tuned default is a recommendation, not a
+    pure function being memoised).  The launch-defaults lookup cache is
+    cleared afterwards so planners in this process see the new rows.
+    """
+    meta = result.metadata
+    written = 0
+    for m in result.measurements:
+        extra = m.extra
+        best = extra.get("best_plan_kwargs")
+        if best is None:
+            continue
+        scenario, architecture, precision = extra["cell_id"].split(":")
+        store.put_tuned_config(
+            scenario=scenario, architecture=architecture,
+            precision=precision, size_class=meta["model_size"],
+            plan_kwargs=best, model_ms=extra["best_model_ms"],
+            default_model_ms=extra["default_model_ms"],
+            speedup=extra["model_speedup"],
+            search=meta.get("search", "exhaustive"),
+            confirmed=extra.get("confirm_agrees"),
+            tune_digest=meta["tune_digest"])
+        written += 1
+    clear_lookup_cache()
+    return written
 
 
 def assemble(cells: Sequence[TuneCell], space: DesignSpace,
@@ -285,14 +384,19 @@ def assemble(cells: Sequence[TuneCell], space: DesignSpace,
              quick: bool = False, top_k: int = TOP_K,
              model_size: str = MODEL_SIZE,
              confirm_size: "str | None" = CONFIRM_SIZE,
-             confirm_engine: str = "batched") -> ExperimentResult:
+             confirm_engine: str = "batched",
+             search: str = "exhaustive",
+             evaluations: Optional[Mapping[str, Mapping[str, int]]] = None,
+             ) -> ExperimentResult:
     """Fold both stages into the typed tuning result (cell order)."""
     measurements: List[Measurement] = []
     cell_records: List[Dict[str, object]] = []
+    evaluations = dict(evaluations or {})
     for cell in cells:
         scenario = get_scenario(cell.scenario)
         ranked = rankings[cell.cell_id]
-        default_kwargs = paper_default_for(scenario)
+        default_kwargs = paper_default_for(scenario, model_size,
+                                           cell.architecture, cell.precision)
         # the default is normally always evaluated (valid_points appends
         # it); a scenario whose paper default is itself invalid at the
         # explore size reports the best-found configuration without a
@@ -328,15 +432,20 @@ def assemble(cells: Sequence[TuneCell], space: DesignSpace,
         agree = (confirm_best is not None
                  and confirm_best["plan_kwargs"] == best_row["plan_kwargs"])
 
+        counts = evaluations.get(cell.cell_id, {})
         extra = {
             "cell_id": cell.cell_id,
             "precision": cell.precision,
             "points": len(ranked),
+            "space_points": counts.get("space", len(ranked)),
+            "evaluated": counts.get("evaluated", len(ranked)),
             "default": (config_label(default_kwargs) if default_row is None
                         else default_row["label"]),
+            "default_plan_kwargs": dict(default_kwargs),
             "default_model_ms": (None if default_row is None
                                  else default_row["model_ms"]),
             "best": best_row["label"],
+            "best_plan_kwargs": dict(best_row["plan_kwargs"]),
             "best_model_ms": best_row["model_ms"],
             "model_speedup": speedup,
             "confirm_best": None if confirm_best is None else confirm_best["label"],
@@ -369,6 +478,12 @@ def assemble(cells: Sequence[TuneCell], space: DesignSpace,
             "confirm_size": confirm_size,
             "confirm_engine": confirm_engine,
             "top_k": top_k,
+            "search": search,
+            "evaluations": {
+                "cells": evaluations,
+                "evaluated": sum(m.extra["evaluated"] for m in measurements),
+                "space": sum(m.extra["space_points"] for m in measurements),
+            },
             "cells": cell_records,
             "tune_digest": stable_digest(
                 [[m.extra["cell_id"], m.extra["best"],
@@ -385,8 +500,13 @@ def render(result: ExperimentResult) -> str:
                     f"confirm: engine={meta.get('confirm_engine', 'batched')} "
                     f"at size {meta['confirm_size']!r} "
                     f"(top-{meta['top_k']} + default)")
+    evals = meta.get("evaluations") or {}
+    search_text = meta.get("search", "exhaustive")
+    if evals:
+        search_text += f" ({evals['evaluated']}/{evals['space']} points)"
     lines = [result.title,
-             f"explore: engine=model at size {meta['model_size']!r} "
+             f"explore: engine=model search={search_text} "
+             f"at size {meta['model_size']!r} "
              f"({'x'.join(str(len(v)) for v in meta['space'].values())} grid); "
              f"{confirm_text}"]
     header = (f"{'cell':<26} {'pts':>4} {'default':>8} {'default_ms':>12} "

@@ -240,7 +240,8 @@ def test_plan_kwargs_case_identity_and_normalisation():
 
 def test_plan_kwargs_validated_against_the_tunable_envelope():
     conv2d = get_scenario("conv2d")
-    assert conv2d.tunables == ("outputs_per_thread", "block_threads")
+    assert conv2d.tunables == ("outputs_per_thread", "block_threads",
+                               "block_rows")
     scan = get_scenario("scan")
     assert scan.tunables == ("block_threads",)
     # scan has no sliding window: requesting P is a configuration error

@@ -214,3 +214,52 @@ def test_tune_submission_runs_through_the_service_pool(service):
     progress = core.store.run_progress(run["run_id"])
     assert progress["total"] > 0
     assert progress.get("pending", 0) == 0
+
+
+# -------------------------------------------------------- tuning database
+
+def test_best_config_endpoint_falls_back_to_paper(service):
+    """An untuned cell answers with the paper defaults, mirroring the
+    planners' resolution chain — never a 404."""
+    client, _, _, _ = service
+    response = client.best_config("stencil3d", "h100", "float64")
+    assert response["source"] == "paper"
+    assert response["plan_kwargs"] == {"outputs_per_thread": 4,
+                                       "block_threads": 128, "block_rows": 1}
+    assert response["code_version"] == code_version()
+    assert "tuned" not in response
+
+
+def test_tune_run_populates_the_best_config_endpoint(service):
+    client, core, _, _ = service
+    run = client.submit_tune({"quick": True, "scenarios": ["scan"]},
+                             search="guided")
+    status = client.wait(run["run_id"], timeout=600)
+    assert status["status"] == "done"
+    result = ExperimentResult.from_dict(client.results(run["run_id"]))
+    assert result.metadata["search"] == "guided"
+
+    response = client.best_config("scan", "p100", "float32")
+    assert response["source"] == "tuned"
+    assert response["size_class"] == "paper"
+    tuned = response["tuned"]
+    assert tuned["search"] == "guided"
+    assert tuned["model_ms"] <= tuned["default_model_ms"]
+    # the endpoint serves the exact configuration the tune run found
+    (row,) = [m for m in result.measurements
+              if m.extra["cell_id"] == "scan:p100:float32"]
+    assert response["plan_kwargs"] == row.extra["best_plan_kwargs"]
+
+    index = client.tuned_configs()
+    assert index["count"] == core.store.tuned_config_count() > 0
+    listed = {(r["scenario"], r["architecture"], r["precision"])
+              for r in index["tuned_configs"]}
+    assert ("scan", "p100", "float32") in listed
+
+
+def test_best_config_size_class_is_a_distinct_key(service):
+    client, _, _, _ = service
+    response = client.best_config("scan", "p100", "float32",
+                                  size_class="galactic")
+    assert response["source"] == "paper"
+    assert response["size_class"] == "galactic"

@@ -242,3 +242,74 @@ def test_two_writers_racing_one_key_store_exactly_one_row(tmp_path):
     survivor = SimulationCache(str(tmp_path))
     assert survivor.lookup(key) == {"written_by": winner}
     assert survivor.entry_count() == 1
+
+
+# ------------------------------------------------------- tuned configs (v2)
+
+TUNED_KEY = dict(scenario="conv2d", architecture="p100",
+                 precision="float32", size_class="paper")
+
+
+def test_v1_store_migrates_to_v2_with_tuned_configs(store, tmp_path):
+    """A pre-tuning-database store upgrades in place through the migration
+    hook: version stamped forward, ``tuned_configs`` present and usable."""
+    store.upsert(KEY_A, {"v": 1})
+    store.close()
+    path = str(tmp_path / "results.sqlite")
+    with sqlite3.connect(path) as conn:
+        conn.execute("DROP TABLE tuned_configs")
+        conn.execute("UPDATE meta SET value='1' WHERE key='schema_version'")
+    upgraded = ResultStore(path, code_version=lambda: "cv0")
+    assert upgraded.schema_version() == STORE_SCHEMA_VERSION
+    assert upgraded.get(KEY_A) == {"v": 1}, "v1 rows survive the migration"
+    upgraded.put_tuned_config(plan_kwargs={"block_threads": 256}, **TUNED_KEY)
+    assert upgraded.tuned_config_count() == 1
+    upgraded.close()
+
+
+def test_tuned_config_round_trip(store):
+    store.put_tuned_config(plan_kwargs={"outputs_per_thread": 2,
+                                        "block_threads": 64},
+                           model_ms=1.25, default_model_ms=2.5, speedup=2.0,
+                           search="guided", confirmed=True,
+                           tune_digest="t0", **TUNED_KEY)
+    found = store.best_config("conv2d", "p100", "float32")
+    assert found["plan_kwargs"] == {"outputs_per_thread": 2,
+                                    "block_threads": 64}
+    assert found["speedup"] == 2.0
+    assert found["search"] == "guided"
+    assert found["confirmed"] is True
+    assert found["code_version"] == "cv0"
+    assert found["created_at"] > 0
+    assert store.best_config("conv2d", "v100", "float32") is None
+    assert store.best_config("conv2d", "p100", "float32",
+                             size_class="small") is None
+
+
+def test_tuned_config_upsert_is_last_writer_wins(store):
+    """Unlike simulation payloads, a tuned row is a recommendation — every
+    tuner run refreshes it in place."""
+    store.put_tuned_config(plan_kwargs={"block_threads": 64},
+                           search="exhaustive", **TUNED_KEY)
+    store.put_tuned_config(plan_kwargs={"block_threads": 256},
+                           search="guided", **TUNED_KEY)
+    assert store.tuned_config_count() == 1
+    found = store.best_config("conv2d", "p100", "float32")
+    assert found["plan_kwargs"] == {"block_threads": 256}
+    assert found["search"] == "guided"
+
+
+def test_tuned_configs_are_code_version_scoped(tmp_path):
+    version = ["cv0"]
+    store = ResultStore(str(tmp_path / "s.sqlite"),
+                        code_version=lambda: version[0])
+    store.put_tuned_config(plan_kwargs={"block_threads": 64}, **TUNED_KEY)
+    version[0] = "cv1"
+    assert store.best_config("conv2d", "p100", "float32") is None, \
+        "a stale digest must never be served"
+    store.put_tuned_config(plan_kwargs={"block_threads": 128}, **TUNED_KEY)
+    assert store.tuned_config_count() == 2
+    current = store.list_tuned_configs(current_only=True)
+    assert [r["code_version"] for r in current] == ["cv1"]
+    assert len(store.list_tuned_configs()) == 2
+    store.close()
