@@ -13,6 +13,13 @@ through a three-step chain
    silently skipped, never served);
 3. **paper** — the Section 6.2 constants in :data:`PAPER_LAUNCH_DEFAULTS`.
 
+The tuned step is all-or-nothing: it applies only when the caller passed
+*no* explicit launch parameter.  A partially specified point — e.g. the
+canonical R-elided ``{outputs_per_thread: 4, block_threads: 128}`` a tuner
+candidate or a sweep ``plan_kwargs`` grid spells out — pins its remaining
+axes to the paper constants, never to tuned values, so an explicit point
+always executes exactly the configuration its label claims.
+
 The tuning database is consulted only when explicitly activated — via the
 ``SSAM_TUNED_DB`` environment variable (which worker subprocesses inherit,
 keeping ``--jobs N`` runs deterministic) or the :func:`tuning_database`
@@ -150,6 +157,11 @@ def _query_tuned_config(path: str, scenario: str, architecture: str,
     Opened read-only via URI so a lookup never creates a database, never
     upgrades a schema and never takes a write lock.  A database without the
     ``tuned_configs`` table (pre-migration) simply has nothing tuned.
+
+    A cell can hold one row per explored design space (quick and full tune
+    runs write distinct rows); the lookup serves the best of them — lowest
+    predicted time, larger space and freshest write breaking ties — so a
+    reduced-space re-run can never shadow a full-space recommendation.
     """
     if not os.path.exists(path):
         return None
@@ -162,7 +174,9 @@ def _query_tuned_config(path: str, scenario: str, architecture: str,
             "SELECT plan_kwargs, model_ms, default_model_ms, speedup, search,"
             " confirmed, tune_digest FROM tuned_configs"
             " WHERE scenario = ? AND architecture = ? AND precision = ?"
-            " AND size_class = ? AND code_version = ?",
+            " AND size_class = ? AND code_version = ?"
+            " ORDER BY (model_ms IS NULL), model_ms, space_size DESC,"
+            " created_at DESC, space_digest LIMIT 1",
             (scenario, architecture, precision, size_class, code_version),
         ).fetchone()
     except sqlite3.Error:
@@ -221,17 +235,19 @@ def resolve_launch_defaults(
 
     ``parameters`` names the launch parameters to resolve (each must appear
     in :data:`PAPER_LAUNCH_DEFAULTS`).  ``explicit`` entries that are
-    ``None`` count as absent.  The tuning database is consulted only when a
-    ``scenario`` key is given *and* a database is active *and* both
-    ``architecture`` and ``precision`` are known — direct kernel calls with
-    no scenario identity always resolve to the paper constants, keeping
-    them deterministic regardless of ambient state.
+    ``None`` count as absent.  The tuning database is consulted only when
+    *no* explicit value was passed at all (the all-or-nothing rule of the
+    module docstring: a partially explicit point pins its unspecified axes
+    to the paper constants, preserving point identity), *and* a ``scenario``
+    key is given *and* a database is active *and* both ``architecture`` and
+    ``precision`` are known — direct kernel calls with no scenario identity
+    always resolve to the paper constants, keeping them deterministic
+    regardless of ambient state.
     """
     given = {key: int(value) for key, value in dict(explicit or {}).items()
              if value is not None}
     tuned = None
-    needs_lookup = any(key not in given for key in parameters)
-    if needs_lookup and scenario and architecture and precision:
+    if not given and scenario and architecture and precision:
         tuned = lookup_tuned_config(scenario, architecture, precision,
                                     size_class)
     tuned_kwargs = {} if tuned is None else tuned["plan_kwargs"]

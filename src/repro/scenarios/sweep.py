@@ -160,10 +160,6 @@ def _measure_case(scenario: str, architecture: str, precision: str,
         "output_digest": (None if result.output is None
                           else array_digest(result.output)),
     }
-    if entry.tunables:
-        resolved = entry.resolve_tunable_defaults(
-            case.plan_overrides, case.architecture, case.precision)
-        payload["launch_defaults_source"] = resolved[LAUNCH_DEFAULTS_SOURCE_KEY]
     if result.output is not None and entry.oracle is not None:
         oracle = entry.oracle_output(case)
         error = np.max(np.abs(np.asarray(result.output, dtype=np.float64)
@@ -191,6 +187,24 @@ def jobs(matrix: "str | Mapping[str, object] | None" = None) -> List[SimulationJ
         )
         for case in expand_matrix(resolved)
     ]
+
+
+def _case_defaults_source(case: ScenarioCase) -> Optional[str]:
+    """Current launch-default provenance of one cell, resolved at read time.
+
+    Computed when results are assembled — never persisted in the cached
+    payload — because provenance depends on ambient state (the active
+    tuning database), not on the cell's cache identity: a tuned row whose
+    values happen to equal the paper constants yields a byte-identical
+    plan, so a payload cached without a database must not replay a stale
+    ``"paper"`` label once one is active (or vice versa).
+    """
+    entry = get_scenario(case.scenario)
+    if not entry.tunables:
+        return None
+    resolved = entry.resolve_tunable_defaults(
+        case.plan_overrides, case.architecture, case.precision)
+    return resolved[LAUNCH_DEFAULTS_SOURCE_KEY]
 
 
 def assemble(payloads: Mapping[str, Mapping[str, object]],
@@ -221,7 +235,7 @@ def assemble(payloads: Mapping[str, Mapping[str, object]],
                 "scheme": (payload.get("parameters") or {}).get("scheme"),
                 "output_digest": payload.get("output_digest"),
                 "oracle_max_abs_error": payload.get("oracle_max_abs_error"),
-                "launch_defaults_source": payload.get("launch_defaults_source"),
+                "launch_defaults_source": _case_defaults_source(case),
             },
         ))
     scenarios = []

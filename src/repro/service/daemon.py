@@ -427,7 +427,7 @@ class SweepService:
                 key: found.get(key)
                 for key in ("model_ms", "default_model_ms", "speedup",
                             "search", "confirmed", "tune_digest",
-                            "created_at")}
+                            "space", "space_size", "created_at")}
         return response
 
     def tuned_index(self) -> Dict[str, object]:

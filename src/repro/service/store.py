@@ -18,11 +18,15 @@ many concurrent readers, serialised short write transactions — holding
 * **runs** / **run_cells** — checkpointed service runs (sweep/tune
   submissions): the matrix, priority and per-cell status survive a daemon
   restart, so a killed sweep resumes from its completed cells;
-* **tuned_configs** (schema v2) — the autotuner's winning launch
-  configuration per (scenario, architecture, precision, size-class,
-  code-version) cell, consulted by the planners' default-resolution chain
-  (:mod:`repro.core.launch_defaults`) and served by the daemon's
-  ``best_config`` endpoint.  Unlike ``results`` rows these are
+* **tuned_configs** (schema v2, space-keyed since v3) — the autotuner's
+  winning launch configuration per (scenario, architecture, precision,
+  size-class, code-version, design-space) cell, consulted by the planners'
+  default-resolution chain (:mod:`repro.core.launch_defaults`) and served
+  by the daemon's ``best_config`` endpoint.  The explored design space is
+  part of the key, so a ``--quick`` (reduced-space) tune run writes its
+  own row instead of clobbering a full-space recommendation; lookups
+  serve the best row of a cell (lowest predicted time, larger space and
+  freshest write breaking ties).  Within one key, rows are
   last-writer-wins: a re-run of the tuner refreshes the recommendation.
 
 Writes are first-writer-wins: :meth:`upsert` inserts with ``ON CONFLICT DO
@@ -49,7 +53,7 @@ from ..errors import ConfigurationError
 from ..serialization import canonical_json, jsonify, stable_digest
 
 #: current on-disk schema version (``meta`` table, key ``schema_version``)
-STORE_SCHEMA_VERSION = 2
+STORE_SCHEMA_VERSION = 3
 
 #: length of the hex job-key digest (matches the legacy directory cache)
 DIGEST_LENGTH = 40
@@ -100,8 +104,9 @@ CREATE TABLE IF NOT EXISTS run_cells (
 );
 """
 
-#: schema v2: the tuning database — column names are a read contract with
-#: :mod:`repro.core.launch_defaults`, which queries this table read-only
+#: schema v2 (space-keyed since v3): the tuning database — column names are
+#: a read contract with :mod:`repro.core.launch_defaults`, which queries
+#: this table read-only
 _TUNED_CONFIGS_SCHEMA = """
 CREATE TABLE IF NOT EXISTS tuned_configs (
     scenario         TEXT NOT NULL,
@@ -109,6 +114,9 @@ CREATE TABLE IF NOT EXISTS tuned_configs (
     precision        TEXT NOT NULL,
     size_class       TEXT NOT NULL,
     code_version     TEXT NOT NULL,
+    space_digest     TEXT NOT NULL DEFAULT '',
+    space            TEXT,
+    space_size       INTEGER NOT NULL DEFAULT 0,
     plan_kwargs      TEXT NOT NULL,
     model_ms         REAL,
     default_model_ms REAL,
@@ -117,22 +125,53 @@ CREATE TABLE IF NOT EXISTS tuned_configs (
     confirmed        INTEGER,
     tune_digest      TEXT,
     created_at       REAL NOT NULL,
-    PRIMARY KEY (scenario, architecture, precision, size_class, code_version)
+    PRIMARY KEY (scenario, architecture, precision, size_class, code_version,
+                 space_digest)
 );
 """
 
 _SCHEMA += _TUNED_CONFIGS_SCHEMA
 
+#: the non-key payload columns shared by the v3 table and its v2 ancestor,
+#: copied verbatim by the rebuild migration
+_TUNED_V2_COLUMNS = ("scenario, architecture, precision, size_class,"
+                     " code_version, plan_kwargs, model_ms, default_model_ms,"
+                     " speedup, search, confirmed, tune_digest, created_at")
+
 
 def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
-    """v1 -> v2: add the ``tuned_configs`` table (idempotent DDL)."""
+    """v1 -> v2: add the ``tuned_configs`` table (idempotent DDL).
+
+    Creates the table in its *current* (v3) shape; the follow-up v2 -> v3
+    step detects the space columns and becomes a no-op.
+    """
     conn.executescript(_TUNED_CONFIGS_SCHEMA)
+
+
+def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
+    """v2 -> v3: key ``tuned_configs`` by explored design space.
+
+    SQLite cannot alter a primary key in place, so the table is rebuilt
+    and v2 rows are carried over under the empty space digest (space
+    unknown, ``space_size`` 0) — they stay servable but rank below any row
+    that records the space it explored.
+    """
+    columns = {row[1] for row in
+               conn.execute("PRAGMA table_info(tuned_configs)")}
+    if "space_digest" in columns:
+        return
+    conn.execute("ALTER TABLE tuned_configs RENAME TO tuned_configs_v2")
+    conn.executescript(_TUNED_CONFIGS_SCHEMA)
+    conn.execute(f"INSERT INTO tuned_configs({_TUNED_V2_COLUMNS})"
+                 f" SELECT {_TUNED_V2_COLUMNS} FROM tuned_configs_v2")
+    conn.execute("DROP TABLE tuned_configs_v2")
 
 
 #: in-place schema upgrades, ``{from_version: migrate(connection)}``; each
 #: entry upgrades one version step and the opener applies them in sequence
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_v1_to_v2,
+    2: _migrate_v2_to_v3,
 }
 
 
@@ -336,22 +375,39 @@ class ResultStore:
                          search: Optional[str] = None,
                          confirmed: Optional[bool] = None,
                          tune_digest: Optional[str] = None,
-                         code_version: Optional[str] = None) -> None:
-        """Upsert one cell's tuned configuration (last writer wins).
+                         code_version: Optional[str] = None,
+                         space: Optional[Mapping[str, object]] = None) -> None:
+        """Upsert one cell's tuned configuration (last writer wins per key).
 
-        Unlike simulation payloads — pure functions of their key, where the
-        first writer is canonical — a tuned row is a *recommendation*
+        ``space`` is the explored design space (the grid's ``describe()``
+        mapping) and is part of the row key: a quick/reduced-space run and
+        a full-space run keep separate rows, so the former can never
+        overwrite — and silently degrade — the latter.  Within one key,
+        unlike simulation payloads — pure functions of their key, where
+        the first writer is canonical — a tuned row is a *recommendation*
         refreshed by every tuner run, so conflicts update in place.
         """
+        if space is None:
+            space_json, space_digest, space_size = None, "", 0
+        else:
+            described = {str(k): list(v) for k, v in dict(space).items()}
+            space_json = canonical_json(described)
+            space_digest = stable_digest(described)
+            space_size = 1
+            for values in described.values():
+                space_size *= max(1, len(values))
         conn = self._conn()
         with conn:
             conn.execute(
                 "INSERT INTO tuned_configs(scenario, architecture, precision,"
-                " size_class, code_version, plan_kwargs, model_ms,"
+                " size_class, code_version, space_digest, space, space_size,"
+                " plan_kwargs, model_ms,"
                 " default_model_ms, speedup, search, confirmed, tune_digest,"
-                " created_at) VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?)"
+                " created_at) VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)"
                 " ON CONFLICT(scenario, architecture, precision, size_class,"
-                " code_version) DO UPDATE SET plan_kwargs=excluded.plan_kwargs,"
+                " code_version, space_digest)"
+                " DO UPDATE SET plan_kwargs=excluded.plan_kwargs,"
+                " space=excluded.space, space_size=excluded.space_size,"
                 " model_ms=excluded.model_ms,"
                 " default_model_ms=excluded.default_model_ms,"
                 " speedup=excluded.speedup, search=excluded.search,"
@@ -360,6 +416,7 @@ class ResultStore:
                 " created_at=excluded.created_at",
                 (scenario, architecture, precision, size_class,
                  code_version or self.code_version(),
+                 space_digest, space_json, space_size,
                  canonical_json({str(k): int(v)
                                  for k, v in dict(plan_kwargs).items()}),
                  model_ms, default_model_ms, speedup, search,
@@ -373,6 +430,8 @@ class ResultStore:
                                  json.loads(record["plan_kwargs"]).items()}
         if record.get("confirmed") is not None:
             record["confirmed"] = bool(record["confirmed"])
+        if record.get("space") is not None:
+            record["space"] = json.loads(record["space"])
         return record
 
     def best_config(self, scenario: str, architecture: str, precision: str,
@@ -383,14 +442,20 @@ class ResultStore:
 
         ``None`` when the cell was never tuned at this (or the current)
         code version — the caller falls back to the paper defaults, exactly
-        like the planners' resolution chain.
+        like the planners' resolution chain.  A cell tuned over several
+        design spaces answers with its best row (lowest predicted time,
+        larger space and freshest write breaking ties), so a quick re-run
+        never shadows a full-space recommendation.
         """
         row = self._conn().execute(
             "SELECT scenario, architecture, precision, size_class,"
-            " code_version, plan_kwargs, model_ms, default_model_ms, speedup,"
+            " code_version, space_digest, space, space_size,"
+            " plan_kwargs, model_ms, default_model_ms, speedup,"
             " search, confirmed, tune_digest, created_at FROM tuned_configs"
             " WHERE scenario=? AND architecture=? AND precision=?"
-            " AND size_class=? AND code_version=?",
+            " AND size_class=? AND code_version=?"
+            " ORDER BY (model_ms IS NULL), model_ms, space_size DESC,"
+            " created_at DESC, space_digest LIMIT 1",
             (scenario, architecture, precision, size_class,
              code_version or self.code_version())).fetchone()
         if row is None:
@@ -404,14 +469,16 @@ class ResultStore:
                            ) -> List[Dict[str, object]]:
         """Every tuned row, key-ordered; optionally current code version only."""
         query = ("SELECT scenario, architecture, precision, size_class,"
-                 " code_version, plan_kwargs, model_ms, default_model_ms,"
+                 " code_version, space_digest, space, space_size,"
+                 " plan_kwargs, model_ms, default_model_ms,"
                  " speedup, search, confirmed, tune_digest, created_at"
                  " FROM tuned_configs")
         params: List[object] = []
         if current_only:
             query += " WHERE code_version=?"
             params.append(self.code_version())
-        query += " ORDER BY scenario, architecture, precision, size_class"
+        query += (" ORDER BY scenario, architecture, precision, size_class,"
+                  " space_digest")
         rows = self._conn().execute(query, params).fetchall()
         out = []
         for row in rows:

@@ -177,10 +177,12 @@ class _GuidedSession(SearchSession):
         if remaining <= 0:
             return []
         if not self.observed:
-            # first round: sweep the first axis through the seed (the seed
-            # itself is one of the swept points, so it is always evaluated)
+            # first round: sweep the first axis through the seed; the seed
+            # leads the batch so the budget truncation can never cut it off
             batch = self._axis_sweep(self._axes[0] if self._axes else
                                      AXIS_ORDER[0], self.seed)
+            seed_key = point_key(self.seed)
+            batch = [seed_key] + [k for k in batch if k != seed_key]
             self._axis_index = 1
             return batch[:remaining]
         best = self.best()

@@ -350,10 +350,14 @@ def store_tuned_configs(result: ExperimentResult, store) -> int:
     """Persist every cell's winning configuration into ``tuned_configs``.
 
     Rows are keyed by (scenario, architecture, precision, size-class,
-    code-version); re-running the tuner refreshes them (last writer wins —
-    unlike simulation payloads, a tuned default is a recommendation, not a
-    pure function being memoised).  The launch-defaults lookup cache is
-    cleared afterwards so planners in this process see the new rows.
+    code-version, design-space): the explored space is part of the key, so
+    a ``--quick`` (reduced-space) run writes its own rows and can never
+    clobber a full-space recommendation — lookups serve the best row of a
+    cell.  Re-running the tuner over the same space refreshes its rows
+    (last writer wins — unlike simulation payloads, a tuned default is a
+    recommendation, not a pure function being memoised).  The
+    launch-defaults lookup cache is cleared afterwards so planners in this
+    process see the new rows.
     """
     meta = result.metadata
     written = 0
@@ -371,7 +375,8 @@ def store_tuned_configs(result: ExperimentResult, store) -> int:
             speedup=extra["model_speedup"],
             search=meta.get("search", "exhaustive"),
             confirmed=extra.get("confirm_agrees"),
-            tune_digest=meta["tune_digest"])
+            tune_digest=meta["tune_digest"],
+            space=meta["space"])
         written += 1
     clear_lookup_cache()
     return written

@@ -83,19 +83,38 @@ def test_tuned_row_resolves_through_the_chain(tuned_db):
     assert resolved.tuned_ms == 1.5
 
 
-def test_partial_explicit_merges_with_tuned_and_paper(tuned_db):
-    """P given, B tuned, R (not in the canonical tuned row) from the paper."""
+def test_partial_explicit_pins_remaining_axes_to_paper(tuned_db):
+    """The tuned step is all-or-nothing: any explicit value keeps tuned
+    rows out entirely, so a partially specified point (e.g. a canonical
+    R-elided tuner candidate) executes exactly the configuration its label
+    claims — unspecified axes resolve from the paper constants, never from
+    the database."""
     with tuning_database(tuned_db):
         resolved = resolve_launch_defaults(
             ("outputs_per_thread", "block_threads", "block_rows"),
             architecture="p100", precision="float32", scenario="conv2d",
             explicit={"outputs_per_thread": 6, "block_rows": None})
-    assert resolved.values == {"outputs_per_thread": 6, "block_threads": 64,
+    assert resolved.values == {"outputs_per_thread": 6, "block_threads": 128,
                                "block_rows": 1}
     assert resolved.sources == {"outputs_per_thread": "explicit",
-                                "block_threads": "tuned",
+                                "block_threads": "paper",
                                 "block_rows": "paper"}
-    assert resolved.source == "explicit+tuned+paper"
+    assert resolved.source == "explicit+paper"
+
+
+def test_explicit_candidate_points_keep_their_identity(tuned_db):
+    """A canonical R-elided explicit point {P, B} must not pick up tuned
+    values on its elided axes — the regression the all-or-nothing rule
+    exists for (tuner re-runs and sweep grids would otherwise silently
+    measure different configurations than their case ids claim)."""
+    with tuning_database(tuned_db):
+        resolved = resolve_launch_defaults(
+            ("outputs_per_thread", "block_threads", "block_rows"),
+            architecture="p100", precision="float32", scenario="conv2d",
+            explicit={"outputs_per_thread": 4, "block_threads": 128})
+    assert resolved.values == {"outputs_per_thread": 4, "block_threads": 128,
+                               "block_rows": 1}
+    assert "tuned" not in resolved.source
 
 
 def test_missing_database_file_falls_back_to_paper(tmp_path):
@@ -181,12 +200,14 @@ def test_planner_consumes_tuned_defaults(tuned_db):
     assert baseline.block_threads == PAPER_LAUNCH_DEFAULTS["block_threads"]
     with tuning_database(tuned_db):
         tuned = conv2d.build_plan("tiny", "p100", "float32")
-        # explicit plan_kwargs still beat the database
+        # explicit plan_kwargs keep the database out entirely: the pinned
+        # P rides with the paper B, not the tuned one (all-or-nothing)
         pinned = conv2d.build_plan("tiny", "p100", "float32",
                                    plan_kwargs={"outputs_per_thread": 8})
     assert tuned.outputs_per_thread == 2
     assert tuned.block_threads == 64
     assert pinned.outputs_per_thread == 8
+    assert pinned.block_threads == PAPER_LAUNCH_DEFAULTS["block_threads"]
 
 
 def test_resolution_source_is_recorded_on_the_params(tuned_db):
@@ -201,6 +222,40 @@ def test_resolution_source_is_recorded_on_the_params(tuned_db):
     assert tuned[LAUNCH_DEFAULTS_SOURCE_KEY] == "tuned+paper"
     assert tuned["outputs_per_thread"] == 2
     assert other[LAUNCH_DEFAULTS_SOURCE_KEY] == "paper"
+
+
+def test_cached_payloads_replay_with_current_provenance(tmp_path):
+    """A tuned row whose values equal the paper constants builds a
+    byte-identical plan (same cache key), so payloads cached without a
+    database replay under an active one.  Provenance is computed at
+    assemble time from current state — a cached cell must not report a
+    stale ``"paper"`` label once a database is active (or vice versa)."""
+    import os
+
+    from repro.experiments.cache import SimulationCache
+
+    cache_dir = str(tmp_path)
+    store = ResultStore(os.path.join(cache_dir, "results.sqlite"))
+    store.put_tuned_config(
+        "conv2d", "p100", "float32", "paper",
+        {"outputs_per_thread": PAPER_LAUNCH_DEFAULTS["outputs_per_thread"],
+         "block_threads": PAPER_LAUNCH_DEFAULTS["block_threads"]})
+    store.close()
+    matrix = {"scenarios": ["conv2d"], "architectures": ["p100"],
+              "precisions": ["float32"], "engines": ["scalar"],
+              "sizes": ["tiny"]}
+    cold_cache = SimulationCache(cache_dir)
+    cold = run_sweep(matrix, cache=cold_cache)
+    assert cold_cache.misses > 0
+    for measurement in cold.measurements:
+        assert measurement.extra["launch_defaults_source"] == "paper"
+    warm_cache = SimulationCache(cache_dir)
+    with tuning_database(cache_dir):
+        warm = run_sweep(matrix, cache=warm_cache)
+    # same plan, same cache identity: the warm run executes nothing new
+    assert warm_cache.misses == 0 and warm_cache.hits == cold_cache.misses
+    for measurement in warm.measurements:
+        assert measurement.extra["launch_defaults_source"] == "tuned+paper"
 
 
 def test_sweeps_record_the_source_and_stay_deterministic_across_workers(

@@ -299,6 +299,83 @@ def test_tuned_config_upsert_is_last_writer_wins(store):
     assert found["search"] == "guided"
 
 
+def test_reduced_space_rows_never_shadow_full_space_bests(store):
+    """A quick (reduced-space) tune run against a shared store writes its
+    own space-keyed row; lookups serve the best row of the cell, so the
+    full-space recommendation survives — planners never silently resolve
+    a degraded config because a --quick run came later."""
+    full_space = {"outputs_per_thread": list(range(1, 9)),
+                  "block_threads": [64, 128, 256, 512]}
+    quick_space = {"outputs_per_thread": [2, 4], "block_threads": [128, 256]}
+    store.put_tuned_config(plan_kwargs={"outputs_per_thread": 7,
+                                        "block_threads": 64},
+                           model_ms=1.0, search="exhaustive",
+                           space=full_space, **TUNED_KEY)
+    store.put_tuned_config(plan_kwargs={"outputs_per_thread": 2,
+                                        "block_threads": 256},
+                           model_ms=1.6, search="guided",
+                           space=quick_space, **TUNED_KEY)
+    assert store.tuned_config_count() == 2, "distinct spaces, distinct rows"
+    found = store.best_config("conv2d", "p100", "float32")
+    assert found["plan_kwargs"] == {"outputs_per_thread": 7,
+                                    "block_threads": 64}
+    assert found["space"] == full_space
+    assert found["space_size"] == 32
+    # re-running over the same space still refreshes that row in place
+    store.put_tuned_config(plan_kwargs={"outputs_per_thread": 6,
+                                        "block_threads": 64},
+                           model_ms=0.9, search="guided",
+                           space=full_space, **TUNED_KEY)
+    assert store.tuned_config_count() == 2
+    found = store.best_config("conv2d", "p100", "float32")
+    assert found["plan_kwargs"] == {"outputs_per_thread": 6,
+                                    "block_threads": 64}
+    assert found["search"] == "guided"
+
+
+def test_v2_store_migrates_to_v3_space_keyed(store, tmp_path):
+    """A v2 (pre-space) store rebuilds its tuned_configs table in place:
+    old rows survive under the empty space digest and rank below any row
+    that records the space it explored."""
+    store.upsert(KEY_A, {"v": 1})   # force schema creation before surgery
+    store.close()
+    path = str(tmp_path / "results.sqlite")
+    with sqlite3.connect(path) as conn:
+        conn.execute("DROP TABLE tuned_configs")
+        conn.execute(
+            "CREATE TABLE tuned_configs ("
+            " scenario TEXT NOT NULL, architecture TEXT NOT NULL,"
+            " precision TEXT NOT NULL, size_class TEXT NOT NULL,"
+            " code_version TEXT NOT NULL, plan_kwargs TEXT NOT NULL,"
+            " model_ms REAL, default_model_ms REAL, speedup REAL,"
+            " search TEXT, confirmed INTEGER, tune_digest TEXT,"
+            " created_at REAL NOT NULL,"
+            " PRIMARY KEY (scenario, architecture, precision, size_class,"
+            " code_version))")
+        conn.execute(
+            "INSERT INTO tuned_configs VALUES"
+            " ('conv2d','p100','float32','paper','cv0',"
+            " '{\"block_threads\": 64}',2.0,NULL,NULL,'exhaustive',NULL,"
+            " NULL,1.0)")
+        conn.execute("UPDATE meta SET value='2' WHERE key='schema_version'")
+    upgraded = ResultStore(path, code_version=lambda: "cv0")
+    assert upgraded.schema_version() == STORE_SCHEMA_VERSION
+    found = upgraded.best_config("conv2d", "p100", "float32")
+    assert found["plan_kwargs"] == {"block_threads": 64}
+    assert found["space_digest"] == ""
+    assert found["space"] is None and found["space_size"] == 0
+    # a space-recording row with a better predicted time takes over
+    upgraded.put_tuned_config(plan_kwargs={"block_threads": 128},
+                              model_ms=1.5,
+                              space={"block_threads": [64, 128, 256, 512]},
+                              **TUNED_KEY)
+    assert upgraded.tuned_config_count() == 2
+    assert upgraded.best_config("conv2d", "p100",
+                                "float32")["plan_kwargs"] == {
+                                    "block_threads": 128}
+    upgraded.close()
+
+
 def test_tuned_configs_are_code_version_scoped(tmp_path):
     version = ["cv0"]
     store = ResultStore(str(tmp_path / "s.sqlite"),

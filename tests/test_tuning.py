@@ -278,6 +278,24 @@ def test_guided_session_walks_to_the_optimum_within_budget():
     assert session.evaluations <= 12   # floor(0.4 * 32)
 
 
+def test_guided_budget_smaller_than_first_sweep_still_evaluates_the_seed():
+    """When the per-cell budget is smaller than the opening axis sweep, the
+    seed leads the batch so truncation can never cut it off — best() then
+    always has the (clamped) paper default to fall back on."""
+    from repro.tuning.search import GuidedSearch, point_key
+
+    space = DesignSpace()          # 32 points; opening P sweep has 8
+    points = space.candidates(("outputs_per_thread", "block_threads"))
+    session = GuidedSearch(budget_fraction=4 / 32).session(points,
+                                                           seed=PAPER_DEFAULT)
+    batch = session.propose()
+    assert len(batch) == 4, "the budget caps the opening sweep"
+    assert batch[0] == PAPER_DEFAULT, "the seed must survive truncation"
+    session.observe({point_key(p): 1.0 for p in batch})
+    assert session.propose() == []          # budget exhausted
+    assert PAPER_DEFAULT in session.evaluated_points()
+
+
 def test_guided_matches_the_exhaustive_oracle_on_pinned_cells(tmp_path):
     """Acceptance: on a pinned cell subset the guided search lands on the
     same best configuration as exhaustive enumeration while spending at
@@ -418,6 +436,34 @@ def test_run_tuning_persists_rows_the_resolver_serves(tmp_path):
     assert found["model_ms"] == measurement.extra["best_model_ms"]
     # outside the context manager the database is invisible again
     assert lookup_tuned_config("conv2d", "p100", "float32") is None
+
+
+def test_quick_rerun_never_clobbers_a_full_space_recommendation(tmp_path):
+    """A --quick (reduced-space) tune against the same shared cache writes
+    its own space-keyed row; the resolver keeps serving the full-space
+    best, so planner defaults never silently degrade."""
+    from repro.core.launch_defaults import (
+        lookup_tuned_config,
+        tuning_database,
+    )
+
+    cache = SimulationCache(str(tmp_path / "c"))
+    kwargs = dict(scenarios=["conv2d"], architectures=["p100"],
+                  precisions=["float32"], confirm=False, cache=cache)
+    full = run_tuning(**kwargs)
+    (full_m,) = full.measurements
+    # a degenerate space: only the paper default, so its best can never
+    # beat the full grid's
+    run_tuning(space=DesignSpace(outputs_per_thread=(4,),
+                                 block_threads=(128,)), **kwargs)
+    with tuning_database(cache.directory):
+        found = lookup_tuned_config("conv2d", "p100", "float32")
+    assert found is not None
+    assert found["plan_kwargs"] == full_m.extra["best_plan_kwargs"]
+    assert found["model_ms"] == full_m.extra["best_model_ms"]
+    store = cache.result_store()
+    assert store.tuned_config_count() == 2, (
+        "the reduced-space run keeps its own row instead of clobbering")
 
 
 def test_uncached_tuning_runs_persist_nothing(tmp_path):
