@@ -1,4 +1,4 @@
-"""Per-PR benchmark artifact: emit ``BENCH_9.json`` at the repo root.
+"""Per-PR benchmark artifact: emit ``BENCH_10.json`` at the repo root.
 
 Measures the quantities this PR's acceptance criteria pin:
 
@@ -23,6 +23,11 @@ Measures the quantities this PR's acceptance criteria pin:
   (quick: a pinned subset), plus the ``best_config`` lookup latency of the
   persistent tuning database — the cost a warm planner pays to resolve
   tuned defaults.
+* **static analysis** — per-scenario wall-clock of the trace-IR verifier
+  (record + interval analysis + race/bounds/lint checks + the
+  static-vs-dynamic counter cross-check), one cell per analyzable scenario
+  per architecture (quick: p100 only), with the finding count — the cost
+  the ``analyze`` experiment and the CI analyze gate pay per cell.
 
 Run from the repo root::
 
@@ -31,7 +36,7 @@ Run from the repo root::
 
 The artifact is committed at the repo root so the perf trajectory is
 reviewable per PR; CI regenerates it at ``--quick`` scale and uploads it.
-``BENCH_8.json`` (the PR-8 artifact) stays committed for the trajectory.
+``BENCH_9.json`` (the PR-9 artifact) stays committed for the trajectory.
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
-SCHEMA = "ssam-bench/PR9"
+SCHEMA = "ssam-bench/PR10"
 
 #: the post-paper parts added by PR 8; the registry loop below measures
 #: every SSAM scenario on each of them
@@ -376,6 +381,55 @@ def measure_tuning(quick: bool) -> Dict[str, object]:
     return out
 
 
+def measure_analysis(quick: bool) -> Dict[str, object]:
+    """Wall-clock of the static verifier per analyzable scenario.
+
+    Each cell runs the full ``analyze`` path: record the replay traces,
+    run the interval/race/bounds/lint passes, and cross-check the static
+    counter predictions against the dynamic engine.  Quick covers p100
+    only; the full artifact covers every supported architecture, matching
+    the CI analyze gate.
+    """
+    import repro.scenarios.builtin  # noqa: F401  (populate the registry)
+    from repro.analysis.scenario import (
+        ANALYZE_ARCHITECTURES,
+        analyze_scenario,
+        supports_analysis,
+    )
+    from repro.scenarios import all_scenarios
+
+    architectures = ("p100",) if quick else ANALYZE_ARCHITECTURES
+    scenarios: Dict[str, object] = {}
+    total_findings = 0
+    total_seconds = 0.0
+    for entry in all_scenarios():
+        if not supports_analysis(entry):
+            continue
+        per_arch: Dict[str, Dict[str, object]] = {}
+        for arch in architectures:
+            if arch not in entry.architectures:
+                continue
+            start = time.perf_counter()
+            analysis = analyze_scenario(entry.name, architecture=arch)
+            seconds = time.perf_counter() - start
+            per_arch[arch] = {
+                "seconds": round(seconds, 6),
+                "traces": len(analysis.reports),
+                "findings": len(analysis.findings),
+                "ok": analysis.ok,
+            }
+            total_findings += len(analysis.findings)
+            total_seconds += seconds
+        scenarios[entry.name] = per_arch
+    return {
+        "architectures": list(architectures),
+        "scenarios": scenarios,
+        "cells": sum(len(v) for v in scenarios.values()),
+        "total_seconds": round(total_seconds, 3),
+        "total_findings": total_findings,
+    }
+
+
 def export(quick: bool = False) -> Dict[str, object]:
     throughput = measure_throughput(quick)
     pins = {
@@ -395,16 +449,17 @@ def export(quick: bool = False) -> Dict[str, object]:
         "sweep": measure_sweep(quick),
         "store": measure_store(quick),
         "tuning": measure_tuning(quick),
+        "analysis": measure_analysis(quick),
     }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Export the per-PR benchmark artifact (BENCH_9.json)")
+        description="Export the per-PR benchmark artifact (BENCH_10.json)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke scale: small domains, one repetition")
     parser.add_argument("--output", default=None, metavar="PATH",
-                        help="artifact path (default: BENCH_9.json at the "
+                        help="artifact path (default: BENCH_10.json at the "
                              "repo root)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a speedup pin is missed "
@@ -413,7 +468,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     payload = export(quick=args.quick)
     output = args.output or str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_9.json")
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_10.json")
     with open(output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -437,6 +492,10 @@ def main(argv=None) -> int:
           f"evaluations ({tuning['guided_fraction_of_exhaustive']:.0%}), "
           f"best_config "
           f"{tuning['best_config_lookup']['store_microseconds']}us/lookup")
+    analysis = payload["analysis"]
+    print(f"  analysis: {analysis['cells']} scenario x architecture cells "
+          f"verified in {analysis['total_seconds']}s, "
+          f"{analysis['total_findings']} finding(s)")
     if args.check and not args.quick:
         if not all(pin["ok"] for pin in payload["pins"].values()):
             return 1

@@ -6,7 +6,6 @@ block-execution throughput of the simulator.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.performance_model import advantage_table
 from repro.experiments import model_validation

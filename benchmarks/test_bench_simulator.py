@@ -9,7 +9,6 @@ a >= 5x speedup of the batched engine over the legacy per-block loop.
 import time
 
 import numpy as np
-import pytest
 
 from repro.convolution.spec import ConvolutionSpec
 from repro.kernels.conv2d_ssam import ssam_convolve2d

@@ -5,9 +5,7 @@ regeneration harness and prints the rows the paper reports so that the
 output can be compared side by side with the original tables.
 """
 
-import pytest
 
-from repro.analysis.tables import format_table
 from repro.experiments import table1, table2, table3
 
 

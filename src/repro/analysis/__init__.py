@@ -1,4 +1,15 @@
-"""Metrics, comparisons and report formatting."""
+"""Metrics, report formatting, and the static kernel verifier.
+
+Besides the original metric helpers and table formatters, this package
+hosts the trace-IR static analysis: an interval engine over kernel index
+expressions (:mod:`~repro.analysis.ranges`), a barrier-phase shared-memory
+race detector (:mod:`~repro.analysis.races`), an access bounds checker
+(:mod:`~repro.analysis.bounds`) and a performance lint that predicts the
+simulator's coalescing/bank-conflict counters statically and cross-checks
+them against the dynamic run (:mod:`~repro.analysis.lint`).  The one-call
+entry points are :func:`verify_trace` for a single recorded trace and
+:func:`analyze_scenario` for a whole registered scenario.
+"""
 
 from .metrics import (
     crossover_points,
@@ -8,7 +19,11 @@ from .metrics import (
     speedup,
     winner,
 )
+from .ranges import Interval, RangeAnalysis
+from .report import Finding, TraceReport
+from .scenario import ScenarioAnalysis, analyze_scenario, run_analyze
 from .tables import format_series, format_table
+from .verify import verify_trace
 
 __all__ = [
     "crossover_points",
@@ -19,4 +34,12 @@ __all__ = [
     "winner",
     "format_series",
     "format_table",
+    "Interval",
+    "RangeAnalysis",
+    "Finding",
+    "TraceReport",
+    "ScenarioAnalysis",
+    "analyze_scenario",
+    "run_analyze",
+    "verify_trace",
 ]

@@ -1,0 +1,90 @@
+"""Barrier-phase partitioning and memory-access extraction from a trace.
+
+The race detector, bounds checker and performance lint all consume the same
+view of a recorded kernel body: the ordered list of global/shared memory
+accesses, each tagged with its *phase* — the number of ``syncthreads``
+barriers executed before it.  Accesses in different phases of the same
+shared allocation are ordered by a barrier and can never race; everything
+the verifier proves is phase-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..trace.ir import Trace
+
+#: address spaces
+GLOBAL = "global"
+SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access node in phase/program order."""
+
+    node: int                 #: trace node id of the access
+    phase: int                #: barrier-delimited phase (syncs before it)
+    space: str                #: GLOBAL or SHARED
+    is_store: bool
+    index: int                #: node id of the flat index expression
+    mask: Optional[int]       #: node id of the guard mask, if masked
+    value: Optional[int]      #: node id of the stored value (stores only)
+    slot: Optional[int] = None    #: argument slot (global accesses)
+    alloc: Optional[int] = None   #: alloc_shared node id (shared accesses)
+    uniform: bool = False         #: warp-uniform shared access
+
+    @property
+    def extent_key(self) -> Tuple[str, int]:
+        """Grouping key: which address range this access touches."""
+        if self.space == GLOBAL:
+            return (GLOBAL, self.slot)
+        return (SHARED, self.alloc)
+
+
+def extract_accesses(trace: Trace) -> Tuple[List[Access], int]:
+    """``(accesses, num_phases)`` of a recorded trace, in program order."""
+    accesses: List[Access] = []
+    phase = 0
+    for node in trace.nodes:
+        if node.op == "sync":
+            phase += 1
+            continue
+        masked = bool(node.params.get("masked"))
+        if node.op == "load_global":
+            accesses.append(Access(
+                node=node.id, phase=phase, space=GLOBAL, is_store=False,
+                index=node.inputs[0],
+                mask=node.inputs[1] if masked else None,
+                value=None, slot=node.params["slot"]))
+        elif node.op == "store_global":
+            accesses.append(Access(
+                node=node.id, phase=phase, space=GLOBAL, is_store=True,
+                index=node.inputs[0],
+                mask=node.inputs[2] if masked else None,
+                value=node.inputs[1], slot=node.params["slot"]))
+        elif node.op == "load_shared":
+            accesses.append(Access(
+                node=node.id, phase=phase, space=SHARED, is_store=False,
+                index=node.inputs[0],
+                mask=node.inputs[1] if masked else None,
+                value=None, alloc=node.params["shared"],
+                uniform=bool(node.params.get("uniform"))))
+        elif node.op == "store_shared":
+            accesses.append(Access(
+                node=node.id, phase=phase, space=SHARED, is_store=True,
+                index=node.inputs[0],
+                mask=node.inputs[2] if masked else None,
+                value=node.inputs[1], alloc=node.params["shared"],
+                uniform=bool(node.params.get("uniform"))))
+    return accesses, phase + 1
+
+
+def access_extent(trace: Trace, access: Access) -> Tuple[str, int]:
+    """``(buffer_name, size_in_elements)`` of the accessed region."""
+    if access.space == GLOBAL:
+        info = trace.slot_info[access.slot]
+        return str(info["name"]), int(info["size"])
+    params = trace.nodes[access.alloc].params
+    return str(params["name"]), int(params["size"])

@@ -1,0 +1,129 @@
+"""Static bounds checking of every global/shared memory access.
+
+For each access the checker first tries to *prove* the index within the
+allocation extent by interval reasoning (mask constraints refine the
+range); failing a proof it evaluates the index concretely over the grid and
+checks exactly.  The eager engines raise on any out-of-range lane — even a
+masked-off one — so a violation that only occurs on inactive lanes is
+reported as a warning (it crashes the simulator but carries no live data),
+while an active-lane violation is an error with the offending block/thread
+and the violating range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..trace.ir import Trace
+from .accesses import Access
+from .concrete import index_matrix, mask_matrix
+from .ranges import Interval, RangeAnalysis
+from .report import BOUNDS, ERROR, WARNING, Finding
+
+
+def _describe(access: Access) -> str:
+    kind = "store" if access.is_store else "load"
+    return f"{access.space} {kind}"
+
+
+def _concrete_check(trace: Trace, access: Access, name: str, size: int,
+                    idx: np.ndarray, mask: Optional[np.ndarray],
+                    full_coverage: bool) -> Optional[Finding]:
+    oob = (idx < 0) | (idx >= size)
+    if not oob.any():
+        if full_coverage:
+            return None
+        return Finding(
+            category=BOUNDS, severity=WARNING,
+            message=(f"{_describe(access)} on {name!r} could not be proven "
+                     f"in bounds: concrete check passed on a sample of "
+                     f"blocks only and the index range is not statically "
+                     f"bounded by the extent {size}"),
+            node=access.node, phase=access.phase,
+            detail={"buffer": name, "size": size, "sampled": True})
+    lo, hi = int(idx.min()), int(idx.max())
+    blocks, threads = np.nonzero(oob)
+    block, thread = int(blocks[0]), int(threads[0])
+    value = int(idx[block, thread])
+    active_oob = oob if mask is None else (oob & mask)
+    if mask is not None and not active_oob.any():
+        return Finding(
+            category=BOUNDS, severity=WARNING,
+            message=(f"{_describe(access)} on {name!r} computes index "
+                     f"{value} outside [0, {size}) on masked-off lanes "
+                     f"(block {block}, thread {thread}); the eager engines "
+                     f"reject out-of-range addresses even when inactive"),
+            node=access.node, phase=access.phase,
+            detail={"buffer": name, "size": size, "block": block,
+                    "thread": thread, "index": value,
+                    "index_range": [lo, hi], "masked_only": True})
+    if mask is not None:
+        blocks, threads = np.nonzero(active_oob)
+        block, thread = int(blocks[0]), int(threads[0])
+        value = int(idx[block, thread])
+    return Finding(
+        category=BOUNDS, severity=ERROR,
+        message=(f"out-of-bounds {_describe(access)} on {name!r}: index "
+                 f"{value} at block {block}, thread {thread} is outside "
+                 f"[0, {size}) (observed index range [{lo}, {hi}])"),
+        node=access.node, phase=access.phase,
+        detail={"buffer": name, "size": size, "block": block,
+                "thread": thread, "index": value, "index_range": [lo, hi],
+                "masked_only": False})
+
+
+def _interval_check(access: Access, name: str, size: int,
+                    guarded: Interval, plain: Interval) -> Optional[Finding]:
+    extent = Interval(0.0, float(size - 1))
+    if guarded.empty or not guarded.overlaps(extent):
+        if guarded.empty:
+            return None  # unsatisfiable mask: no live access
+        return Finding(
+            category=BOUNDS, severity=ERROR,
+            message=(f"out-of-bounds {_describe(access)} on {name!r}: the "
+                     f"index range [{guarded.lo:g}, {guarded.hi:g}] is "
+                     f"entirely outside [0, {size})"),
+            node=access.node, phase=access.phase,
+            detail={"buffer": name, "size": size,
+                    "index_range": guarded.to_tuple()})
+    return Finding(
+        category=BOUNDS, severity=WARNING,
+        message=(f"{_describe(access)} on {name!r} could not be proven in "
+                 f"bounds: data-dependent index with range "
+                 f"[{plain.lo:g}, {plain.hi:g}] against extent {size}"),
+        node=access.node, phase=access.phase,
+        detail={"buffer": name, "size": size,
+                "index_range": plain.to_tuple()})
+
+
+def check_bounds(trace: Trace, ranges: RangeAnalysis,
+                 env: Dict[int, np.ndarray], accesses: List[Access],
+                 num_blocks: int, full_coverage: bool) -> List[Finding]:
+    """Bounds findings for every access of one trace."""
+    from .accesses import access_extent
+
+    threads = trace.block_threads
+    findings: List[Finding] = []
+    for access in accesses:
+        name, size = access_extent(trace, access)
+        guarded = ranges.guarded_interval(access.index, access.mask)
+        plain = ranges.interval(access.index)
+        # interval proof covers the whole grid in one shot
+        if (not plain.empty and plain.lo >= 0.0
+                and plain.hi <= float(size - 1)):
+            continue
+        idx = index_matrix(env, access.index, num_blocks, threads)
+        if idx is not None:
+            mask = mask_matrix(env, access.mask, num_blocks, threads)
+            finding = _concrete_check(trace, access, name, size, idx, mask,
+                                      full_coverage)
+        elif (not guarded.empty and guarded.lo >= 0.0
+                and guarded.hi <= float(size - 1)):
+            continue  # every *active* lane is proven in bounds
+        else:
+            finding = _interval_check(access, name, size, guarded, plain)
+        if finding is not None:
+            findings.append(finding)
+    return findings

@@ -1,0 +1,119 @@
+"""Concrete re-evaluation of a trace's data-free slice over chosen blocks.
+
+Where :mod:`repro.analysis.ranges` abstracts index expressions into
+intervals, this module *executes* them — mirroring the eager batched
+context's arithmetic semantics exactly — for an explicit set of block
+indices.  The race detector and bounds checker use the resulting per-thread
+index matrices for exact pairwise overlap checks whenever every index and
+mask feeding an access is data-free (the common case for the SSAM kernels);
+the performance lint replays the same matrices through the simulator's own
+coalescing/bank-conflict accounting.
+
+The environment maps node id -> ndarray broadcastable against the
+``(num_blocks, block_threads)`` register shape: scalars for ``CONST``
+values, ``(T,)`` rows for block-uniform values, ``(B, 1)`` columns for the
+block-index inputs and ``(B, T)`` matrices for mixed expressions — the same
+shape discipline the replay compiler relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..gpu import warp as warp_ops
+from ..trace.ir import Trace
+from ..trace.tracer import _astype_fn
+from .ranges import compute_data_free
+
+_AXIS = {"bx": 0, "by": 1, "bz": 2}
+
+
+def _shfl(values: np.ndarray, direction: str, amount: int,
+          num_blocks: int, block_threads: int, warp_size: int) -> np.ndarray:
+    """Apply one shuffle with the exact :mod:`repro.gpu.warp` semantics."""
+    full = np.broadcast_to(np.asarray(values),
+                           (num_blocks, block_threads)).copy()
+    if direction == "up":
+        out = warp_ops.shfl_up(full, amount, warp_size)
+    elif direction == "down":
+        out = warp_ops.shfl_down(full, amount, warp_size)
+    else:
+        out = warp_ops.shfl_idx(full, amount, warp_size)
+    return out
+
+
+def evaluate_data_free(trace: Trace, block_indices: np.ndarray
+                       ) -> Dict[int, np.ndarray]:
+    """Concrete values of every data-free node for the given blocks.
+
+    ``block_indices`` is a ``(B, 3)`` int64 matrix of ``(bx, by, bz)``
+    triples — typically :func:`repro.trace.replay._block_index_matrix` over
+    the full grid, so the checks cover blocks the recorded chunk never
+    executed.  Nodes that are not data-free (loads, and anything derived
+    from them) are absent from the returned environment.
+    """
+    block_indices = np.asarray(block_indices, dtype=np.int64)
+    num_blocks = block_indices.shape[0]
+    threads = trace.block_threads
+    dtype = trace.numpy_dtype
+    data_free = compute_data_free(trace)
+    env: Dict[int, np.ndarray] = {}
+    for node in trace.nodes:
+        if not data_free[node.id]:
+            continue
+        if node.op == "const":
+            env[node.id] = np.asarray(node.value)
+        elif node.op == "input":
+            name = node.params["name"]
+            if name in _AXIS:
+                env[node.id] = block_indices[:, _AXIS[name]:_AXIS[name] + 1]
+            else:
+                env[node.id] = np.asarray(node.value)
+        elif node.op == "pure":
+            operands = [env[i] for i in node.inputs]
+            if node.fn is _astype_fn:
+                env[node.id] = _astype_fn(operands[0], **node.kwargs)
+            else:
+                env[node.id] = node.fn(*operands, **node.kwargs)
+        elif node.op == "arith":
+            kind = node.params["kind"]
+            a = np.asarray(env[node.inputs[0]], dtype=dtype)
+            b = np.asarray(env[node.inputs[1]], dtype=dtype)
+            if kind == "mad":
+                env[node.id] = a * b + env[node.inputs[2]]
+            elif kind == "add":
+                env[node.id] = a + b
+            else:
+                env[node.id] = a * b
+        elif node.op == "shfl":
+            env[node.id] = _shfl(env[node.inputs[0]], node.params["dir"],
+                                 node.params["amount"], num_blocks, threads,
+                                 trace.warp_size)
+    return env
+
+
+def index_matrix(env: Dict[int, np.ndarray], node_id: int,
+                 num_blocks: int, block_threads: int) -> Optional[np.ndarray]:
+    """``(B, T)`` int64 index matrix of a data-free index node, else None."""
+    value = env.get(node_id)
+    if value is None:
+        return None
+    arr = np.asarray(value, dtype=np.int64)
+    return np.broadcast_to(arr, (num_blocks, block_threads))
+
+
+def mask_matrix(env: Dict[int, np.ndarray], node_id: Optional[int],
+                num_blocks: int, block_threads: int) -> Optional[np.ndarray]:
+    """``(B, T)`` bool mask matrix; all-True when the access is unmasked.
+
+    Returns ``None`` when the mask node exists but is data-dependent.
+    """
+    if node_id is None:
+        return np.ones((num_blocks, block_threads), dtype=bool)
+    value = env.get(node_id)
+    if value is None:
+        return None
+    arr = np.asarray(value, dtype=bool)
+    return np.broadcast_to(arr, (num_blocks, block_threads))

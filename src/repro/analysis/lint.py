@@ -1,0 +1,267 @@
+"""Static performance lint: predicted counters + dynamic cross-check.
+
+``predict_counters`` replays a trace's data-free index/mask matrices
+through the *same* accounting helpers the batched engine uses
+(:func:`~repro.gpu.memory.rowwise_unique_counts`,
+:func:`~repro.gpu.memory.coalesced_transactions_matrix`,
+:func:`~repro.gpu.shared_memory.bank_conflict_profile`,
+:func:`~repro.gpu.simt.grouped_warp_counts`), so on a fully data-free
+kernel the static prediction is **bit-identical** to the dynamic counters
+of the recorded chunk — any disagreement is a verifier or engine bug and
+is reported as a ``divergence`` finding.  Counter fields fed by
+data-dependent indices or masks are listed as unpredicted and excluded.
+
+On top of the prediction the lint flags statically visible inefficiencies:
+shared-memory accesses whose worst warp exceeds the natural conflict
+degree of the element width, and global accesses whose worst warp touches
+more than twice the ideal sector count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpu.memory import (
+    _SENTINEL,
+    rowwise_unique_counts,
+)
+from ..gpu.shared_memory import bank_conflict_profile
+from ..gpu.simt import grouped_warp_counts
+from ..trace.ir import Trace
+from .accesses import Access, GLOBAL, extract_accesses
+from .concrete import index_matrix, mask_matrix
+from .report import DIVERGENCE, ERROR, PERF, WARNING, Finding
+
+#: counter fields a global load contributes to
+_GLOBAL_LOAD_FIELDS = ("gmem_load", "gmem_load_transactions",
+                       "cache_read_bytes", "dram_read_bytes",
+                       "divergent_branches")
+#: counter fields a global store contributes to
+_GLOBAL_STORE_FIELDS = ("gmem_store", "gmem_store_transactions",
+                        "dram_write_bytes", "divergent_branches")
+#: counter fields a shared load contributes to
+_SHARED_LOAD_FIELDS = ("smem_load", "smem_broadcast", "smem_bank_conflicts",
+                       "smem_read_bytes")
+#: counter fields a shared store contributes to
+_SHARED_STORE_FIELDS = ("smem_store", "smem_bank_conflicts",
+                        "smem_write_bytes")
+
+
+class CounterPrediction:
+    """Statically predicted counters for one recorded chunk."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        #: fields whose total includes a data-dependent access
+        self.unpredicted: set = set()
+        self.findings: List[Finding] = []
+
+    def bump(self, field: str, amount) -> None:
+        self.counters[field] = self.counters.get(field, 0.0) + float(amount)
+
+    def give_up(self, fields) -> None:
+        self.unpredicted.update(fields)
+
+
+def _warp_matrix(values: np.ndarray, warp_size: int) -> np.ndarray:
+    return np.ascontiguousarray(values).reshape(-1, warp_size)
+
+
+def _active_warps(prediction: CounterPrediction,
+                  mask: Optional[np.ndarray], num_blocks: int,
+                  num_warps: int, warp_size: int) -> int:
+    if mask is None:
+        return num_blocks * num_warps
+    active, divergent = grouped_warp_counts(mask, warp_size)
+    prediction.bump("divergent_branches", divergent)
+    return active
+
+
+def _global_access(prediction: CounterPrediction, trace: Trace,
+                   access: Access, idx: Optional[np.ndarray],
+                   mask: Optional[np.ndarray], architecture,
+                   count_traffic: bool,
+                   traffic: Dict[int, List[np.ndarray]]) -> None:
+    fields = (_GLOBAL_STORE_FIELDS if access.is_store
+              else _GLOBAL_LOAD_FIELDS)
+    if idx is None or (access.mask is not None and mask is None):
+        prediction.give_up(fields)
+        return
+    info = trace.slot_info[access.slot]
+    itemsize = int(info["itemsize"])
+    warp_size = trace.warp_size
+    line_bytes = architecture.cache_line_bytes
+    warps = _active_warps(prediction, mask, idx.shape[0], trace.num_warps,
+                          warp_size)
+    lines = (idx * itemsize) // line_bytes
+    warp_mask = None if mask is None else _warp_matrix(mask, warp_size)
+    sector_counts = rowwise_unique_counts(_warp_matrix(lines, warp_size),
+                                          warp_mask)
+    active = idx.size if mask is None else int(mask.sum())
+    if access.is_store:
+        prediction.bump("gmem_store", warps)
+        prediction.bump("gmem_store_transactions", int(sector_counts.sum()))
+        if not info["cached"]:
+            prediction.bump("dram_write_bytes", float(active * itemsize))
+    else:
+        prediction.bump("gmem_load", warps)
+        prediction.bump("gmem_load_transactions", int(sector_counts.sum()))
+        prediction.bump("cache_read_bytes", float(active * itemsize))
+        if count_traffic and not info["cached"] and active:
+            chunk = (np.where(mask, lines, _SENTINEL) if mask is not None
+                     else np.ascontiguousarray(lines))
+            traffic.setdefault(access.slot, []).append(chunk)
+    # coalescing lint: worst warp vs the ideal fully-coalesced sector count
+    ideal = max(1, math.ceil(warp_size * itemsize / line_bytes))
+    worst = int(sector_counts.max()) if sector_counts.size else 0
+    if worst > 2 * ideal:
+        name = str(info["name"])
+        op = "store" if access.is_store else "load"
+        prediction.findings.append(Finding(
+            category=PERF, severity=WARNING,
+            message=(f"uncoalesced global {op} on {name!r}: worst warp "
+                     f"touches {worst} cache-line sectors "
+                     f"(fully coalesced: {ideal})"),
+            node=access.node, phase=access.phase,
+            detail={"buffer": name, "worst_sectors": worst,
+                    "ideal_sectors": ideal}))
+
+
+def _shared_profile(trace: Trace, access: Access, idx: np.ndarray,
+                    mask: Optional[np.ndarray], itemsize: int,
+                    architecture) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    warp_size = trace.warp_size
+    num_rows = idx.shape[0] * trace.num_warps
+    if access.uniform:
+        if mask is None:
+            active_counts = np.full(num_rows, warp_size, dtype=np.int64)
+        else:
+            active_counts = _warp_matrix(mask, warp_size).sum(axis=1)
+        broadcasts = active_counts > 0
+        degrees = broadcasts.astype(np.int64)
+        return degrees, broadcasts, active_counts
+    warp_mask = None if mask is None else _warp_matrix(mask, warp_size)
+    return bank_conflict_profile(
+        _warp_matrix(idx, warp_size), itemsize,
+        architecture.shared_memory_banks,
+        architecture.shared_memory_bank_bytes, warp_mask)
+
+
+def _shared_access(prediction: CounterPrediction, trace: Trace,
+                   access: Access, idx: Optional[np.ndarray],
+                   mask: Optional[np.ndarray], architecture) -> None:
+    fields = (_SHARED_STORE_FIELDS if access.is_store
+              else _SHARED_LOAD_FIELDS)
+    if idx is None or (access.mask is not None and mask is None):
+        prediction.give_up(fields)
+        return
+    params = trace.nodes[access.alloc].params
+    itemsize = int(params["itemsize"])
+    degrees, broadcasts, active_counts = _shared_profile(
+        trace, access, idx, mask, itemsize, architecture)
+    active_total = int(active_counts.sum())
+    if access.is_store:
+        store_degrees = degrees[active_counts > 0]
+        prediction.bump("smem_store", int(store_degrees.sum()))
+        prediction.bump("smem_bank_conflicts", int((store_degrees - 1).sum()))
+        prediction.bump("smem_write_bytes", float(active_total * itemsize))
+        lint_degrees = store_degrees
+    else:
+        occupied = active_counts > 0
+        conflict_degrees = degrees[occupied & ~broadcasts]
+        prediction.bump("smem_broadcast", int((broadcasts & occupied).sum()))
+        prediction.bump("smem_load", int(conflict_degrees.sum()))
+        prediction.bump("smem_bank_conflicts",
+                        int((conflict_degrees - 1).sum()))
+        prediction.bump("smem_read_bytes", float(active_total * itemsize))
+        lint_degrees = conflict_degrees
+    # bank-conflict lint: the natural degree of a wide element is
+    # itemsize // bank_bytes (fp64 splits into two words); anything beyond
+    # serialises the warp
+    natural = max(1, itemsize // architecture.shared_memory_bank_bytes)
+    worst = int(lint_degrees.max()) if lint_degrees.size else 0
+    if worst > natural:
+        name = str(params["name"])
+        op = "store" if access.is_store else "load"
+        prediction.findings.append(Finding(
+            category=PERF, severity=WARNING,
+            message=(f"shared-memory bank conflicts on {name!r}: {op} "
+                     f"serialises up to {worst}-way per warp (conflict-free "
+                     f"degree for {itemsize}-byte elements: {natural})"),
+            node=access.node, phase=access.phase,
+            detail={"buffer": name, "worst_degree": worst,
+                    "natural_degree": natural}))
+
+
+def predict_counters(trace: Trace, env: Dict[int, np.ndarray],
+                     num_blocks: int, architecture,
+                     count_traffic: bool = True) -> CounterPrediction:
+    """Predicted counters of executing ``num_blocks`` chunk blocks.
+
+    ``env`` must be the concrete data-free environment of exactly the
+    chunk's block indices (the recorded chunk when cross-checking against
+    captured dynamic counters).
+    """
+    prediction = CounterPrediction()
+    threads = trace.block_threads
+    issue_warps = num_blocks * trace.num_warps
+    prediction.bump("blocks_executed", num_blocks)
+    prediction.bump("warps_executed", issue_warps)
+    traffic: Dict[int, List[np.ndarray]] = {}
+    accesses, _phases = extract_accesses(trace)
+    by_node = {access.node: access for access in accesses}
+    for node in trace.nodes:
+        if node.op == "arith":
+            kind = node.params["kind"]
+            field = {"mad": "fma", "add": "add", "mul": "mul"}[kind]
+            prediction.bump(field, issue_warps)
+        elif node.op == "misc":
+            prediction.bump("misc",
+                            float(node.params["instructions"]) * issue_warps)
+        elif node.op == "sync":
+            prediction.bump("sync", issue_warps)
+        elif node.op == "shfl":
+            prediction.bump("shfl", issue_warps)
+        elif node.op in ("load_global", "store_global", "load_shared",
+                         "store_shared"):
+            access = by_node[node.id]
+            idx = index_matrix(env, access.index, num_blocks, threads)
+            mask = mask_matrix(env, access.mask, num_blocks, threads)
+            if access.space == GLOBAL:
+                _global_access(prediction, trace, access, idx, mask,
+                               architecture, count_traffic, traffic)
+            else:
+                _shared_access(prediction, trace, access, idx, mask,
+                               architecture)
+    if count_traffic and "dram_read_bytes" not in prediction.unpredicted:
+        line_bytes = architecture.cache_line_bytes
+        total = 0
+        for chunks in traffic.values():
+            concat = (chunks[0] if len(chunks) == 1
+                      else np.concatenate(chunks, axis=1))
+            total += int(rowwise_unique_counts(concat, None).sum())
+        prediction.bump("dram_read_bytes", float(total * line_bytes))
+    return prediction
+
+
+def cross_check(prediction: CounterPrediction,
+                dynamic: Dict[str, float]) -> List[Finding]:
+    """Exact static-vs-dynamic comparison; mismatches are findings."""
+    findings: List[Finding] = []
+    for field in sorted(set(prediction.counters) | set(dynamic)):
+        if field in prediction.unpredicted:
+            continue
+        static_value = prediction.counters.get(field, 0.0)
+        dynamic_value = float(dynamic.get(field, 0.0))
+        if static_value != dynamic_value:
+            findings.append(Finding(
+                category=DIVERGENCE, severity=ERROR,
+                message=(f"static≠dynamic counter divergence on "
+                         f"{field!r}: predicted {static_value:g}, "
+                         f"simulator measured {dynamic_value:g}"),
+                detail={"field": field, "static": static_value,
+                        "dynamic": dynamic_value}))
+    return findings

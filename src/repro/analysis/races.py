@@ -1,0 +1,213 @@
+"""Static shared-memory race detection over barrier-delimited phases.
+
+Two shared-memory accesses race when they are in the same barrier phase,
+touch the same address in some block, at least one is a store, and the
+touching threads can be distinct.  Index expressions of the SSAM kernels
+are data-free (pure functions of thread/block ids), so the detector checks
+overlap *exactly* by evaluating per-thread index matrices over the grid
+(:mod:`repro.analysis.concrete`); data-dependent indices degrade to a sound
+interval-overlap warning.
+
+Benign-by-construction overlaps are exempted:
+
+* two contacts on the same address by the *same* thread (a thread may
+  freely read back what it wrote);
+* concurrent writes of provably **equal values** to the same address (the
+  idempotent-broadcast pattern) — still reported when the values cannot be
+  proven equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..trace.ir import Trace
+from .accesses import SHARED, Access, access_extent
+from .concrete import index_matrix, mask_matrix
+from .ranges import RangeAnalysis
+from .report import ERROR, RACE, WARNING, Finding
+
+
+def _flatten_active(keys: np.ndarray, tids: np.ndarray,
+                    mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    return keys[mask], tids[mask]
+
+
+def _self_write_race(trace: Trace, access: Access, size: int,
+                     idx: np.ndarray, mask: np.ndarray,
+                     values: Optional[np.ndarray], name: str
+                     ) -> Optional[Finding]:
+    """Duplicate active targets within one store statement (W/W)."""
+    B, T = idx.shape
+    rows = np.broadcast_to(np.arange(B, dtype=np.int64)[:, None], (B, T))
+    tids = np.broadcast_to(np.arange(T, dtype=np.int64), (B, T))
+    keys, ktids = _flatten_active(rows * size + idx, tids, mask)
+    if keys.size < 2:
+        return None
+    order = np.argsort(keys, kind="stable")
+    keys, ktids = keys[order], ktids[order]
+    dup = keys[1:] == keys[:-1]
+    if values is not None:
+        vals = np.broadcast_to(values, (B, T))[mask][order]
+        dup = dup & (vals[1:] != vals[:-1])
+    if not dup.any():
+        return None
+    at = int(np.argmax(dup))
+    key = int(keys[at])
+    block, address = divmod(key, size)
+    threads = sorted({int(ktids[at]), int(ktids[at + 1])})
+    qualifier = ("different values" if values is not None
+                 else "values not statically comparable")
+    return Finding(
+        category=RACE, severity=ERROR,
+        message=(f"write/write race on {name!r}: store writes address "
+                 f"{address} from threads {threads} of block {block} in the "
+                 f"same statement ({qualifier})"),
+        node=access.node, phase=access.phase,
+        detail={"kind": "write-write", "buffer": name, "block": block,
+                "address": address, "threads": threads,
+                "nodes": [access.node]})
+
+
+def _unique_contacts(keys: np.ndarray, tids: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per distinct key: (keys, contact counts, a representative thread)."""
+    order = np.argsort(keys, kind="stable")
+    keys, tids = keys[order], tids[order]
+    uniq, first, counts = np.unique(keys, return_index=True,
+                                    return_counts=True)
+    return uniq, counts, tids[first]
+
+
+def _pair_race(trace: Trace, a: Access, b: Access, size: int,
+               idx_a: np.ndarray, mask_a: np.ndarray,
+               idx_b: np.ndarray, mask_b: np.ndarray,
+               values_a: Optional[np.ndarray],
+               values_b: Optional[np.ndarray], name: str
+               ) -> Optional[Finding]:
+    """Cross-statement same-phase conflict on a shared allocation."""
+    B, T = idx_a.shape
+    rows = np.broadcast_to(np.arange(B, dtype=np.int64)[:, None], (B, T))
+    tids = np.broadcast_to(np.arange(T, dtype=np.int64), (B, T))
+    keys_a, tids_a = _flatten_active(rows * size + idx_a, tids, mask_a)
+    keys_b, tids_b = _flatten_active(rows * size + idx_b, tids, mask_b)
+    if keys_a.size == 0 or keys_b.size == 0:
+        return None
+    ua, ca, ta = _unique_contacts(keys_a, tids_a)
+    ub, cb, tb = _unique_contacts(keys_b, tids_b)
+    common, ia, ib = np.intersect1d(ua, ub, assume_unique=True,
+                                    return_indices=True)
+    if common.size == 0:
+        return None
+    # a common address is benign only when its sole contact on each side is
+    # the identical thread
+    racy = (ca[ia] > 1) | (cb[ib] > 1) | (ta[ia] != tb[ib])
+    if not racy.any():
+        return None
+    both_stores = a.is_store and b.is_store
+    if both_stores and values_a is not None and values_b is not None:
+        va = np.broadcast_to(values_a, (B, T))
+        vb = np.broadcast_to(values_b, (B, T))
+        still_racy = []
+        for key in common[racy]:
+            block, address = divmod(int(key), size)
+            sa = va[block][mask_a[block] & (idx_a[block] == address)]
+            sb = vb[block][mask_b[block] & (idx_b[block] == address)]
+            written = np.concatenate([sa, sb])
+            if written.size and not np.all(written == written[0]):
+                still_racy.append(int(key))
+        if not still_racy:
+            return None
+        key = still_racy[0]
+    else:
+        key = int(common[racy][0])
+    block, address = divmod(key, size)
+    threads_a = np.unique(tids[mask_a & (idx_a == np.int64(address))
+                               & (rows == block)])
+    threads_b = np.unique(tids[mask_b & (idx_b == np.int64(address))
+                               & (rows == block)])
+    kind = ("write-write" if both_stores
+            else "read-write" if b.is_store else "write-read")
+    first_op = "store" if a.is_store else "load"
+    second_op = "store" if b.is_store else "load"
+    return Finding(
+        category=RACE, severity=ERROR,
+        message=(f"{kind} race on {name!r}: {first_op} (node {a.node}) and "
+                 f"{second_op} (node {b.node}) touch address {address} of "
+                 f"block {block} from distinct threads "
+                 f"{sorted(set(threads_a.tolist()) | set(threads_b.tolist()))[:6]} "
+                 f"with no barrier between them"),
+        node=b.node, phase=a.phase,
+        detail={"kind": kind, "buffer": name, "block": block,
+                "address": address, "nodes": [a.node, b.node],
+                "threads_first": threads_a.tolist()[:8],
+                "threads_second": threads_b.tolist()[:8]})
+
+
+def _interval_warning(trace: Trace, ranges: RangeAnalysis, a: Access,
+                      b: Access, name: str) -> Optional[Finding]:
+    """Sound fallback when either side is data-dependent."""
+    ia = ranges.guarded_interval(a.index, a.mask)
+    ib = ranges.guarded_interval(b.index, b.mask)
+    if not ia.overlaps(ib):
+        return None
+    return Finding(
+        category=RACE, severity=WARNING,
+        message=(f"potential race on {name!r}: accesses at nodes {a.node} "
+                 f"and {b.node} have data-dependent indices with "
+                 f"overlapping ranges [{ia.lo:g}, {ia.hi:g}] and "
+                 f"[{ib.lo:g}, {ib.hi:g}] in the same barrier phase"),
+        node=b.node, phase=a.phase,
+        detail={"kind": "data-dependent", "buffer": name,
+                "nodes": [a.node, b.node],
+                "range_first": ia.to_tuple(), "range_second": ib.to_tuple()})
+
+
+def check_races(trace: Trace, ranges: RangeAnalysis,
+                env: Dict[int, np.ndarray], accesses: List[Access],
+                num_blocks: int) -> List[Finding]:
+    """All shared-memory race findings of one trace.
+
+    ``env`` is the concrete data-free environment over ``num_blocks`` grid
+    blocks (see :func:`repro.analysis.concrete.evaluate_data_free`).
+    """
+    threads = trace.block_threads
+    findings: List[Finding] = []
+    shared = [a for a in accesses if a.space == SHARED]
+    by_group: Dict[Tuple[int, int], List[Access]] = {}
+    for access in shared:
+        by_group.setdefault((access.alloc, access.phase), []).append(access)
+
+    def matrices(access: Access):
+        idx = index_matrix(env, access.index, num_blocks, threads)
+        mask = mask_matrix(env, access.mask, num_blocks, threads)
+        value = (env.get(access.value)
+                 if access.value is not None else None)
+        return idx, mask, value
+
+    for (alloc, _phase), group in sorted(by_group.items()):
+        name, size = access_extent(trace, group[0])
+        for i, a in enumerate(group):
+            idx_a, mask_a, values_a = matrices(a)
+            if a.is_store:
+                if idx_a is not None and mask_a is not None:
+                    finding = _self_write_race(trace, a, size, idx_a, mask_a,
+                                               values_a, name)
+                    if finding is not None:
+                        findings.append(finding)
+            for b in group[i + 1:]:
+                if not (a.is_store or b.is_store):
+                    continue
+                idx_b, mask_b, values_b = matrices(b)
+                if (idx_a is not None and mask_a is not None
+                        and idx_b is not None and mask_b is not None):
+                    finding = _pair_race(trace, a, b, size, idx_a, mask_a,
+                                         idx_b, mask_b, values_a, values_b,
+                                         name)
+                else:
+                    finding = _interval_warning(trace, ranges, a, b, name)
+                if finding is not None:
+                    findings.append(finding)
+    return findings

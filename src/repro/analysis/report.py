@@ -1,0 +1,166 @@
+"""Typed findings and per-trace verification reports.
+
+A :class:`Finding` is one verifier conclusion — a shared-memory race, an
+out-of-bounds access, a performance smell, a static-vs-dynamic counter
+divergence or a coverage gap.  A :class:`TraceReport` aggregates every
+finding for one recorded kernel trace together with the static counter
+prediction and its cross-check against the dynamic simulator counters.
+Both round-trip losslessly to JSON (the store table, the CLI artifacts and
+the daemon endpoint all serialise through ``to_dict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: finding categories
+RACE = "race"
+BOUNDS = "bounds"
+PERF = "perf"
+DIVERGENCE = "divergence"
+COVERAGE = "coverage"
+
+CATEGORIES = (RACE, BOUNDS, PERF, DIVERGENCE, COVERAGE)
+
+#: severities
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier conclusion, anchored to a trace node and phase."""
+
+    category: str             #: one of :data:`CATEGORIES`
+    severity: str             #: ``"error"`` or ``"warning"``
+    message: str              #: human-readable one-liner
+    node: Optional[int] = None    #: trace node id the finding anchors to
+    phase: Optional[int] = None   #: barrier phase of the finding
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "category": self.category,
+            "severity": self.severity,
+            "message": self.message,
+            "node": self.node,
+            "phase": self.phase,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            category=str(data["category"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            node=data.get("node"),
+            phase=data.get("phase"),
+            detail=dict(data.get("detail") or {}),
+        )
+
+
+@dataclass
+class TraceReport:
+    """Verification result of one recorded kernel trace."""
+
+    kernel: str
+    architecture: str
+    grid_dim: Tuple[int, int, int]
+    block_threads: int
+    phases: int
+    nodes: int
+    accesses: int
+    findings: List[Finding] = field(default_factory=list)
+    #: statically predicted counter fields for the recorded chunk
+    predicted_counters: Dict[str, float] = field(default_factory=dict)
+    #: dynamic counters of the recorded chunk (when captured)
+    dynamic_counters: Optional[Dict[str, float]] = None
+    #: counter fields the static lint could not predict (data-dependent
+    #: index or mask feeds them) — excluded from the cross-check
+    unpredicted_fields: List[str] = field(default_factory=list)
+    #: whether the concrete checks covered every block of the grid
+    full_concrete_coverage: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """Zero findings of any severity."""
+        return not self.findings
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def by_category(self) -> Dict[str, int]:
+        counts = {category: 0 for category in CATEGORIES}
+        for finding in self.findings:
+            counts[finding.category] = counts.get(finding.category, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "architecture": self.architecture,
+            "grid_dim": list(self.grid_dim),
+            "block_threads": self.block_threads,
+            "phases": self.phases,
+            "nodes": self.nodes,
+            "accesses": self.accesses,
+            "findings": [f.to_dict() for f in self.findings],
+            "predicted_counters": dict(self.predicted_counters),
+            "dynamic_counters": (None if self.dynamic_counters is None
+                                 else dict(self.dynamic_counters)),
+            "unpredicted_fields": list(self.unpredicted_fields),
+            "full_concrete_coverage": self.full_concrete_coverage,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceReport":
+        return cls(
+            kernel=str(data["kernel"]),
+            architecture=str(data["architecture"]),
+            grid_dim=tuple(data["grid_dim"]),
+            block_threads=int(data["block_threads"]),
+            phases=int(data["phases"]),
+            nodes=int(data["nodes"]),
+            accesses=int(data["accesses"]),
+            findings=[Finding.from_dict(f) for f in data.get("findings", [])],
+            predicted_counters=dict(data.get("predicted_counters") or {}),
+            dynamic_counters=(None if data.get("dynamic_counters") is None
+                              else dict(data["dynamic_counters"])),
+            unpredicted_fields=list(data.get("unpredicted_fields") or []),
+            full_concrete_coverage=bool(
+                data.get("full_concrete_coverage", True)),
+        )
+
+    def render(self) -> str:
+        """Human-readable report for one trace."""
+        gx, gy, gz = self.grid_dim
+        lines = [
+            f"{self.kernel} on {self.architecture} "
+            f"grid=({gx},{gy},{gz}) threads={self.block_threads}: "
+            f"{self.nodes} nodes, {self.accesses} accesses, "
+            f"{self.phases} barrier phases",
+        ]
+        if not self.findings:
+            lines.append("  clean: no race/bounds/perf/divergence findings")
+        for finding in self.findings:
+            where = []
+            if finding.phase is not None:
+                where.append(f"phase {finding.phase}")
+            if finding.node is not None:
+                where.append(f"node {finding.node}")
+            location = f" [{', '.join(where)}]" if where else ""
+            lines.append(f"  {finding.severity.upper()} {finding.category}"
+                         f"{location}: {finding.message}")
+        if self.dynamic_counters is not None:
+            checked = sum(1 for k in self.predicted_counters
+                          if k not in self.unpredicted_fields)
+            lines.append(f"  cross-check: {checked} counter fields compared "
+                         f"against the dynamic engine"
+                         + (f" ({len(self.unpredicted_fields)} data-dependent"
+                            f" fields skipped)"
+                            if self.unpredicted_fields else ""))
+        return "\n".join(lines)

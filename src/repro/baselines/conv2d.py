@@ -39,7 +39,7 @@ from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
 from ..gpu.counters import KernelCounters
 from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
-from ..gpu.memory import DeviceBuffer, GlobalMemory
+from ..gpu.memory import DeviceBuffer
 from .cpu_reference import convolve2d_fft_reference
 from ..kernels.common import (
     KernelRunResult,

@@ -12,10 +12,10 @@ profiles.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..dtypes import Precision, resolve_precision
+from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from .register_cache import RegisterCachePlan
 

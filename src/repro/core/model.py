@@ -17,13 +17,13 @@ these programs, and tests assert that the realisations follow the program
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import networkx as nx
 
 from ..convolution.spec import ConvolutionSpec
-from ..errors import DependencyError, SpecificationError
+from ..errors import SpecificationError
 from ..stencils.spec import StencilSpec
 from .dependency import (
     convolution_dependency,

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from ..convolution.spec import ConvolutionSpec
 from ..dtypes import Precision, resolve_precision
-from ..errors import ConfigurationError
 from ..gpu.architecture import GPUArchitecture, get_architecture
 from ..gpu.kernel import LaunchConfig
 from ..gpu.occupancy import OccupancyResult, compute_occupancy, validate_block_threads

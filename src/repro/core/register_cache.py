@@ -15,7 +15,7 @@ from typing import Optional
 
 from ..dtypes import Precision, resolve_precision
 from ..errors import ConfigurationError, ResourceExhaustedError
-from ..gpu.architecture import GPUArchitecture, get_architecture
+from ..gpu.architecture import get_architecture
 from ..gpu.register_file import (
     BASE_REGISTER_OVERHEAD,
     REGISTER_ALLOCATION_GRANULARITY,

@@ -53,7 +53,7 @@ def _select(name: str) -> List[str]:
         return list(EXPERIMENTS)
     if name not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {name!r}; choose from "
-                         f"{sorted(EXPERIMENTS) + ['all', 'sweep', 'tune']}")
+                         f"{sorted(EXPERIMENTS) + ['all', 'analyze', 'sweep', 'tune']}")
     return [name]
 
 
@@ -72,12 +72,21 @@ def _tuning_module():
     return tuning
 
 
+def _analyze_module():
+    """The static kernel verifier (lazy: it populates the registry)."""
+    from ..analysis import scenario as analyze
+
+    return analyze
+
+
 def render_result(name: str, result: ExperimentResult) -> str:
     """Render one experiment result by name (including ``"sweep"``/``"tune"``)."""
     if name == "sweep":
         return _sweep_module().render(result)
     if name == "tune":
         return _tuning_module().render(result)
+    if name == "analyze":
+        return _analyze_module().render(result)
     return EXPERIMENTS[name].render(result)
 
 
@@ -116,6 +125,10 @@ def run_experiment_results(name: str = "all", quick: bool = False,
                                           confirm=tune_stage != "model",
                                           confirm_engine=confirm_engine,
                                           search=search)}
+    if name == "analyze":
+        analyze = _analyze_module()
+        return {"analyze": analyze.run_analyze(quick=quick, workers=jobs,
+                                               cache=cache)}
     names = _select(name)
     pending = []
     for key in names:
@@ -239,12 +252,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the SSAM paper's tables and figures on the simulated GPUs")
     parser.add_argument("--experiment", "-e", default="all",
-                        choices=sorted(EXPERIMENTS) + ["all", "sweep", "tune",
+                        choices=sorted(EXPERIMENTS) + ["all", "analyze",
+                                                       "sweep", "tune",
                                                        "serve"],
-                        help="which table/figure to regenerate, 'sweep' for a "
-                             "scenario-registry sweep, 'tune' for the "
-                             "launch-configuration autotuner, or 'serve' to "
-                             "run the sweep service daemon")
+                        help="which table/figure to regenerate, 'analyze' for "
+                             "the static kernel verifier over the scenario "
+                             "registry, 'sweep' for a scenario-registry "
+                             "sweep, 'tune' for the launch-configuration "
+                             "autotuner, or 'serve' to run the sweep service "
+                             "daemon")
     parser.add_argument("--quick", action="store_true",
                         help="use reduced sweeps for a fast smoke run")
     parser.add_argument("--matrix", default=None, metavar="SPEC",

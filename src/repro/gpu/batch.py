@@ -38,6 +38,7 @@ from ..dtypes import Precision, resolve_precision
 from ..errors import SimulationError
 from .architecture import GPUArchitecture
 from .block import _SIMTContextBase
+from .check import active_race_checker
 from .counters import KernelCounters
 from .memory import (
     _SENTINEL,
@@ -243,6 +244,9 @@ class BatchedBlockContext(_SIMTContextBase):
         self._thread_idx = np.arange(self.block_threads, dtype=np.int64)
         self._register_shape = (self.num_blocks, self.block_threads)
         self._issue_warps = self.num_blocks * self.num_warps
+        checker = active_race_checker()
+        self._race = (checker.attach(self.num_blocks, self.block_threads)
+                      if checker is not None else None)
         counters.blocks_executed += self.num_blocks
         counters.warps_executed += self.num_blocks * self.num_warps
 
@@ -392,6 +396,10 @@ class BatchedBlockContext(_SIMTContextBase):
         """
         flat_indices, lane_mask, degrees, broadcasts, active_counts, uniform = \
             self._smem_access(shared, flat_indices, mask, "load_shared")
+        if self._race is not None:
+            self._race.on_access(shared.name, shared.flat.shape[1],
+                                 flat_indices, lane_mask, None,
+                                 is_store=False)
         itemsize = shared.array.itemsize
         occupied = active_counts > 0
         broadcast_warps = int((broadcasts & occupied).sum())
@@ -437,6 +445,12 @@ class BatchedBlockContext(_SIMTContextBase):
         self.shared.bytes_written += float(active_total * itemsize)
         self.counters.smem_write_bytes += float(active_total * itemsize)
         values = np.broadcast_to(np.asarray(values), self._register_shape)
+        if self._race is not None:
+            self._race.on_access(shared.name, shared.flat.shape[1],
+                                 flat_indices, lane_mask,
+                                 values.astype(shared.array.dtype,
+                                               copy=False),
+                                 is_store=True)
         rows = np.broadcast_to(np.arange(self.num_blocks)[:, None], self._register_shape)
         if lane_mask is None:
             shared.flat[rows, flat_indices] = values.astype(shared.array.dtype,
@@ -444,6 +458,12 @@ class BatchedBlockContext(_SIMTContextBase):
         else:
             shared.flat[rows[lane_mask], flat_indices[lane_mask]] = \
                 values[lane_mask].astype(shared.array.dtype, copy=False)
+
+    # -------------------------------------------------------------- control
+    def syncthreads(self) -> None:
+        super().syncthreads()
+        if self._race is not None:
+            self._race.on_barrier()
 
     # ------------------------------------------------------------- finalize
     def finalize(self) -> None:

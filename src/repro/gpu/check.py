@@ -1,0 +1,207 @@
+"""Dynamic shared-memory race checking for the batched engine.
+
+The static verifier (:mod:`repro.analysis`) proves race freedom from the
+trace IR; this module is its *dynamic confirmation mode*: a
+phase-interleaving checker that observes every shared-memory access the
+batched engine actually executes and flags same-phase conflicts between
+distinct threads.  Enable it around any launch::
+
+    with shared_race_checking() as checker:
+        kernel.launch(config, args, ...)
+    assert not checker.events
+
+Within one barrier phase the checker tracks, per (block, address), the
+last writer, the stored value and the reader set.  A conflict is recorded
+when distinct threads touch one address and at least one writes — unless
+every write stores the same value (the idempotent-broadcast pattern, which
+the static detector exempts identically).  ``record_only=False`` raises
+:class:`SharedMemoryRaceError` on the first conflict instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: reader/writer cell states
+_EMPTY = -1      #: no access this phase
+_MANY = -2       #: accessed by multiple distinct threads this phase
+
+#: events recorded per checker before further conflicts are dropped
+MAX_EVENTS = 64
+
+
+class SharedMemoryRaceError(SimulationError):
+    """A dynamic shared-memory race was observed (``record_only=False``)."""
+
+
+class SharedMemoryRaceChecker:
+    """Collects race events across every context attached to it."""
+
+    def __init__(self, record_only: bool = True) -> None:
+        self.record_only = record_only
+        self.events: List[Dict[str, object]] = []
+
+    def attach(self, num_blocks: int, block_threads: int
+               ) -> "_ContextRaceState":
+        """Per-execution-context recorder feeding this checker's events."""
+        return _ContextRaceState(self, num_blocks, block_threads)
+
+    def report(self, event: Dict[str, object]) -> None:
+        if not self.record_only:
+            raise SharedMemoryRaceError(
+                f"shared-memory race on {event['shared']!r}: "
+                f"{event['kind']} at address {event['address']} of block "
+                f"{event['block']} between threads {event['threads']} in "
+                f"barrier phase {event['phase']}")
+        if len(self.events) < MAX_EVENTS:
+            self.events.append(event)
+
+
+class _ContextRaceState:
+    """Phase-local reader/writer tracking for one batched context."""
+
+    def __init__(self, checker: SharedMemoryRaceChecker, num_blocks: int,
+                 block_threads: int) -> None:
+        self.checker = checker
+        self.num_blocks = int(num_blocks)
+        self.block_threads = int(block_threads)
+        self.phase = 0
+        #: name -> (writers, readers, stored_values)
+        self._state: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._rows = np.broadcast_to(
+            np.arange(self.num_blocks, dtype=np.int64)[:, None],
+            (self.num_blocks, self.block_threads))
+        self._tids = np.broadcast_to(
+            np.arange(self.block_threads, dtype=np.int64),
+            (self.num_blocks, self.block_threads))
+
+    def _arrays(self, name: str, size: int
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        state = self._state.get(name)
+        if state is None:
+            writers = np.full((self.num_blocks, size), _EMPTY, dtype=np.int64)
+            readers = np.full((self.num_blocks, size), _EMPTY, dtype=np.int64)
+            stored = np.zeros((self.num_blocks, size), dtype=np.float64)
+            state = self._state[name] = (writers, readers, stored)
+        return state
+
+    def on_barrier(self) -> None:
+        self.phase += 1
+        for writers, readers, _stored in self._state.values():
+            writers.fill(_EMPTY)
+            readers.fill(_EMPTY)
+
+    def _report(self, kind: str, name: str, conflict: np.ndarray,
+                indices: np.ndarray, other: np.ndarray) -> None:
+        blocks, lanes = np.nonzero(conflict)
+        block, lane = int(blocks[0]), int(lanes[0])
+        address = int(indices[block, lane])
+        previous = int(other[block, lane])
+        threads = sorted({lane} | ({previous} if previous >= 0 else set()))
+        self.checker.report({
+            "kind": kind, "shared": name, "phase": self.phase,
+            "block": block, "address": address, "threads": threads,
+        })
+
+    def _conflicts_with(self, cells: np.ndarray) -> np.ndarray:
+        """Cells whose recorded thread is distinct from the current one."""
+        return (cells == _MANY) | ((cells >= 0) & (cells != self._tids))
+
+    def _mark_duplicates(self, table: np.ndarray, size: int,
+                         indices: np.ndarray, active: np.ndarray) -> None:
+        """Addresses touched by >1 lane this statement are multi-thread."""
+        keys = (self._rows * size + indices)[active]
+        if keys.size < 2:
+            return
+        keys.sort()
+        dup_keys = keys[1:][keys[1:] == keys[:-1]]
+        if dup_keys.size:
+            blocks, addresses = np.divmod(np.unique(dup_keys), size)
+            table[blocks, addresses] = _MANY
+
+    def on_access(self, name: str, size: int, indices: np.ndarray,
+                  lane_mask: Optional[np.ndarray],
+                  values: Optional[np.ndarray], is_store: bool) -> None:
+        writers, readers, stored = self._arrays(name, size)
+        shape = (self.num_blocks, self.block_threads)
+        indices = np.broadcast_to(np.asarray(indices, dtype=np.int64), shape)
+        active = (np.ones(shape, dtype=bool) if lane_mask is None
+                  else np.broadcast_to(lane_mask, shape))
+        prev_writer = writers[self._rows, indices]
+        writer_conflict = active & self._conflicts_with(prev_writer)
+        if is_store:
+            cast = np.broadcast_to(np.asarray(values), shape) \
+                .astype(np.float64, copy=False)
+            same_value = stored[self._rows, indices] == cast
+            ww = writer_conflict & ~same_value
+            if ww.any():
+                self._report("write-write", name, ww, indices, prev_writer)
+            prev_reader = readers[self._rows, indices]
+            war = active & self._conflicts_with(prev_reader)
+            if war.any():
+                self._report("write-after-read", name, war, indices,
+                             prev_reader)
+            # intra-statement duplicate targets are distinct threads by
+            # construction; differing values make them a race
+            self._intra_statement_store(name, size, indices, active, cast)
+            self._update(writers, indices, active)
+            self._mark_duplicates(writers, size, indices, active)
+            stored[self._rows[active], indices[active]] = cast[active]
+        else:
+            if writer_conflict.any():
+                self._report("read-after-write", name, writer_conflict,
+                             indices, prev_writer)
+            self._update(readers, indices, active)
+            self._mark_duplicates(readers, size, indices, active)
+
+    def _intra_statement_store(self, name: str, size: int,
+                               indices: np.ndarray, active: np.ndarray,
+                               values: np.ndarray) -> None:
+        keys = (self._rows * size + indices)[active]
+        if keys.size < 2:
+            return
+        vals = values[active]
+        tids = self._tids[active]
+        order = np.argsort(keys, kind="stable")
+        keys, vals, tids = keys[order], vals[order], tids[order]
+        racy = (keys[1:] == keys[:-1]) & (vals[1:] != vals[:-1])
+        if not racy.any():
+            return
+        at = int(np.argmax(racy))
+        block, address = divmod(int(keys[at]), size)
+        self.checker.report({
+            "kind": "write-write", "shared": name, "phase": self.phase,
+            "block": block, "address": address,
+            "threads": sorted({int(tids[at]), int(tids[at + 1])}),
+        })
+
+    def _update(self, table: np.ndarray, indices: np.ndarray,
+                active: np.ndarray) -> None:
+        current = table[self._rows, indices]
+        merged = np.where(current == _EMPTY, self._tids,
+                          np.where(current == self._tids, current, _MANY))
+        table[self._rows[active], indices[active]] = merged[active]
+
+
+_CHECKER_STACK: List[SharedMemoryRaceChecker] = []
+
+
+def active_race_checker() -> Optional[SharedMemoryRaceChecker]:
+    """The innermost enabled checker, if any (consulted by the engine)."""
+    return _CHECKER_STACK[-1] if _CHECKER_STACK else None
+
+
+@contextmanager
+def shared_race_checking(record_only: bool = True):
+    """Enable dynamic race checking for every launch inside the block."""
+    checker = SharedMemoryRaceChecker(record_only=record_only)
+    _CHECKER_STACK.append(checker)
+    try:
+        yield checker
+    finally:
+        _CHECKER_STACK.pop()

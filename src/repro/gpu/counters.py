@@ -9,7 +9,7 @@ closed-form traffic profiles used for paper-scale estimates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
 
 

@@ -21,7 +21,7 @@ the published core counts (64 FP32 cores per SM on both P100 and V100, a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Mapping
 
 from ..errors import ConfigurationError

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..dtypes import Precision, resolve_precision
+from ..dtypes import resolve_precision
 from ..errors import LaunchError, SimulationError
 
 _buffer_ids = itertools.count(1)

@@ -13,13 +13,12 @@ micro-benchmark does on hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
-from .architecture import GPUArchitecture, get_architecture
+from .architecture import get_architecture
 from .latency import INSTRUCTION_CLASSES
 from .warp import Warp, shfl_up
 

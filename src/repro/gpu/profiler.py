@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..dtypes import Precision, resolve_precision
+from ..dtypes import resolve_precision
 from .architecture import GPUArchitecture
 from .counters import KernelCounters
 from .occupancy import OccupancyResult

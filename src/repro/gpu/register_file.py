@@ -10,9 +10,8 @@ register-cache methods, so plans must be validated against the budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from ..dtypes import Precision, resolve_precision
+from ..dtypes import resolve_precision
 from ..errors import ResourceExhaustedError
 from .architecture import GPUArchitecture
 

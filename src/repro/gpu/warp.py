@@ -20,7 +20,6 @@ CUDA semantics reproduced here:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -13,10 +13,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..dtypes import Precision, resolve_precision
+from ..dtypes import Precision
 from ..errors import ConfigurationError, SpecificationError
 from ..gpu.block import BlockContext
-from ..gpu.kernel import LaunchConfig, LaunchResult
+from ..gpu.kernel import LaunchResult
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 
 

@@ -20,19 +20,18 @@ Two evaluation paths are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..convolution.spec import ConvolutionSpec
-from ..core.blocking import OverlappedBlocking
 from ..core.plan import SSAMPlan, plan_convolution
 from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
 from ..gpu.counters import KernelCounters
-from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
+from ..gpu.kernel import Kernel, LaunchResult
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 from .common import (
     KernelRunResult,
@@ -285,7 +284,6 @@ def analytic_counters(spec: ConvolutionSpec, width: int, height: int,
     blocks = grid_x * grid_y
     warps_per_block = blocking.warps_per_block
     total_warps = blocks * warps_per_block
-    block_threads = plan.block_threads
 
     counters = KernelCounters()
     counters.blocks_executed = blocks

@@ -19,7 +19,7 @@ from ..dtypes import resolve_precision
 from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
-from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult, grid_1d
+from ..gpu.kernel import Kernel, LaunchConfig, grid_1d
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 from ..gpu.occupancy import validate_block_threads
 from .common import KernelRunResult

@@ -15,7 +15,7 @@ the returned counters aggregate all iterations.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from ..errors import ConfigurationError
 from ..gpu.architecture import get_architecture
 from ..gpu.block import BlockContext
 from ..gpu.counters import KernelCounters
-from ..gpu.kernel import Kernel, LaunchConfig, LaunchResult
+from ..gpu.kernel import Kernel, LaunchResult
 from ..gpu.memory import DeviceBuffer, GlobalMemory
 from ..stencils.spec import StencilSpec
 from .common import KernelRunResult, check_image, clamp

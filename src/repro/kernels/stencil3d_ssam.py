@@ -16,7 +16,7 @@ of the Figure 6 benchmarks — use the shared-memory exchange.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -249,7 +249,6 @@ def analytic_counters(spec: StencilSpec, width: int, height: int, depth: int,
     warps_per_block = block_threads // arch.warp_size
     p_extent = outputs_per_thread
     cache_rows = spec.footprint_height + p_extent - 1
-    valid_x = arch.warp_size - spec.footprint_width + 1
     grid = _grid_for(spec, width, height, depth, p_extent, warps_per_block, arch.warp_size)
     blocks = grid[0] * grid[1] * grid[2]
     total_warps = blocks * warps_per_block

@@ -19,7 +19,7 @@ its correctness suite exist immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -417,6 +417,21 @@ class Scenario:
         spec = self.build_spec(case.size)
         workload = self.build_workload(case.size, case.precision)
         return self.oracle(spec, workload, params)
+
+    def analysis(self, architecture: str = "p100",
+                 precision: str = "float32", size: Optional[str] = None):
+        """Static verification report of this scenario's kernel traces.
+
+        Auto-derived like the differential matrices: runs the scenario once
+        through the replay engine under a trace capture and verifies every
+        recorded trace (races, bounds, performance lint, static-vs-dynamic
+        counter cross-check).  Returns a
+        :class:`repro.analysis.scenario.ScenarioAnalysis`.
+        """
+        from ..analysis.scenario import analyze_scenario
+
+        return analyze_scenario(self.name, architecture=architecture,
+                                precision=precision, size=size)
 
 
 # ---------------------------------------------------------------------------

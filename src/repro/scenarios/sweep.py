@@ -149,6 +149,11 @@ def _measure_case(scenario: str, architecture: str, precision: str,
     case = ScenarioCase(scenario, architecture, precision, engine, size,
                         plan_kwargs or {})
     entry = get_scenario(scenario)
+    fallbacks_before = 0
+    if engine == "replay":
+        from ..trace.replay import fallback_log
+
+        fallbacks_before = len(fallback_log())
     result = entry.run_case(case)
     payload: Dict[str, object] = {
         "case": case.to_dict(),
@@ -160,6 +165,10 @@ def _measure_case(scenario: str, architecture: str, precision: str,
         "output_digest": (None if result.output is None
                           else array_digest(result.output)),
     }
+    if engine == "replay":
+        # untraceable kernels silently run on the batched engine; surface
+        # the fallback (and its reason) in the cell's sweep row
+        payload["replay_fallback"] = fallback_log()[fallbacks_before:]
     if result.output is not None and entry.oracle is not None:
         oracle = entry.oracle_output(case)
         error = np.max(np.abs(np.asarray(result.output, dtype=np.float64)
@@ -236,6 +245,7 @@ def assemble(payloads: Mapping[str, Mapping[str, object]],
                 "output_digest": payload.get("output_digest"),
                 "oracle_max_abs_error": payload.get("oracle_max_abs_error"),
                 "launch_defaults_source": _case_defaults_source(case),
+                "replay_fallback": payload.get("replay_fallback"),
             },
         ))
     scenarios = []
@@ -276,6 +286,12 @@ def render(result: ExperimentResult) -> str:
         lines.append(f"{m.extra['case_id']:<44} {ms_text:>12} "
                      f"{counters.get('fma', 0):>14.0f} {dram_mb:>10.3f} "
                      f"{digest[:16]:<16} {error_text:>12}")
+    fallbacks = [(m.extra["case_id"], event)
+                 for m in result.measurements
+                 for event in (m.extra.get("replay_fallback") or [])]
+    for case_id, event in fallbacks:
+        lines.append(f"replay fallback: {case_id}: {event['kernel']}: "
+                     f"{event['reason']}")
     lines.append(f"sweep digest: {result.metadata['sweep_digest']}")
     return "\n".join(lines)
 

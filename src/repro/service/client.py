@@ -117,6 +117,20 @@ class ServiceClient:
         """Every row of the service's tuning database."""
         return self._request("GET", "/tuned")
 
+    def analysis(self, scenario: str, architecture: str = "p100",
+                 precision: str = "float32",
+                 size: "str | None" = None) -> Dict[str, object]:
+        """One scenario's static-verification report (store-backed)."""
+        query = {"architecture": architecture, "precision": precision}
+        if size is not None:
+            query["size"] = size
+        return self._request(
+            "GET", f"/analysis/{scenario}?{urllib.parse.urlencode(query)}")
+
+    def analysis_reports(self) -> Dict[str, object]:
+        """Summary of every cached static-verification report."""
+        return self._request("GET", "/analysis")
+
     def refresh(self, matrix: "str | Mapping[str, object] | None" = None,
                 priority: int = 0) -> Dict[str, object]:
         body: Dict[str, object] = {"priority": priority}

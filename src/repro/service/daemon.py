@@ -37,6 +37,13 @@ Endpoints (all JSON)::
                                      cell (sqlite lookup, no simulation);
                                      falls back to the paper defaults with
                                      "source": "paper" when nothing is tuned
+    GET  /analysis                   summary of every cached static-
+                                     verification report
+    GET  /analysis/<scenario>[?architecture=p100&precision=float32&size=]
+                                     the scenario's static-verification
+                                     report: served from the store under
+                                     the current code version, else
+                                     computed in-process and persisted
 """
 
 from __future__ import annotations
@@ -436,6 +443,41 @@ class SweepService:
         return {"tuned_configs": rows, "count": len(rows),
                 "code_version": self.store.code_version()}
 
+    # -- static verification ----------------------------------------------------
+    def analysis(self, scenario: str, architecture: str = "p100",
+                 precision: str = "float32",
+                 size: Optional[str] = None) -> Dict[str, object]:
+        """One scenario's static-verification report, store-backed.
+
+        A report cached under the current code version answers directly
+        (``"source": "store"``); otherwise the verifier runs in-process —
+        tiny-size trace capture plus pure front-end analysis — and the
+        fresh report is persisted for the next caller
+        (``"source": "computed"``).
+        """
+        cached = self.store.get_analysis_report(scenario, architecture,
+                                                precision, size=size)
+        if cached is not None:
+            return {"source": "store",
+                    "code_version": self.store.code_version(),
+                    "analysis": cached}
+        from ..analysis.scenario import analyze_scenario
+
+        _sweep_module()  # populate the scenario registry
+        analysis = analyze_scenario(scenario, architecture=architecture,
+                                    precision=precision, size=size)
+        payload = analysis.to_dict()
+        self.store.put_analysis_report(payload)
+        return {"source": "computed",
+                "code_version": self.store.code_version(),
+                "analysis": payload}
+
+    def analysis_index(self) -> Dict[str, object]:
+        """Summary of every cached verification report."""
+        rows = self.store.list_analysis_reports()
+        return {"analysis_reports": rows, "count": len(rows),
+                "code_version": self.store.code_version()}
+
     # -- lifecycle --------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         return {
@@ -472,6 +514,8 @@ _ROUTES = {
     "best_config": re.compile(
         r"^/best_config/(?P<scenario>[\w.:-]+)/(?P<architecture>[\w.:-]+)"
         r"/(?P<precision>[\w.:-]+)/?$"),
+    "analysis_index": re.compile(r"^/analysis/?$"),
+    "analysis": re.compile(r"^/analysis/(?P<scenario>[\w.:-]+)/?$"),
 }
 
 
@@ -554,6 +598,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._guarded(lambda: self._send_json(self.service.tuned_index()))
         elif route == "best_config":
             self._guarded(lambda: self._best_config(params))
+        elif route == "analysis_index":
+            self._guarded(
+                lambda: self._send_json(self.service.analysis_index()))
+        elif route == "analysis":
+            self._guarded(lambda: self._analysis(params))
         else:
             self._send_json({"error": f"no such endpoint {self.path!r}"},
                             status=404)
@@ -565,6 +614,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._send_json(self.service.best_config(
             params["scenario"], params["architecture"], params["precision"],
             size_class=size_class))
+
+    def _analysis(self, params: Dict[str, str]) -> None:
+        query = urllib.parse.parse_qs(
+            urllib.parse.urlparse(self.path).query)
+        self._send_json(self.service.analysis(
+            params["scenario"],
+            architecture=(query.get("architecture") or ["p100"])[0],
+            precision=(query.get("precision") or ["float32"])[0],
+            size=(query.get("size") or [None])[0]))
 
     def _results(self, run_id: str) -> None:
         result = self.service.run_results(run_id)

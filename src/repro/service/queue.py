@@ -22,7 +22,7 @@ import queue
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Optional
 
 from ..experiments.cache import SimulationCache
 from ..experiments.jobs import SimulationJob, execute_job
@@ -95,8 +95,9 @@ class WorkerPool:
     # -- execution ------------------------------------------------------------
     def _run_one(self, job: SimulationJob) -> None:
         if self._pool is not None:
-            runner = lambda jobs: [self._pool.submit(execute_job, j).result()
-                                   for j in jobs]
+            def runner(jobs):
+                return [self._pool.submit(execute_job, j).result()
+                        for j in jobs]
         else:
             runner = None
         execute_jobs([job], workers=1, cache=self.cache, runner=runner)

@@ -27,7 +27,11 @@ many concurrent readers, serialised short write transactions — holding
   own row instead of clobbering a full-space recommendation; lookups
   serve the best row of a cell (lowest predicted time, larger space and
   freshest write breaking ties).  Within one key, rows are
-  last-writer-wins: a re-run of the tuner refreshes the recommendation.
+  last-writer-wins: a re-run of the tuner refreshes the recommendation;
+* **analysis_reports** (schema v4) — cached static-verification reports
+  per (scenario, architecture, precision, size, code-version) cell,
+  written by the analyze experiment and served by the daemon's
+  ``/analysis/<scenario>`` endpoint (last-writer-wins, like tuned rows).
 
 Writes are first-writer-wins: :meth:`upsert` inserts with ``ON CONFLICT DO
 NOTHING`` inside one transaction, closing the read-modify-write window the
@@ -53,7 +57,7 @@ from ..errors import ConfigurationError
 from ..serialization import canonical_json, jsonify, stable_digest
 
 #: current on-disk schema version (``meta`` table, key ``schema_version``)
-STORE_SCHEMA_VERSION = 3
+STORE_SCHEMA_VERSION = 4
 
 #: length of the hex job-key digest (matches the legacy directory cache)
 DIGEST_LENGTH = 40
@@ -130,7 +134,26 @@ CREATE TABLE IF NOT EXISTS tuned_configs (
 );
 """
 
+#: schema v4: cached static-verification reports per registry cell —
+#: written by the analyze experiment / daemon and served by the
+#: ``/analysis/<scenario>`` endpoint without re-running the verifier
+_ANALYSIS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS analysis_reports (
+    scenario      TEXT NOT NULL,
+    architecture  TEXT NOT NULL,
+    precision     TEXT NOT NULL,
+    size          TEXT NOT NULL,
+    code_version  TEXT NOT NULL,
+    ok            INTEGER NOT NULL,
+    findings      INTEGER NOT NULL,
+    analysis_json TEXT NOT NULL,
+    created_at    REAL NOT NULL,
+    PRIMARY KEY (scenario, architecture, precision, size, code_version)
+);
+"""
+
 _SCHEMA += _TUNED_CONFIGS_SCHEMA
+_SCHEMA += _ANALYSIS_SCHEMA
 
 #: the non-key payload columns shared by the v3 table and its v2 ancestor,
 #: copied verbatim by the rebuild migration
@@ -167,11 +190,17 @@ def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
     conn.execute("DROP TABLE tuned_configs_v2")
 
 
+def _migrate_v3_to_v4(conn: sqlite3.Connection) -> None:
+    """v3 -> v4: add the ``analysis_reports`` table (idempotent DDL)."""
+    conn.executescript(_ANALYSIS_SCHEMA)
+
+
 #: in-place schema upgrades, ``{from_version: migrate(connection)}``; each
 #: entry upgrades one version step and the opener applies them in sequence
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_v1_to_v2,
     2: _migrate_v2_to_v3,
+    3: _migrate_v3_to_v4,
 }
 
 
@@ -492,6 +521,84 @@ class ResultStore:
         row = self._conn().execute(
             "SELECT COUNT(*) AS n FROM tuned_configs").fetchone()
         return int(row["n"])
+
+    # -- static-verification reports ------------------------------------------
+    def put_analysis_report(self, analysis: Mapping[str, object],
+                            code_version: Optional[str] = None) -> None:
+        """Cache one scenario's verification outcome (last writer wins).
+
+        ``analysis`` is a :meth:`ScenarioAnalysis.to_dict` mapping; like a
+        tuned row it is a refreshable derivative of the code version, not a
+        canonical simulation payload, so conflicts update in place.
+        """
+        conn = self._conn()
+        with conn:
+            conn.execute(
+                "INSERT INTO analysis_reports(scenario, architecture,"
+                " precision, size, code_version, ok, findings,"
+                " analysis_json, created_at) VALUES(?,?,?,?,?,?,?,?,?)"
+                " ON CONFLICT(scenario, architecture, precision, size,"
+                " code_version) DO UPDATE SET ok=excluded.ok,"
+                " findings=excluded.findings,"
+                " analysis_json=excluded.analysis_json,"
+                " created_at=excluded.created_at",
+                (analysis["scenario"], analysis["architecture"],
+                 analysis["precision"], analysis["size"],
+                 code_version or self.code_version(),
+                 int(bool(analysis.get("ok"))),
+                 sum(len(report.get("findings", []))
+                     for report in analysis.get("reports", []))
+                 + len(analysis.get("fallbacks", [])),
+                 _encode(analysis), time.time()))
+
+    def get_analysis_report(self, scenario: str, architecture: str,
+                            precision: str = "float32",
+                            size: Optional[str] = None,
+                            code_version: Optional[str] = None,
+                            ) -> Optional[Dict[str, object]]:
+        """One cached verification report, freshest matching row.
+
+        ``None`` when the cell was never analyzed at this (or the current)
+        code version — the caller recomputes.  Without ``size`` the most
+        recently analyzed size answers.
+        """
+        query = ("SELECT analysis_json FROM analysis_reports"
+                 " WHERE scenario=? AND architecture=? AND precision=?"
+                 " AND code_version=?")
+        params: List[object] = [scenario, architecture, precision,
+                                code_version or self.code_version()]
+        if size is not None:
+            query += " AND size=?"
+            params.append(size)
+        row = self._conn().execute(
+            query + " ORDER BY created_at DESC, size LIMIT 1",
+            params).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row["analysis_json"])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def list_analysis_reports(self, current_only: bool = False,
+                              ) -> List[Dict[str, object]]:
+        """Summary rows of every cached report, key-ordered."""
+        query = ("SELECT scenario, architecture, precision, size,"
+                 " code_version, ok, findings, created_at"
+                 " FROM analysis_reports")
+        params: List[object] = []
+        if current_only:
+            query += " WHERE code_version=?"
+            params.append(self.code_version())
+        query += " ORDER BY scenario, architecture, precision, size"
+        rows = self._conn().execute(query, params).fetchall()
+        out = []
+        for row in rows:
+            record = dict(row)
+            record["ok"] = bool(record["ok"])
+            out.append(record)
+        return out
 
     # -- claims (exactly-once execution) --------------------------------------
     def claim(self, key: Mapping[str, object],

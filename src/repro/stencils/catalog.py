@@ -17,7 +17,7 @@ the paper reports it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import SpecificationError
 from .spec import (

@@ -33,7 +33,7 @@ structure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Tuple
 
 from ..gpu.architecture import get_architecture
 from ..gpu.counters import KernelCounters

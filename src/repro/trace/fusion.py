@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..errors import LaunchError
 from ..gpu.architecture import get_architecture

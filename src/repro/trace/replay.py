@@ -30,6 +30,8 @@ re-derivation.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -1128,7 +1130,6 @@ def compile_trace(trace: Trace, architecture: GPUArchitecture,
         i_idx = node.inputs[0]
         i_val = node.inputs[1]
         i_mask = node.inputs[2] if masked else None
-        content_dtype = np.dtype(nodes[shared_id].params["dtype"])
         smem_access_thunk(node, is_load=False)
         content_chunk = content_tiers[shared_id] == TIER_CHUNK
         idx_is_block = nodes[i_idx].kind > KIND_THREAD
@@ -1274,6 +1275,93 @@ def compile_trace(trace: Trace, architecture: GPUArchitecture,
     return program
 
 
+# ----------------------------------------------------- capture + fallbacks
+
+@dataclass
+class TraceCaptureRecord:
+    """One recorded kernel trace plus the context the verifier needs."""
+
+    kernel_name: str
+    trace: Trace
+    config: object
+    architecture: GPUArchitecture
+    count_traffic: bool
+    #: block-index matrix of the recorded chunk
+    chunk_blocks: np.ndarray
+    #: counter delta the eager engine accumulated while recording the chunk
+    chunk_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dedupe_key(self) -> tuple:
+        """Identity of the recorded program (repeat launches re-record)."""
+        return (self.kernel_name, tuple(self.config.grid_dim),
+                int(self.trace.block_threads),
+                self.architecture.name,
+                tuple(node.op for node in self.trace.nodes))
+
+
+class TraceCapture:
+    """Collects every trace (and fallback) recorded inside the context."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceCaptureRecord] = []
+        self.fallbacks: List[Dict[str, str]] = []
+
+    def unique_records(self) -> List[TraceCaptureRecord]:
+        """Records deduplicated by program identity, first capture wins."""
+        seen = set()
+        unique = []
+        for record in self.records:
+            key = record.dedupe_key
+            if key not in seen:
+                seen.add(key)
+                unique.append(record)
+        return unique
+
+
+_CAPTURE_STACK: List[TraceCapture] = []
+
+
+def _active_capture() -> Optional[TraceCapture]:
+    return _CAPTURE_STACK[-1] if _CAPTURE_STACK else None
+
+
+@contextmanager
+def capture_traces():
+    """Capture the recorded trace of every replay launch in the block.
+
+    Forces re-recording of chunk 0 even on warm trace caches, so the
+    capture always carries the eager chunk's counter delta for the
+    static-vs-dynamic cross-check.  Kernels that fall back to the batched
+    engine land in ``capture.fallbacks`` instead of silently vanishing.
+    """
+    capture = TraceCapture()
+    _CAPTURE_STACK.append(capture)
+    try:
+        yield capture
+    finally:
+        _CAPTURE_STACK.pop()
+
+
+#: per-process log of replay-to-batched fallbacks (kernel name -> reason);
+#: the sweep reads deltas of this to surface unanalyzable kernels
+_FALLBACK_LOG: List[Dict[str, str]] = []
+
+
+def record_fallback(kernel_name: str, reason: str) -> None:
+    """Log one replay-engine fallback (also mirrored into active captures)."""
+    event = {"kernel": kernel_name, "reason": reason}
+    _FALLBACK_LOG.append(event)
+    capture = _active_capture()
+    if capture is not None:
+        capture.fallbacks.append(dict(event))
+
+
+def fallback_log() -> List[Dict[str, str]]:
+    """Snapshot of every fallback recorded by this process so far."""
+    return [dict(event) for event in _FALLBACK_LOG]
+
+
 # ---------------------------------------------------------------- the glue
 
 def trace_key(config, architecture: GPUArchitecture, count_traffic: bool,
@@ -1384,26 +1472,45 @@ def replay_launch(kernel, config, args, architecture: object = "p100",
         else 1
 
     counters = KernelCounters()
+    capture = _active_capture()
     program, key = get_program(kernel, config, args, arch, count_traffic)
     start = 0
     executed = 0
-    if program is None and key is not None and key in kernel._trace_cache:
-        # known-untraceable kernel: delegate to the batched engine
+    if (capture is None and program is None and key is not None
+            and key in kernel._trace_cache):
+        # known-untraceable kernel: delegate to the batched engine (a
+        # capture context retries the recording to report the reason)
+        record_fallback(kernel.name, "known untraceable (cached)")
         return kernel.launch(config, args, architecture=arch,
                              max_blocks=max_blocks,
                              count_traffic=count_traffic, batch_size="auto")
-    if program is None:
+    if program is None or capture is not None:
+        # chunk 0 runs eagerly under the tracer; under a capture context
+        # this happens even on a warm cache so the chunk's counter delta
+        # is observable (recording is bit-identical to replaying)
+        before = counters.as_dict()
         try:
             trace = record_trace(kernel, config, args, arch, counters,
                                  count_traffic, index_matrix[:chunk])
-            program = compile_trace(trace, arch, count_traffic)
-        except TraceUnsupported:
+            if program is None:
+                program = compile_trace(trace, arch, count_traffic)
+                kernel._trace_cache[key] = program
+        except TraceUnsupported as exc:
             kernel._trace_cache[key] = None
+            record_fallback(kernel.name, str(exc))
             return kernel.launch(config, args, architecture=arch,
                                  max_blocks=max_blocks,
                                  count_traffic=count_traffic,
                                  batch_size="auto")
-        kernel._trace_cache[key] = program
+        if capture is not None:
+            after = counters.as_dict()
+            delta = {name: after[name] - before.get(name, 0)
+                     for name in after}
+            capture.records.append(TraceCaptureRecord(
+                kernel_name=kernel.name, trace=trace, config=config,
+                architecture=arch, count_traffic=count_traffic,
+                chunk_blocks=np.ascontiguousarray(index_matrix[:chunk]),
+                chunk_counters=delta))
         start = chunk
         executed = int(index_matrix[:chunk].shape[0])
     memo_key = cached = None

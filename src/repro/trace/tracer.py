@@ -20,7 +20,6 @@ batched engine.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -29,7 +28,6 @@ from .ir import (
     KIND_BLOCK,
     KIND_CONST,
     KIND_THREAD,
-    Node,
     Trace,
     TraceUnsupported,
 )

@@ -21,7 +21,7 @@ from repro.baselines import (
     stencilgen_like_stencil,
     unrolled_stencil2d,
 )
-from repro.baselines.cpu_reference import convolve2d_fft_reference, scan_reference
+from repro.baselines.cpu_reference import convolve2d_fft_reference
 from repro.convolution.spec import ConvolutionSpec
 from repro.errors import ConfigurationError
 from repro.stencils.catalog import get_stencil

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pathlib
 
-import pytest
 
 from repro.experiments import cache as cache_mod
 from repro.experiments import table1

@@ -1,7 +1,6 @@
 """Tests for the SSAM core: register cache, blocking, J=(O,D,X,Y), Section 5 model."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

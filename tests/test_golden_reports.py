@@ -60,5 +60,6 @@ def test_golden_fixtures_are_committed_for_every_experiment():
     if os.environ.get("SSAM_UPDATE_GOLDENS"):
         pytest.skip("regenerating")
     present = sorted(p.stem for p in GOLDEN_DIR.glob("*.txt"))
-    # the tune fixture is produced by tests/test_tuning.py, same protocol
-    assert present == sorted(EXPERIMENT_NAMES + ["tune"])
+    # the tune fixture is produced by tests/test_tuning.py and the analyze
+    # fixture by tests/test_static_analysis.py, same protocol
+    assert present == sorted(EXPERIMENT_NAMES + ["tune", "analyze"])

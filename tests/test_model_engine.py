@@ -13,16 +13,11 @@ Covers the three promises the model engine makes:
 
 from __future__ import annotations
 
-import json
 
 import pytest
 
 from repro.analysis.metrics import error_bounds, geometric_mean, relative_error
-from repro.core.performance_model import (
-    model_convolution2d,
-    model_scan,
-    predict_launch,
-)
+from repro.core.performance_model import predict_launch
 from repro.errors import ConfigurationError
 from repro.experiments import load_result, model_validation, runner
 from repro.experiments.cache import SimulationCache

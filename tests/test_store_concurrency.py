@@ -14,7 +14,6 @@ sweep matrix against one store.  The three promises under test:
 
 from __future__ import annotations
 
-import json
 import os
 import subprocess
 import sys

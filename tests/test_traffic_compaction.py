@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.gpu.batch import BatchedTrafficTracker
-from repro.gpu.memory import DeviceBuffer, _SENTINEL
+from repro.gpu.memory import DeviceBuffer
 
 
 def _buffer(buffer_id: int = 0) -> DeviceBuffer:
